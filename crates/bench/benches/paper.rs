@@ -1,0 +1,439 @@
+//! Criterion benchmarks, one group per reproduced table/figure.
+//!
+//! These measure the *simulator's host-side* performance of each
+//! experiment's critical operation (the simulated-time results live in
+//! the experiment harness; `cargo run -p switchless-experiments`). Keeping
+//! both lets regressions in either the model's speed or its behaviour
+//! show up in CI.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use switchless_core::machine::{Machine, MachineConfig, TrapMode};
+use switchless_core::perm::{Perms, TdtEntry};
+use switchless_core::sched::{HwScheduler, SchedPolicy};
+use switchless_core::store::{StateStore, StoreConfig};
+use switchless_core::tid::{Ptid, ThreadState, Vtid};
+use switchless_dev::fabric::Fabric;
+use switchless_dev::nic::{Nic, NicConfig};
+use switchless_isa::asm::assemble;
+use switchless_kern::ioengine::IoEngine;
+use switchless_kern::microkernel::Microkernel;
+use switchless_kern::syscall_svc::SyscallService;
+use switchless_legacy::costs::LegacyCosts;
+use switchless_legacy::idt::Idt;
+use switchless_mem::hierarchy::{AccessKind, Hierarchy, HierarchyConfig};
+use switchless_mem::monitor::{CamFilter, HashFilter, MonitorFilter, WatchId};
+use switchless_mem::{PAddr, PartitionId};
+use switchless_sim::rng::Rng;
+use switchless_sim::time::Cycles;
+use switchless_wl::dist::ServiceDist;
+use switchless_wl::queue::{Discipline, QueueConfig, QueueSim};
+use switchless_wl::sweep::make_jobs;
+
+/// T1: one TDT permission check through the machine (start via vtid).
+fn bench_t1_tdt_enforcement(c: &mut Criterion) {
+    let mut m = Machine::new(MachineConfig::small());
+    let spin = assemble(".base 0x20000\nentry: jmp entry\n").unwrap();
+    m.load_image(&spin).unwrap();
+    let tgt = m.spawn_at(0, 0x20000, false).unwrap();
+    let driver = assemble(
+        ".base 0x10000\nentry:\nloop:\n start 0\n jmp loop\n",
+    )
+    .unwrap();
+    let d = m.load_program(0, &driver).unwrap();
+    let tdt = m.alloc(64);
+    m.write_tdt_entry(tdt, Vtid(0), TdtEntry::new(tgt.ptid, Perms::ALL));
+    m.set_thread_tdtr(d, tdt);
+    m.start_thread(d);
+    c.bench_function("t1_tdt_checked_start", |b| {
+        b.iter(|| m.run_for(Cycles(1_000)));
+    });
+}
+
+/// T2/F8: state-store activation (placement + cost model).
+fn bench_f8_state_store(c: &mut Criterion) {
+    let mut s = StateStore::new(StoreConfig::default());
+    let mut i = 0u32;
+    c.bench_function("f8_store_activate", |b| {
+        b.iter(|| {
+            i = (i + 1) % 64;
+            std::hint::black_box(s.activate(Ptid(i), (i % 8) as u8, 160))
+        });
+    });
+}
+
+/// F1: the full machine wake path — poke a mailbox, run to re-park.
+fn bench_f1_wake_path(c: &mut Criterion) {
+    let mut m = Machine::new(MachineConfig::small());
+    let prog = assemble(
+        r#"
+        mbox: .word 0
+        entry:
+            movi r1, 0
+        loop:
+            monitor mbox
+            ld r2, mbox
+            bne r2, r1, serve
+            mwait
+            jmp loop
+        serve:
+            mov r1, r2
+            jmp loop
+        "#,
+    )
+    .unwrap();
+    let mbox = prog.symbol("mbox").unwrap();
+    let tid = m.load_program(0, &prog).unwrap();
+    m.start_thread(tid);
+    m.run_for(Cycles(20_000));
+    let mut i = 0u64;
+    c.bench_function("f1_mwait_wake_roundtrip", |b| {
+        b.iter(|| {
+            i += 1;
+            m.poke_u64(mbox, i);
+            m.run_for(Cycles(2_000));
+        });
+    });
+    // Legacy comparison point: IDT delivery bookkeeping.
+    let mut idt = Idt::new(LegacyCosts::default());
+    idt.register(33, Cycles(500));
+    let mut t = 0u64;
+    c.bench_function("f1_legacy_idt_delivery", |b| {
+        b.iter(|| {
+            t += 10_000;
+            std::hint::black_box(idt.raise(Cycles(t), 33))
+        });
+    });
+}
+
+/// F2/F3: one packet through the thread-per-request I/O engine.
+fn bench_f2_io_engine(c: &mut Criterion) {
+    let mut cfg = MachineConfig::small();
+    cfg.ptids_per_core = 64;
+    let mut m = Machine::new(cfg);
+    let nic = Nic::attach(&mut m, NicConfig::default());
+    let eng = IoEngine::install(&mut m, 0, &nic, 8, 0x40000).unwrap();
+    m.run_for(Cycles(30_000));
+    let mut seq = 0u64;
+    c.bench_function("f2_packet_through_engine", |b| {
+        b.iter(|| {
+            let now = m.now();
+            eng.note_packet(seq, now + Cycles(300), Cycles(2_000));
+            nic.schedule_rx(&mut m, now, seq, &[0u8; 64]);
+            seq += 1;
+            m.run_for(Cycles(10_000));
+        });
+    });
+    // (No post-assert: with a bench filter the timed closure may never
+    // run, leaving the machine untouched.)
+    let _ = eng.completed();
+}
+
+/// F4: syscall round trips, same-thread vs dedicated hardware thread.
+fn bench_f4_syscalls(c: &mut Criterion) {
+    // Same-thread trap design.
+    let mut cfg = MachineConfig::small();
+    cfg.trap = TrapMode::SameThread {
+        syscall_cost: Cycles(300),
+        vmexit_cost: Cycles(1500),
+    };
+    let mut m = Machine::new(cfg);
+    let image = assemble(
+        r#"
+        .base 0x10000
+        entry:
+        loop:
+            syscall 1
+            jmp loop
+        kernel:
+            work 500
+            movi r13, 0
+            csrw mode, r13
+            jr r14
+        "#,
+    )
+    .unwrap();
+    let tid = m.load_program(0, &image).unwrap();
+    m.set_syscall_vector(image.symbol("kernel").unwrap());
+    m.start_thread(tid);
+    c.bench_function("f4_syscall_same_thread", |b| {
+        b.iter(|| m.run_for(Cycles(5_000)));
+    });
+
+    // Dedicated hardware-thread service.
+    let mut m2 = Machine::new(MachineConfig::small());
+    let svc = SyscallService::install(&mut m2, 0, 1, 500, 0x40000).unwrap();
+    let client = assemble(&svc.client_program(0, u32::MAX, 0x60000)).unwrap();
+    let app = m2.load_program_user(0, &client).unwrap();
+    m2.run_for(Cycles(20_000));
+    m2.start_thread(app);
+    c.bench_function("f4_syscall_hwt_service", |b| {
+        b.iter(|| m2.run_for(Cycles(5_000)));
+    });
+}
+
+/// F5: VM-exit handling through the unprivileged hypervisor.
+fn bench_f5_vmexit(c: &mut Criterion) {
+    use switchless_kern::hypervisor::{exits, install, HvConfig};
+    let mut m = Machine::new(MachineConfig::small());
+    let h = install(
+        &mut m,
+        0,
+        HvConfig {
+            guest_work: 100,
+            hv_work: 200,
+            kernel_work: 300,
+            iters: u32::MAX,
+            exit_num: exits::CPUID,
+        },
+    )
+    .unwrap();
+    c.bench_function("f5_vmexit_hwt_hypervisor", |b| {
+        b.iter(|| m.run_for(Cycles(5_000)));
+    });
+    let _ = m.peek_u64(h.exits_word);
+}
+
+/// F6: one microkernel IPC round trip.
+fn bench_f6_microkernel_ipc(c: &mut Criterion) {
+    let mut m = Machine::new(MachineConfig::small());
+    let mk = Microkernel::install(&mut m, 0, &[("svc", 500, false)], 0x40000).unwrap();
+    let client = assemble(&mk.client_program(0, u32::MAX, 0x60000)).unwrap();
+    let app = m.load_program_user(0, &client).unwrap();
+    m.run_for(Cycles(20_000));
+    m.start_thread(app);
+    c.bench_function("f6_microkernel_ipc", |b| {
+        b.iter(|| m.run_for(Cycles(5_000)));
+    });
+    let _ = mk.ops(&m, 0);
+}
+
+/// F7: a queueing sweep point under bimodal load (3 designs).
+fn bench_f7_queue_sweep_point(c: &mut Criterion) {
+    let dist = ServiceDist::Bimodal {
+        p_short: 0.995,
+        short: 3_000,
+        long: 300_000,
+    };
+    let mut rng = Rng::seed_from(1);
+    let jobs = make_jobs(&mut rng, &dist, 2, 0.7, 3_000);
+    for (name, cfg) in [
+        (
+            "f7_queue_fcfs",
+            QueueConfig {
+                servers: 2,
+                discipline: Discipline::Fcfs,
+                wakeup_overhead: Cycles(150),
+                dispatch_overhead: Cycles::ZERO,
+            },
+        ),
+        (
+            "f7_queue_hwt_ps",
+            QueueConfig {
+                servers: 2,
+                discipline: Discipline::Rr {
+                    quantum: Cycles(200),
+                },
+                wakeup_overhead: Cycles(40),
+                dispatch_overhead: Cycles::ZERO,
+            },
+        ),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(QueueSim::run(&cfg, &jobs, Cycles::ZERO)));
+        });
+    }
+}
+
+/// F9: a hardware-scheduler pick under load.
+fn bench_f9_scheduler_pick(c: &mut Criterion) {
+    let mut s = HwScheduler::new(SchedPolicy::Priority);
+    for i in 0..256 {
+        s.enqueue(Ptid(i), (i % 8) as u8);
+    }
+    c.bench_function("f9_hw_scheduler_pick", |b| {
+        b.iter(|| std::hint::black_box(s.pick(|_| false)));
+    });
+}
+
+/// F10: one access through the full cache hierarchy.
+fn bench_f10_hierarchy_access(c: &mut Criterion) {
+    let mut h = Hierarchy::new(1, HierarchyConfig::server());
+    let mut addr = 0u64;
+    c.bench_function("f10_hierarchy_access", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(64) % (1 << 22);
+            std::hint::black_box(h.access(
+                Cycles(0),
+                0,
+                PAddr(addr),
+                AccessKind::Read,
+                PartitionId::DEFAULT,
+            ))
+        });
+    });
+}
+
+/// F11: one blocking remote RPC through the fabric.
+fn bench_f11_fabric_rpc(c: &mut Criterion) {
+    let mut m = Machine::new(MachineConfig::small());
+    let f = Fabric {
+        one_way: Cycles(1_000),
+    };
+    let resp = m.alloc(64);
+    let prog = assemble(&format!(
+        r#"
+        entry:
+            movi r1, 0
+        loop:
+            addi r1, r1, 1
+        wait:
+            monitor {resp}
+            ld r2, {resp}
+            beq r2, r1, loop
+            mwait
+            jmp wait
+        "#,
+        resp = resp
+    ))
+    .unwrap();
+    let tid = m.load_program(0, &prog).unwrap();
+    m.start_thread(tid);
+    m.run_for(Cycles(5_000));
+    let mut i = 0u64;
+    c.bench_function("f11_blocking_rpc", |b| {
+        b.iter(|| {
+            i += 1;
+            let now = m.now();
+            f.rpc(&mut m, now, Cycles(500), resp, i);
+            m.run_for(Cycles(4_000));
+        });
+    });
+    let _ = m.thread_state(tid) == ThreadState::Halted;
+}
+
+/// F12: monitor-filter store lookups, CAM vs hashed.
+fn bench_f12_monitor_filters(c: &mut Criterion) {
+    let mut cam = CamFilter::new(1024);
+    let mut hash = HashFilter::new();
+    for i in 0..512u64 {
+        cam.arm(WatchId(i), PAddr(0x1000 + i * 64), 8).unwrap();
+        hash.arm(WatchId(i), PAddr(0x1000 + i * 64), 8).unwrap();
+    }
+    let mut out = Vec::new();
+    let mut a = 0u64;
+    c.bench_function("f12_cam_on_store", |b| {
+        b.iter(|| {
+            a = (a + 8) % 0x10000;
+            out.clear();
+            std::hint::black_box(cam.on_store(PAddr(a), 8, &mut out))
+        });
+    });
+    c.bench_function("f12_hash_on_store", |b| {
+        b.iter(|| {
+            a = (a + 8) % 0x10000;
+            out.clear();
+            std::hint::black_box(hash.on_store(PAddr(a), 8, &mut out))
+        });
+    });
+}
+
+/// F13/F14 + substrate: raw machine instruction throughput (how many
+/// simulated instructions per host second the whole model sustains).
+fn bench_machine_throughput(c: &mut Criterion) {
+    let mut m = Machine::new(MachineConfig::small());
+    let spin = assemble(
+        ".base 0x10000\nentry:\n movi r1, 0\nloop:\n addi r1, r1, 1\n jmp loop\n",
+    )
+    .unwrap();
+    let tid = m.load_program(0, &spin).unwrap();
+    m.start_thread(tid);
+    c.bench_function("machine_10k_cycles_alu_loop", |b| {
+        b.iter(|| m.run_for(Cycles(10_000)));
+    });
+}
+
+/// F15 + extensions: thread migration, fan-out RPC, and start/stop
+/// time slicing.
+fn bench_extensions(c: &mut Criterion) {
+    // Migration round trips.
+    let mut cfg = MachineConfig::small();
+    cfg.cores = 2;
+    let mut m = Machine::new(cfg);
+    let spin = assemble(".base 0x10000\nentry: work 500\njmp entry\n").unwrap();
+    let mut tid = m.load_program(0, &spin).unwrap();
+    m.start_thread(tid);
+    m.run_for(Cycles(10_000));
+    c.bench_function("f15_migrate_round_trip", |b| {
+        b.iter(|| {
+            tid = m.migrate_thread(tid, 1 - tid.core).unwrap();
+            m.run_for(Cycles(2_000));
+        });
+    });
+
+    // Fan-out round (4 legs).
+    use switchless_kern::distrt::{FanoutConfig, FanoutRt};
+    let mut m2 = Machine::new(MachineConfig::small());
+    let rt = FanoutRt::install(
+        &mut m2,
+        0,
+        FanoutConfig {
+            threads: 1,
+            iters: u32::MAX,
+            fanout: 4,
+            local_work: 500,
+            remote_service: Cycles(500),
+            fabric: Fabric { one_way: Cycles(500) },
+        },
+        0x40000,
+    )
+    .unwrap();
+    c.bench_function("f11_fanout_round_4_legs", |b| {
+        b.iter(|| m2.run_for(Cycles(4_000)));
+    });
+    let _ = rt.issued();
+
+    // One time slice (stop + start through the TDT).
+    use switchless_kern::timeslice;
+    let mut m3 = Machine::new(MachineConfig::small());
+    let ts = timeslice::install(&mut m3, 0, 4, 0x40000).unwrap();
+    m3.run_for(Cycles(20_000));
+    let mut tick = 0u64;
+    c.bench_function("f15_timeslice_preemption", |b| {
+        b.iter(|| {
+            tick += 1;
+            m3.poke_u64(ts.tick_word, tick);
+            m3.run_for(Cycles(3_000));
+        });
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets =
+        bench_t1_tdt_enforcement,
+        bench_f1_wake_path,
+        bench_f2_io_engine,
+        bench_f4_syscalls,
+        bench_f5_vmexit,
+        bench_f6_microkernel_ipc,
+        bench_f7_queue_sweep_point,
+        bench_f8_state_store,
+        bench_f9_scheduler_pick,
+        bench_f10_hierarchy_access,
+        bench_f11_fabric_rpc,
+        bench_f12_monitor_filters,
+        bench_extensions,
+        bench_machine_throughput,
+}
+criterion_main!(benches);

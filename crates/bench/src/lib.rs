@@ -1,0 +1,2 @@
+//! Criterion benchmarks live in `benches/paper.rs`; this library
+//! intentionally has no items.

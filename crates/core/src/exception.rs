@@ -1,0 +1,182 @@
+//! Exception descriptors (§3, §3.2).
+//!
+//! "Events such as page faults that trigger exceptions in today's CPUs
+//! simply write an exception descriptor to memory and disable the current
+//! ptid. A different ptid monitors the exception descriptor to detect and
+//! handle the exception."
+//!
+//! A descriptor is four 64-bit words written at the faulting thread's
+//! exception-descriptor pointer (EDP control register):
+//!
+//! ```text
+//! EDP + 0:  kind        (see ExceptionKind discriminants)
+//! EDP + 8:  faulting ptid
+//! EDP + 16: faulting pc
+//! EDP + 24: info        (faulting address, call number, ...)
+//! ```
+//!
+//! Because the descriptor write is an ordinary store, it passes through
+//! the generalized monitor filter, which is exactly how handler threads
+//! wake without interrupts. A fault in a thread whose EDP is zero has no
+//! handler; per §3.2 that "indicates a serious kernel bug akin to a
+//! triple-fault" and halts the machine.
+
+use core::fmt;
+
+/// Size in bytes of an exception descriptor.
+pub const DESCRIPTOR_BYTES: u64 = 32;
+
+/// Why a thread was disabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExceptionKind {
+    /// Integer division by zero (§3.2's running example).
+    DivZero,
+    /// Load/store/fetch outside mapped memory — the page-fault analog.
+    BadMemory,
+    /// Fetched word did not decode to an instruction.
+    BadInstruction,
+    /// Privileged instruction executed from a user-mode ptid; a
+    /// supervisor ptid can emulate it for the guest (§3.2).
+    PrivilegedOp,
+    /// `start`/`stop`/`rpull`/`rpush` attempted without the required TDT
+    /// permission bit, or through an invalid vtid.
+    PermissionDenied,
+    /// `rpull`/`rpush` on a thread that is not disabled.
+    ThreadNotStopped,
+    /// `vmcall` from a guest: a VM-exit, delivered as a descriptor to the
+    /// hypervisor thread instead of a mode switch (§2 "No VM-Exits").
+    VmExit,
+    /// `syscall` delivered as a descriptor (exception-less system calls).
+    SyscallTrap,
+}
+
+impl ExceptionKind {
+    /// Stable numeric code used in the descriptor word.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            ExceptionKind::DivZero => 1,
+            ExceptionKind::BadMemory => 2,
+            ExceptionKind::BadInstruction => 3,
+            ExceptionKind::PrivilegedOp => 4,
+            ExceptionKind::PermissionDenied => 5,
+            ExceptionKind::ThreadNotStopped => 6,
+            ExceptionKind::VmExit => 7,
+            ExceptionKind::SyscallTrap => 8,
+        }
+    }
+
+    /// Decodes a descriptor word back to a kind.
+    #[must_use]
+    pub fn from_code(code: u64) -> Option<ExceptionKind> {
+        Some(match code {
+            1 => ExceptionKind::DivZero,
+            2 => ExceptionKind::BadMemory,
+            3 => ExceptionKind::BadInstruction,
+            4 => ExceptionKind::PrivilegedOp,
+            5 => ExceptionKind::PermissionDenied,
+            6 => ExceptionKind::ThreadNotStopped,
+            7 => ExceptionKind::VmExit,
+            8 => ExceptionKind::SyscallTrap,
+            _ => return None,
+        })
+    }
+
+    /// Counter name used by the machine's statistics.
+    #[must_use]
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            ExceptionKind::DivZero => "exception.div_zero",
+            ExceptionKind::BadMemory => "exception.bad_memory",
+            ExceptionKind::BadInstruction => "exception.bad_instruction",
+            ExceptionKind::PrivilegedOp => "exception.privileged_op",
+            ExceptionKind::PermissionDenied => "exception.permission_denied",
+            ExceptionKind::ThreadNotStopped => "exception.thread_not_stopped",
+            ExceptionKind::VmExit => "exception.vm_exit",
+            ExceptionKind::SyscallTrap => "exception.syscall_trap",
+        }
+    }
+}
+
+impl fmt::Display for ExceptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", &self.counter_name()["exception.".len()..])
+    }
+}
+
+/// A decoded exception descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Why the thread was disabled.
+    pub kind: ExceptionKind,
+    /// The faulting physical thread id (raw).
+    pub ptid: u64,
+    /// Program counter of the faulting instruction.
+    pub pc: u64,
+    /// Kind-specific detail (faulting address, call number, ...).
+    pub info: u64,
+}
+
+impl Descriptor {
+    /// Encodes to the four descriptor words.
+    #[must_use]
+    pub fn encode(self) -> [u64; 4] {
+        [self.kind.code(), self.ptid, self.pc, self.info]
+    }
+
+    /// Decodes from four descriptor words; `None` if the kind is invalid.
+    #[must_use]
+    pub fn decode(words: [u64; 4]) -> Option<Descriptor> {
+        Some(Descriptor {
+            kind: ExceptionKind::from_code(words[0])?,
+            ptid: words[1],
+            pc: words[2],
+            info: words[3],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_roundtrip() {
+        for k in [
+            ExceptionKind::DivZero,
+            ExceptionKind::BadMemory,
+            ExceptionKind::BadInstruction,
+            ExceptionKind::PrivilegedOp,
+            ExceptionKind::PermissionDenied,
+            ExceptionKind::ThreadNotStopped,
+            ExceptionKind::VmExit,
+            ExceptionKind::SyscallTrap,
+        ] {
+            assert_eq!(ExceptionKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(ExceptionKind::from_code(0), None);
+        assert_eq!(ExceptionKind::from_code(99), None);
+    }
+
+    #[test]
+    fn descriptor_roundtrip() {
+        let d = Descriptor {
+            kind: ExceptionKind::VmExit,
+            ptid: 42,
+            pc: 0x1_0008,
+            info: 7,
+        };
+        assert_eq!(Descriptor::decode(d.encode()), Some(d));
+    }
+
+    #[test]
+    fn bad_kind_decodes_to_none() {
+        assert_eq!(Descriptor::decode([0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn display_is_short_name() {
+        assert_eq!(ExceptionKind::DivZero.to_string(), "div_zero");
+        assert_eq!(ExceptionKind::VmExit.to_string(), "vm_exit");
+    }
+}

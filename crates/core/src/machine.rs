@@ -1,0 +1,1608 @@
+//! The machine: cores × SMT slots × many hardware threads, executing ISA
+//! programs event-driven.
+//!
+//! # Execution model
+//!
+//! Each core has a small number of pipeline (SMT) **slots**. When a slot
+//! is free, the core's hardware scheduler picks the next eligible runnable
+//! ptid and the machine executes **one instruction** for it; the slot is
+//! then busy for that instruction's cost (base cost + memory latency +
+//! any thread-activation cost). This per-instruction interleaving is the
+//! paper's fine-grain round-robin / processor-sharing model. When no
+//! thread is runnable the slot idles and is re-kicked by the next wakeup
+//! — there is no polling anywhere in the machine.
+//!
+//! # The only hardware state changes
+//!
+//! Exactly as §3 prescribes, system calls, exceptions and external events
+//! cause precisely one kind of hardware action: **blocking and unblocking
+//! hardware threads** (plus a descriptor store). Stores — from CPU threads
+//! and from DMA — pass through the generalized monitor filter; matching
+//! waiters wake. Faults write a 32-byte descriptor through the same store
+//! path (so handlers wake the same way) and disable the faulting thread.
+//!
+//! # Timing shortcuts (documented, deliberate)
+//!
+//! * Instruction semantics take effect at dispatch; the slot is then busy
+//!   for the instruction's cost. ("execute-at-issue")
+//! * Demotion write-backs of thread state are off the critical path and
+//!   free; re-activation pays the tier cost.
+//! * `hcall` invokes a registered host service — the simulation shortcut
+//!   for bulk kernel logic (see DESIGN.md); handlers charge explicit
+//!   cycle costs via [`Machine::charge`].
+
+use std::collections::HashMap;
+
+use switchless_isa::arch::{ArchState, Mode, RegSel};
+use switchless_isa::asm::Program;
+use switchless_isa::inst::Inst;
+use switchless_mem::addr::PAddr;
+use switchless_mem::hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HitLevel};
+use switchless_mem::monitor::{CamFilter, HashFilter, MonitorFilter, WakeEvent, WatchId};
+use switchless_mem::prefetch::WakePrefetcher;
+use switchless_mem::tlb::{Tlb, TlbConfig};
+use switchless_sim::event::EventQueue;
+use switchless_sim::stats::{Counters, Histogram};
+use switchless_sim::time::{Cycles, Freq};
+use switchless_sim::trace::TraceRing;
+
+use crate::exception::{Descriptor, ExceptionKind};
+use crate::perm::{Perms, TdtEntry};
+use crate::sched::{HwScheduler, SchedPolicy};
+use crate::store::{StateStore, StoreConfig, Tier};
+use crate::tdt::TdtCache;
+use crate::tid::{Ptid, ThreadState, Vtid};
+
+/// Handle to one hardware thread: its home core and global ptid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ThreadId {
+    /// Home core index.
+    pub core: usize,
+    /// Global physical thread id.
+    pub ptid: Ptid,
+}
+
+/// How `syscall`/`vmcall` behave — the knob experiments F4/F5 sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrapMode {
+    /// Today's world: the trap vectors into the *same* hardware thread
+    /// after a mode-switch penalty (hundreds of cycles, `[46, 69]`).
+    SameThread {
+        /// Penalty charged on `syscall` entry (the handler returns with
+        /// an ordinary `jr`, so the exit penalty should be folded in).
+        syscall_cost: Cycles,
+        /// Penalty charged on `vmcall` (VM-exit + VM-entry, `[20]`).
+        vmexit_cost: Cycles,
+    },
+    /// The paper's world: the trap writes a descriptor at the calling
+    /// thread's EDP and disables it; a service thread monitoring that
+    /// address wakes and handles it.
+    Descriptor,
+}
+
+/// Which monitor-filter hardware design to instantiate (experiment F12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonitorKind {
+    /// Fully-associative exact filter with bounded capacity.
+    Cam {
+        /// Maximum armed ranges.
+        capacity: usize,
+    },
+    /// Line-granular hashed filter (unbounded, false wakeups possible).
+    Hash,
+}
+
+/// Full machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Number of physical cores.
+    pub cores: usize,
+    /// SMT pipeline slots per core (the small number of hyperthreads that
+    /// the many hardware threads multiplex onto, §4).
+    pub smt_slots: usize,
+    /// Hardware threads per core (the paper: 10s to 1000s).
+    pub ptids_per_core: usize,
+    /// Bytes of flat physical memory.
+    pub mem_bytes: u64,
+    /// Cache hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// TLB parameters.
+    pub tlb: TlbConfig,
+    /// Thread-state storage hierarchy parameters.
+    pub store: StoreConfig,
+    /// Hardware scheduling policy.
+    pub sched: SchedPolicy,
+    /// Monitor-filter implementation.
+    pub monitor: MonitorKind,
+    /// System-call / VM-exit delivery mode.
+    pub trap: TrapMode,
+    /// Clock frequency (for ns conversion in reports).
+    pub freq: Freq,
+    /// DMA writes install lines in L3 (DDIO-style) rather than
+    /// invalidating them.
+    pub dma_warms_l3: bool,
+}
+
+impl MachineConfig {
+    /// One core, 64 hardware threads: fast unit-test machine.
+    #[must_use]
+    pub fn small() -> MachineConfig {
+        MachineConfig {
+            cores: 1,
+            smt_slots: 2,
+            ptids_per_core: 64,
+            mem_bytes: 4 << 20,
+            hierarchy: HierarchyConfig::server(),
+            tlb: TlbConfig::default(),
+            store: StoreConfig::default(),
+            sched: SchedPolicy::RoundRobin,
+            monitor: MonitorKind::Cam { capacity: 1024 },
+            trap: TrapMode::Descriptor,
+            freq: Freq::GHZ3,
+            dma_warms_l3: true,
+        }
+    }
+
+    /// Multi-core server-style machine (4 cores × 256 threads).
+    #[must_use]
+    pub fn server() -> MachineConfig {
+        MachineConfig {
+            cores: 4,
+            smt_slots: 2,
+            ptids_per_core: 256,
+            mem_bytes: 64 << 20,
+            ..MachineConfig::small()
+        }
+    }
+}
+
+/// Errors from host-level machine operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// No unused ptid left on the requested core.
+    OutOfThreads,
+    /// Program image overlaps previously loaded memory.
+    ImageOverlap,
+    /// Address outside physical memory.
+    BadAddress(u64),
+    /// Core index out of range.
+    BadCore(usize),
+}
+
+impl core::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MachineError::OutOfThreads => write!(f, "no free hardware thread on core"),
+            MachineError::ImageOverlap => write!(f, "program image overlaps loaded memory"),
+            MachineError::BadAddress(a) => write!(f, "address {a:#x} outside memory"),
+            MachineError::BadCore(c) => write!(f, "core {c} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// One hardware thread's simulator-side context.
+struct Thread {
+    arch: ArchState,
+    state: ThreadState,
+    /// Core this thread currently belongs to (changes on migration).
+    home: usize,
+    /// Busy executing an in-flight instruction (or a state transfer)
+    /// until this time; the scheduler skips it.
+    busy_until: Cycles,
+    /// Set when a monitored write arrives between `monitor` and `mwait`
+    /// (or while running), so the next `mwait` falls through.
+    monitor_triggered: bool,
+    /// Whether any watch is armed in the filter for this thread.
+    monitor_armed: bool,
+    /// Pipeline-refill (and state-transfer) cost already paid since the
+    /// thread last became runnable.
+    activated: bool,
+    /// Dirty-register mask (bit i = GPR i; bit 16 = pc/control).
+    touched: u32,
+    /// Time of the last wake/start, for wake-to-dispatch latency.
+    wake_at: Option<Cycles>,
+    /// Uses the vector extension (larger state to move, §2 FP/vector).
+    vector_state: bool,
+    /// Per-thread wake-latency accounting: (samples, total, max).
+    wake_stats: (u64, u64, u64),
+    /// Cache partition this thread's data traffic is tagged with (§4
+    /// fine-grain partitioning; default = unmanaged pool).
+    partition: switchless_mem::cache::PartitionId,
+}
+
+impl Thread {
+    fn new(home: usize) -> Thread {
+        Thread {
+            arch: ArchState::default(),
+            state: ThreadState::Disabled,
+            home,
+            busy_until: Cycles::ZERO,
+            monitor_triggered: false,
+            monitor_armed: false,
+            activated: false,
+            touched: 0,
+            wake_at: None,
+            vector_state: false,
+            wake_stats: (0, 0, 0),
+            partition: switchless_mem::cache::PartitionId::DEFAULT,
+        }
+    }
+
+    fn state_bytes(&self) -> u64 {
+        if self.vector_state {
+            ArchState::vector_state_bytes()
+        } else {
+            ArchState::base_state_bytes()
+        }
+    }
+
+    fn dirty_bytes(&self) -> u64 {
+        // pc + mode word always move; plus 8 bytes per touched GPR.
+        let gprs = u64::from((self.touched & 0xffff).count_ones());
+        (16 + gprs * 8).min(self.state_bytes())
+    }
+}
+
+struct CoreState {
+    sched: HwScheduler,
+    store: StateStore,
+    tdt: TdtCache,
+    idle_slot: Vec<bool>,
+    next_unused: usize,
+}
+
+enum Ev {
+    SlotFree { core: usize, slot: usize },
+    Call(u64),
+}
+
+type HostCall = Box<dyn FnMut(&mut Machine, ThreadId)>;
+type MmioHook = Box<dyn FnMut(&mut Machine, u64)>;
+type HostEvent = Box<dyn FnOnce(&mut Machine)>;
+
+/// The simulated machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    now: Cycles,
+    mem: Vec<u8>,
+    threads: Vec<Thread>,
+    cores: Vec<CoreState>,
+    hier: Hierarchy,
+    tlbs: Vec<Tlb>,
+    filter: Box<dyn MonitorFilter>,
+    prefetcher: WakePrefetcher,
+    events: EventQueue<Ev>,
+    callbacks: HashMap<u64, HostEvent>,
+    next_cb: u64,
+    hcalls: HashMap<u16, HostCall>,
+    /// Device doorbells: store hooks keyed by exact 8-byte-aligned
+    /// address; fired after the monitor filter on any covering store.
+    mmio_hooks: HashMap<u64, MmioHook>,
+    counters: Counters,
+    trace: TraceRing,
+    halted: Option<String>,
+    /// Host allocator: grows down from the top of memory.
+    alloc_top: u64,
+    loaded: Vec<(u64, u64)>,
+    syscall_vector: u64,
+    vm_vector: u64,
+    /// Extra cost injected by hcall handlers for the current instruction.
+    pending_charge: Cycles,
+    /// Wake-to-first-dispatch latency histogram (cycles).
+    wake_latency: Histogram,
+    /// Most recent wake-latency sample, with the woken thread.
+    last_wake: Option<(Ptid, u64)>,
+}
+
+impl Machine {
+    /// Builds a machine; all hardware threads start `Disabled`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate config (zero cores/slots/threads/memory).
+    #[must_use]
+    pub fn new(cfg: MachineConfig) -> Machine {
+        assert!(cfg.cores > 0, "need at least one core");
+        assert!(cfg.smt_slots > 0, "need at least one SMT slot");
+        assert!(cfg.ptids_per_core > 0, "need at least one hardware thread");
+        assert!(cfg.mem_bytes >= 4096, "need some memory");
+        let nthreads = cfg.cores * cfg.ptids_per_core;
+        let filter: Box<dyn MonitorFilter> = match cfg.monitor {
+            MonitorKind::Cam { capacity } => Box::new(CamFilter::new(capacity)),
+            MonitorKind::Hash => Box::new(HashFilter::new()),
+        };
+        Machine {
+            cfg,
+            now: Cycles::ZERO,
+            mem: vec![0; cfg.mem_bytes as usize],
+            threads: (0..nthreads)
+                .map(|i| Thread::new(i / cfg.ptids_per_core))
+                .collect(),
+            cores: (0..cfg.cores)
+                .map(|_| CoreState {
+                    sched: HwScheduler::new(cfg.sched),
+                    store: StateStore::new(cfg.store),
+                    tdt: TdtCache::new(64),
+                    idle_slot: vec![true; cfg.smt_slots],
+                    next_unused: 0,
+                })
+                .collect(),
+            hier: Hierarchy::new(cfg.cores, cfg.hierarchy),
+            tlbs: (0..cfg.cores).map(|_| Tlb::new(cfg.tlb)).collect(),
+            filter,
+            prefetcher: WakePrefetcher::new(64),
+            events: EventQueue::new(),
+            callbacks: HashMap::new(),
+            next_cb: 0,
+            hcalls: HashMap::new(),
+            mmio_hooks: HashMap::new(),
+            counters: Counters::new(),
+            trace: TraceRing::new(4096),
+            halted: None,
+            alloc_top: cfg.mem_bytes,
+            loaded: Vec::new(),
+            syscall_vector: 0,
+            vm_vector: 0,
+            pending_charge: Cycles::ZERO,
+            wake_latency: Histogram::new(),
+            last_wake: None,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Host-level API
+    // -----------------------------------------------------------------
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// Configuration this machine was built with.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Why the machine halted, if it did (triple-fault analog).
+    #[must_use]
+    pub fn halted_reason(&self) -> Option<&str> {
+        self.halted.as_deref()
+    }
+
+    /// Statistics counters.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Mutable counter access — device models and kernels add their own
+    /// statistics alongside the machine's.
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Wake-to-first-dispatch latency histogram (cycles).
+    #[must_use]
+    pub fn wake_latency(&self) -> &Histogram {
+        &self.wake_latency
+    }
+
+    /// Clears the wake-latency histogram (end of warmup).
+    pub fn reset_wake_latency(&mut self) {
+        self.wake_latency.reset();
+        self.last_wake = None;
+    }
+
+    /// Per-thread wake-latency accounting: `(samples, total cycles, max)`.
+    #[must_use]
+    pub fn thread_wake_stats(&self, tid: ThreadId) -> (u64, u64, u64) {
+        self.threads[tid.ptid.0 as usize].wake_stats
+    }
+
+    /// Clears one thread's wake-latency accounting.
+    pub fn reset_thread_wake_stats(&mut self, tid: ThreadId) {
+        self.thread_mut(tid.ptid).wake_stats = (0, 0, 0);
+    }
+
+    /// The most recent wake-latency sample: `(thread, cycles)`.
+    #[must_use]
+    pub fn last_wake_latency(&self) -> Option<(ThreadId, u64)> {
+        self.last_wake.map(|(p, c)| {
+            (
+                ThreadId {
+                    core: self.core_of(p),
+                    ptid: p,
+                },
+                c,
+            )
+        })
+    }
+
+    /// The trace ring (enable for debugging/determinism tests).
+    pub fn trace_mut(&mut self) -> &mut TraceRing {
+        &mut self.trace
+    }
+
+    /// Read-only trace access.
+    #[must_use]
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Per-core activation statistics `(rf, l2, l3, dram)`.
+    #[must_use]
+    pub fn store_stats(&self, core: usize) -> (u64, u64, u64, u64) {
+        self.cores[core].store.activation_stats()
+    }
+
+    /// Cycles billed to a thread by the hardware accounting (§4).
+    #[must_use]
+    pub fn billed_cycles(&self, tid: ThreadId) -> Cycles {
+        self.cores[tid.core].sched.usage_of(tid.ptid)
+    }
+
+    /// Allocates `len` bytes of free simulated memory (host convenience
+    /// for mailboxes, rings, descriptor areas). 64-byte aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if memory is exhausted.
+    pub fn alloc(&mut self, len: u64) -> u64 {
+        let top = self.alloc_top.checked_sub(len).expect("simulated memory exhausted");
+        self.alloc_top = top & !63;
+        assert!(
+            self.loaded.iter().all(|&(b, e)| self.alloc_top >= e || b >= self.alloc_top),
+            "allocator collided with a loaded image"
+        );
+        self.alloc_top
+    }
+
+    /// Creates (reserves) a fresh disabled hardware thread on `core`.
+    pub fn create_thread(&mut self, core: usize) -> Result<ThreadId, MachineError> {
+        if core >= self.cfg.cores {
+            return Err(MachineError::BadCore(core));
+        }
+        let slot = self.cores[core].next_unused;
+        if slot >= self.cfg.ptids_per_core {
+            return Err(MachineError::OutOfThreads);
+        }
+        self.cores[core].next_unused += 1;
+        let ptid = Ptid((core * self.cfg.ptids_per_core + slot) as u32);
+        Ok(ThreadId { core, ptid })
+    }
+
+    /// Loads a program image and creates a supervisor thread entering it.
+    pub fn load_program(&mut self, core: usize, prog: &Program) -> Result<ThreadId, MachineError> {
+        self.load_image(prog)?;
+        let tid = self.create_thread(core)?;
+        {
+            let t = self.thread_mut(tid.ptid);
+            t.arch.pc = prog.entry;
+            t.arch.mode = Mode::Supervisor;
+        }
+        Ok(tid)
+    }
+
+    /// Loads a program image and creates a **user-mode** thread.
+    pub fn load_program_user(
+        &mut self,
+        core: usize,
+        prog: &Program,
+    ) -> Result<ThreadId, MachineError> {
+        let tid = self.load_program(core, prog)?;
+        self.thread_mut(tid.ptid).arch.mode = Mode::User;
+        Ok(tid)
+    }
+
+    /// Creates a thread entering an already-loaded image at `pc`.
+    pub fn spawn_at(
+        &mut self,
+        core: usize,
+        pc: u64,
+        supervisor: bool,
+    ) -> Result<ThreadId, MachineError> {
+        let tid = self.create_thread(core)?;
+        let t = self.thread_mut(tid.ptid);
+        t.arch.pc = pc;
+        t.arch.mode = if supervisor { Mode::Supervisor } else { Mode::User };
+        Ok(tid)
+    }
+
+    /// Writes a program image into memory without creating a thread.
+    pub fn load_image(&mut self, prog: &Program) -> Result<(), MachineError> {
+        let (base, end) = (prog.base, prog.end());
+        if end > self.cfg.mem_bytes || end > self.alloc_top {
+            return Err(MachineError::BadAddress(end));
+        }
+        if self.loaded.iter().any(|&(b, e)| base < e && b < end) {
+            return Err(MachineError::ImageOverlap);
+        }
+        for (i, &w) in prog.words.iter().enumerate() {
+            let at = (base + (i as u64) * 8) as usize;
+            self.mem[at..at + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        self.loaded.push((base, end));
+        Ok(())
+    }
+
+    /// Host store of a u64 — passes through the monitor filter, so it can
+    /// wake waiting threads (models an external agent writing memory).
+    pub fn poke_u64(&mut self, addr: u64, value: u64) {
+        self.raw_write_u64(addr, value);
+        self.after_store(addr, 8, true);
+    }
+
+    /// Host read of a u64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside memory.
+    #[must_use]
+    pub fn peek_u64(&self, addr: u64) -> u64 {
+        let a = addr as usize;
+        u64::from_le_bytes(self.mem[a..a + 8].try_into().expect("8 bytes"))
+    }
+
+    /// DMA write from a device: copies bytes, triggers the monitor
+    /// filter, and (per config) warms or invalidates the cached lines.
+    pub fn dma_write(&mut self, addr: u64, bytes: &[u8]) {
+        let a = addr as usize;
+        assert!(a + bytes.len() <= self.mem.len(), "DMA outside memory");
+        self.mem[a..a + bytes.len()].copy_from_slice(bytes);
+        for line in switchless_mem::addr::lines_covering(PAddr(addr), bytes.len() as u64) {
+            if self.cfg.dma_warms_l3 {
+                // DDIO-style: the device deposits lines in L3; private
+                // caches lose stale copies.
+                self.hier.invalidate_line(line);
+                self.hier.warm_l3_only(line);
+            } else {
+                self.hier.invalidate_line(line);
+            }
+        }
+        self.counters.add("dma.bytes", bytes.len() as u64);
+        self.after_store(addr, bytes.len() as u64, true);
+    }
+
+    /// Schedules a host callback at absolute time `at` (device models).
+    pub fn at(&mut self, at: Cycles, f: impl FnOnce(&mut Machine) + 'static) {
+        let key = self.next_cb;
+        self.next_cb += 1;
+        self.callbacks.insert(key, Box::new(f));
+        self.events.schedule(at, Ev::Call(key));
+    }
+
+    /// Registers a device doorbell: `hook` runs after any store that
+    /// covers `addr` (CPU, host, or DMA), receiving the stored word.
+    /// This is how MMIO-triggered devices (NIC TX doorbells, SSD
+    /// submission doorbells) react immediately to driver writes.
+    pub fn register_mmio(&mut self, addr: u64, hook: impl FnMut(&mut Machine, u64) + 'static) {
+        self.mmio_hooks.insert(addr, Box::new(hook));
+    }
+
+    /// Registers a host-service handler for `hcall num`.
+    pub fn register_hcall(&mut self, num: u16, f: impl FnMut(&mut Machine, ThreadId) + 'static) {
+        self.hcalls.insert(num, Box::new(f));
+    }
+
+    /// Adds cycles to the cost of the instruction currently executing
+    /// (for hcall handlers to model their work).
+    pub fn charge(&mut self, cycles: Cycles) {
+        self.pending_charge += cycles;
+    }
+
+    /// Sets the legacy same-thread syscall vector.
+    pub fn set_syscall_vector(&mut self, addr: u64) {
+        self.syscall_vector = addr;
+    }
+
+    /// Sets the legacy same-thread VM-exit vector.
+    pub fn set_vm_vector(&mut self, addr: u64) {
+        self.vm_vector = addr;
+    }
+
+    // ---- thread inspection / manipulation ----
+
+    /// A thread's GPR value.
+    #[must_use]
+    pub fn thread_reg(&self, tid: ThreadId, reg: usize) -> u64 {
+        self.threads[tid.ptid.0 as usize].arch.gprs[reg & 0xf]
+    }
+
+    /// Sets a thread's GPR (host-level `rpush` without permission check).
+    pub fn set_thread_reg(&mut self, tid: ThreadId, reg: usize, value: u64) {
+        self.thread_mut(tid.ptid).arch.gprs[reg & 0xf] = value;
+    }
+
+    /// A thread's current state.
+    #[must_use]
+    pub fn thread_state(&self, tid: ThreadId) -> ThreadState {
+        self.threads[tid.ptid.0 as usize].state
+    }
+
+    /// A thread's program counter.
+    #[must_use]
+    pub fn thread_pc(&self, tid: ThreadId) -> u64 {
+        self.threads[tid.ptid.0 as usize].arch.pc
+    }
+
+    /// A thread's privilege mode.
+    #[must_use]
+    pub fn thread_mode(&self, tid: ThreadId) -> Mode {
+        self.threads[tid.ptid.0 as usize].arch.mode
+    }
+
+    /// Sets a thread's priority class.
+    pub fn set_thread_prio(&mut self, tid: ThreadId, prio: u8) {
+        self.thread_mut(tid.ptid).arch.prio = prio;
+    }
+
+    /// Sets a thread's exception-descriptor pointer.
+    pub fn set_thread_edp(&mut self, tid: ThreadId, edp: u64) {
+        self.thread_mut(tid.ptid).arch.edp = edp;
+    }
+
+    /// Sets a thread's TDT base register.
+    pub fn set_thread_tdtr(&mut self, tid: ThreadId, tdtr: u64) {
+        self.thread_mut(tid.ptid).arch.tdtr = tdtr;
+    }
+
+    /// Marks the thread as using the vector extension (784-byte-class
+    /// state instead of base state).
+    pub fn set_thread_vector_state(&mut self, tid: ThreadId, on: bool) {
+        self.thread_mut(tid.ptid).vector_state = on;
+    }
+
+    /// Tags a thread's data traffic with a cache partition (§4
+    /// fine-grain cache partitioning; see
+    /// [`Machine::set_l3_partition`]).
+    pub fn set_thread_partition(&mut self, tid: ThreadId, part: switchless_mem::cache::PartitionId) {
+        self.thread_mut(tid.ptid).partition = part;
+    }
+
+    /// Declares an L3 partition quota (fraction of the cache pinned for
+    /// traffic tagged with `part`).
+    pub fn set_l3_partition(&mut self, part: switchless_mem::cache::PartitionId, fraction: f64) {
+        self.hier.set_l3_partition(part, fraction);
+    }
+
+    /// Per-level `(hits, misses)` of the cache hierarchy: `(l1, l2, l3)`.
+    #[must_use]
+    pub fn cache_stats(&self) -> ((u64, u64), (u64, u64), (u64, u64)) {
+        self.hier.level_stats()
+    }
+
+    /// Dirty write-backs per cache level `(l1, l2, l3)`.
+    #[must_use]
+    pub fn cache_writebacks(&self) -> (u64, u64, u64) {
+        self.hier.writebacks()
+    }
+
+    /// L3 lines currently owned by a partition.
+    #[must_use]
+    pub fn l3_occupancy(&self, part: switchless_mem::cache::PartitionId) -> u64 {
+        self.hier.l3_occupancy(part)
+    }
+
+    /// Host-level `start`: makes the thread runnable.
+    pub fn start_thread(&mut self, tid: ThreadId) {
+        self.enable_thread(tid.ptid);
+    }
+
+    /// Host-level `stop`: disables the thread.
+    pub fn stop_thread(&mut self, tid: ThreadId) {
+        self.disable_thread(tid.ptid, ThreadState::Disabled);
+    }
+
+    /// Migrates a thread to another core (§4: the OS scheduler "will
+    /// also manage the mapping of threads to cores in order to improve
+    /// locality").
+    ///
+    /// The thread's architectural state moves through the shared L3
+    /// (charged as a cross-core bulk transfer); the thread cannot be
+    /// dispatched until the transfer completes. Its cached working set
+    /// is *not* moved — the first accesses on the new core re-warm
+    /// through the hierarchy, which is the real cost of careless
+    /// migration. Returns the updated handle.
+    pub fn migrate_thread(
+        &mut self,
+        tid: ThreadId,
+        new_core: usize,
+    ) -> Result<ThreadId, MachineError> {
+        if new_core >= self.cfg.cores {
+            return Err(MachineError::BadCore(new_core));
+        }
+        let ptid = tid.ptid;
+        let old = self.core_of(ptid);
+        if old == new_core {
+            return Ok(ThreadId { core: old, ptid });
+        }
+        self.cores[old].sched.dequeue(ptid);
+        self.cores[old].store.remove(ptid);
+        let now = self.now;
+        let link = self.cfg.store.link_bytes_per_cycle.max(1);
+        let l3_base = self.cfg.store.l3_base.0;
+        let (runnable, prio, cost) = {
+            let t = self.thread_mut(ptid);
+            t.home = new_core;
+            t.activated = false;
+            // Cross-core path: write back to L3 on the old side, read on
+            // the new side — two L3-class bulk transfers.
+            let bytes = t.state_bytes();
+            let xfer = Cycles(2 * (l3_base + bytes.div_ceil(link)));
+            t.busy_until = t.busy_until.max(now + xfer);
+            (t.state == ThreadState::Runnable, t.arch.prio, xfer)
+        };
+        self.counters.inc("thread.migrations");
+        self.trace.record(
+            self.now,
+            "migrate",
+            format!("{ptid} core{old} -> core{new_core} ({cost})"),
+        );
+        if runnable {
+            self.cores[new_core].sched.enqueue(ptid, prio);
+            self.kick_core(new_core);
+        }
+        Ok(ThreadId { core: new_core, ptid })
+    }
+
+    /// Writes a TDT entry into simulated memory (host convenience; the
+    /// hardware TDT cache is *not* invalidated — run `invtid` or use
+    /// [`Machine::invalidate_tdt`]).
+    pub fn write_tdt_entry(&mut self, tdt_base: u64, vtid: Vtid, entry: TdtEntry) {
+        self.poke_u64(tdt_base + u64::from(vtid.0) * 8, entry.encode());
+    }
+
+    /// Host-level `invtid` for a core's TDT cache.
+    pub fn invalidate_tdt(&mut self, core: usize, tdt_base: u64, vtid: Vtid) {
+        self.cores[core].tdt.invalidate(tdt_base, vtid);
+    }
+
+    // -----------------------------------------------------------------
+    // Run loop
+    // -----------------------------------------------------------------
+
+    /// Runs until simulated time `t` (or the machine halts).
+    pub fn run_until(&mut self, t: Cycles) {
+        while self.halted.is_none() {
+            let Some(ts) = self.events.peek_time() else { break };
+            if ts > t {
+                break;
+            }
+            let (ts, ev) = self.events.pop().expect("peeked event");
+            if ts > self.now {
+                self.now = ts;
+            }
+            match ev {
+                Ev::SlotFree { core, slot } => self.dispatch(core, slot),
+                Ev::Call(key) => {
+                    if let Some(cb) = self.callbacks.remove(&key) {
+                        cb(self);
+                    }
+                }
+            }
+        }
+        if self.halted.is_none() && self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Runs for `d` more cycles.
+    pub fn run_for(&mut self, d: Cycles) {
+        self.run_until(self.now + d);
+    }
+
+    /// Runs until `tid` reaches `state` or `limit` elapses; returns
+    /// whether the state was reached.
+    pub fn run_until_state(&mut self, tid: ThreadId, state: ThreadState, limit: Cycles) -> bool {
+        let deadline = self.now + limit;
+        // Event-driven stepping: process one event at a time and check.
+        while self.now <= deadline && self.halted.is_none() {
+            if self.thread_state(tid) == state {
+                return true;
+            }
+            let Some(ts) = self.events.peek_time() else { break };
+            if ts > deadline {
+                break;
+            }
+            let (ts, ev) = self.events.pop().expect("peeked event");
+            if ts > self.now {
+                self.now = ts;
+            }
+            match ev {
+                Ev::SlotFree { core, slot } => self.dispatch(core, slot),
+                Ev::Call(key) => {
+                    if let Some(cb) = self.callbacks.remove(&key) {
+                        cb(self);
+                    }
+                }
+            }
+        }
+        self.thread_state(tid) == state
+    }
+
+    // -----------------------------------------------------------------
+    // Internal: threads, wakeups, exceptions
+    // -----------------------------------------------------------------
+
+    fn thread_mut(&mut self, ptid: Ptid) -> &mut Thread {
+        &mut self.threads[ptid.0 as usize]
+    }
+
+    fn core_of(&self, ptid: Ptid) -> usize {
+        self.threads[ptid.0 as usize].home
+    }
+
+    /// Makes a thread runnable (start or monitor wake).
+    fn enable_thread(&mut self, ptid: Ptid) {
+        let core = self.core_of(ptid);
+        let t = &mut self.threads[ptid.0 as usize];
+        match t.state {
+            ThreadState::Runnable | ThreadState::Halted => return,
+            ThreadState::Waiting | ThreadState::Disabled => {}
+        }
+        t.state = ThreadState::Runnable;
+        t.activated = false;
+        t.wake_at = Some(self.now);
+        let prio = t.arch.prio;
+        if t.monitor_armed {
+            t.monitor_armed = false;
+            self.filter.disarm_all(WatchId(u64::from(ptid.0)));
+        }
+        self.counters.inc("thread.wakes");
+        // Wake-prefetch (§4): begin the state transfer and cache warming
+        // now, so the first dispatch pays only the pipeline refill.
+        if self.cfg.store.prefetch_on_wake {
+            let (bytes, prio2) = {
+                let t = &self.threads[ptid.0 as usize];
+                let bytes = if self.cfg.store.dirty_tracking {
+                    t.dirty_bytes()
+                } else {
+                    t.state_bytes()
+                };
+                (bytes, t.arch.prio)
+            };
+            let tier = self.cores[core].store.tier_of(ptid);
+            if tier != Tier::Rf {
+                let (cost, from) = self.cores[core].store.activate(ptid, prio2, bytes);
+                self.counters.inc(match from {
+                    Tier::Rf => "store.activate.rf",
+                    Tier::L2 => "store.activate.l2",
+                    Tier::L3 => "store.activate.l3",
+                    Tier::Dram => "store.activate.dram",
+                });
+                // Transfer overlaps with queueing: the thread cannot be
+                // dispatched before the transfer completes, but other
+                // threads keep the pipeline busy meanwhile.
+                let done = self.now + cost - self.cfg.store.rf_start.min(cost);
+                let t = self.thread_mut(ptid);
+                t.busy_until = t.busy_until.max(done);
+                let part = self.threads[ptid.0 as usize].partition;
+                for line in self.prefetcher.wake_set(WatchId(u64::from(ptid.0))) {
+                    self.hier.warm(core, line, part);
+                }
+            }
+        }
+        self.trace
+            .record(self.now, "wake", format!("{ptid} runnable"));
+        self.cores[core].sched.enqueue(ptid, prio);
+        self.kick_core(core);
+    }
+
+    /// Disables a thread (stop, mwait uses `Waiting`, halt uses `Halted`).
+    fn disable_thread(&mut self, ptid: Ptid, into: ThreadState) {
+        debug_assert!(into != ThreadState::Runnable);
+        let core = self.core_of(ptid);
+        let t = &mut self.threads[ptid.0 as usize];
+        if t.state == ThreadState::Halted {
+            return;
+        }
+        t.state = into;
+        if into != ThreadState::Waiting && t.monitor_armed {
+            t.monitor_armed = false;
+            self.filter.disarm_all(WatchId(u64::from(ptid.0)));
+        }
+        self.cores[core].sched.dequeue(ptid);
+        self.trace
+            .record(self.now, "block", format!("{ptid} -> {into}"));
+    }
+
+    /// Re-kicks idle slots on a core after a wakeup.
+    fn kick_core(&mut self, core: usize) {
+        for slot in 0..self.cfg.smt_slots {
+            if self.cores[core].idle_slot[slot] {
+                self.cores[core].idle_slot[slot] = false;
+                self.events.schedule(self.now, Ev::SlotFree { core, slot });
+            }
+        }
+    }
+
+    /// Raises an exception: writes the descriptor (waking monitors) and
+    /// disables the thread. EDP == 0 halts the machine (§3.2).
+    fn raise_exception(&mut self, ptid: Ptid, kind: ExceptionKind, info: u64) {
+        self.counters.inc(kind.counter_name());
+        let (edp, pc) = {
+            let t = &self.threads[ptid.0 as usize];
+            (t.arch.edp, t.arch.pc)
+        };
+        self.disable_thread(ptid, ThreadState::Disabled);
+        self.trace
+            .record(self.now, "fault", format!("{ptid} {kind} info={info:#x}"));
+        if edp == 0 || edp + crate::exception::DESCRIPTOR_BYTES > self.cfg.mem_bytes {
+            self.halted = Some(format!(
+                "unhandled {kind} in {ptid} at pc={pc:#x} (no exception descriptor \
+                 pointer installed — triple-fault analog, §3.2)"
+            ));
+            self.counters.inc("machine.halt");
+            return;
+        }
+        let desc = Descriptor {
+            kind,
+            ptid: u64::from(ptid.0),
+            pc,
+            info,
+        };
+        for (i, w) in desc.encode().into_iter().enumerate() {
+            self.raw_write_u64(edp + (i as u64) * 8, w);
+        }
+        // One filter notification for the whole descriptor.
+        self.after_store(edp, crate::exception::DESCRIPTOR_BYTES, false);
+    }
+
+    // -----------------------------------------------------------------
+    // Internal: memory
+    // -----------------------------------------------------------------
+
+    fn raw_write_u64(&mut self, addr: u64, value: u64) {
+        let a = addr as usize;
+        assert!(a + 8 <= self.mem.len(), "write outside memory {addr:#x}");
+        self.mem[a..a + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Post-store hook: consult the monitor filter and wake waiters.
+    fn after_store(&mut self, addr: u64, len: u64, external: bool) {
+        let mut wakes: Vec<WakeEvent> = Vec::new();
+        let _cost = self.filter.on_store(PAddr(addr), len, &mut wakes);
+        for w in wakes {
+            let ptid = Ptid(w.watcher.0 as u32);
+            if !w.exact {
+                self.counters.inc("monitor.false_wakes");
+            }
+            self.counters.inc("monitor.wakes");
+            let t = &mut self.threads[ptid.0 as usize];
+            match t.state {
+                ThreadState::Waiting => self.enable_thread(ptid),
+                // Write raced ahead of mwait: remember it.
+                _ => t.monitor_triggered = true,
+            }
+        }
+        if external {
+            self.counters.inc("store.external");
+        }
+        // Device doorbells: fire hooks whose address the store covered.
+        if !self.mmio_hooks.is_empty() {
+            let end = addr.saturating_add(len.max(1));
+            let hit: Vec<u64> = self
+                .mmio_hooks
+                .keys()
+                .copied()
+                .filter(|&a| a >= addr.saturating_sub(7) && a < end)
+                .collect();
+            for a in hit {
+                if let Some(mut h) = self.mmio_hooks.remove(&a) {
+                    let value = self.peek_u64(a);
+                    h(self, value);
+                    self.mmio_hooks.entry(a).or_insert(h);
+                }
+            }
+        }
+    }
+
+    /// Data access from a thread on `core`; returns latency or a fault.
+    fn data_access(
+        &mut self,
+        core: usize,
+        ptid: Ptid,
+        addr: u64,
+        len: u64,
+        kind: AccessKind,
+    ) -> Result<Cycles, ExceptionKind> {
+        if addr.checked_add(len).is_none() || addr + len > self.cfg.mem_bytes {
+            return Err(ExceptionKind::BadMemory);
+        }
+        let tlb_cost = self.tlbs[core].access(0, addr / switchless_mem::addr::PAGE_BYTES);
+        let part = self.threads[ptid.0 as usize].partition;
+        let res = self.hier.access(self.now, core, PAddr(addr), kind, part);
+        self.prefetcher.record_access(WatchId(u64::from(ptid.0)), PAddr(addr));
+        Ok(tlb_cost + res.latency)
+    }
+
+    // -----------------------------------------------------------------
+    // Internal: TDT lookups and permission checks
+    // -----------------------------------------------------------------
+
+    /// Resolves a vtid through the calling thread's TDT; returns the
+    /// entry and lookup cost, or the exception to raise.
+    fn tdt_lookup(
+        &mut self,
+        core: usize,
+        caller: Ptid,
+        vtid: Vtid,
+    ) -> Result<(TdtEntry, Cycles), ExceptionKind> {
+        let tdtr = self.threads[caller.0 as usize].arch.tdtr;
+        if tdtr == 0 {
+            return Err(ExceptionKind::PermissionDenied);
+        }
+        if let Some((e, cost)) = self.cores[core].tdt.lookup(tdtr, vtid) {
+            if !e.valid {
+                return Err(ExceptionKind::PermissionDenied);
+            }
+            return Ok((e, cost));
+        }
+        // Miss: fetch the entry from memory through the hierarchy.
+        let addr = tdtr + u64::from(vtid.0) * 8;
+        if addr + 8 > self.cfg.mem_bytes {
+            return Err(ExceptionKind::BadMemory);
+        }
+        let lat = self
+            .data_access(core, caller, addr, 8, AccessKind::Read)
+            .map_err(|_| ExceptionKind::BadMemory)?;
+        let entry = TdtEntry::decode(self.peek_u64(addr));
+        self.cores[core].tdt.install(tdtr, vtid, entry);
+        if !entry.valid {
+            return Err(ExceptionKind::PermissionDenied);
+        }
+        Ok((entry, lat + Cycles(1)))
+    }
+
+    /// Checks that `caller` may perform `need` on the entry's target.
+    /// Supervisor-mode threads bypass TDT permission bits.
+    fn check_perm(&self, caller: Ptid, entry: TdtEntry, need: Perms) -> Result<(), ExceptionKind> {
+        let mode = self.threads[caller.0 as usize].arch.mode;
+        if mode == Mode::Supervisor || entry.perms.allows(need) {
+            Ok(())
+        } else {
+            Err(ExceptionKind::PermissionDenied)
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Internal: dispatch & instruction execution
+    // -----------------------------------------------------------------
+
+    fn dispatch(&mut self, core: usize, slot: usize) {
+        if self.halted.is_some() {
+            return;
+        }
+        let now = self.now;
+        // Split borrows: scheduler vs thread table.
+        let picked = {
+            let threads = &self.threads;
+            self.cores[core]
+                .sched
+                .pick(|p| threads[p.0 as usize].busy_until > now)
+        };
+        let Some(ptid) = picked else {
+            // Runnable threads may exist but be busy (state transfer or an
+            // in-flight instruction on the other slot): retry when the
+            // earliest becomes free. Otherwise idle until a wake re-kicks.
+            let next = self.cores[core]
+                .sched
+                .iter_enrolled()
+                .map(|p| self.threads[p.0 as usize].busy_until)
+                .filter(|&b| b > now)
+                .min();
+            match next {
+                Some(at) => {
+                    self.events.schedule(at, Ev::SlotFree { core, slot });
+                }
+                None => self.cores[core].idle_slot[slot] = true,
+            }
+            return;
+        };
+        self.counters.inc("sched.dispatches");
+
+        // Activation cost: pipeline refill (plus state transfer when the
+        // thread's state is not RF-resident and wasn't prefetched).
+        let mut cost = Cycles::ZERO;
+        let tier = self.cores[core].store.tier_of(ptid);
+        let needs_activation = !self.threads[ptid.0 as usize].activated || tier != Tier::Rf;
+        if needs_activation {
+            let (bytes, prio) = {
+                let t = &self.threads[ptid.0 as usize];
+                let bytes = if self.cfg.store.dirty_tracking {
+                    t.dirty_bytes()
+                } else {
+                    t.state_bytes()
+                };
+                (bytes, t.arch.prio)
+            };
+            let (act, from) = self.cores[core].store.activate(ptid, prio, bytes);
+            self.counters.inc(match from {
+                Tier::Rf => "store.activate.rf",
+                Tier::L2 => "store.activate.l2",
+                Tier::L3 => "store.activate.l3",
+                Tier::Dram => "store.activate.dram",
+            });
+            cost += act;
+            let t = self.thread_mut(ptid);
+            t.activated = true;
+            t.touched = 0;
+        } else {
+            self.cores[core].store.touch(ptid);
+        }
+        // Wake-to-execution latency: scheduler queueing (now - wake)
+        // plus the state-activation / pipeline-refill time just charged
+        // (`cost` holds exactly the activation portion at this point).
+        if let Some(wake) = self.threads[ptid.0 as usize].wake_at.take() {
+            let sample = (now - wake + cost).0;
+            self.wake_latency.record(sample);
+            self.last_wake = Some((ptid, sample));
+            let ws = &mut self.threads[ptid.0 as usize].wake_stats;
+            ws.0 += 1;
+            ws.1 += sample;
+            ws.2 = ws.2.max(sample);
+        }
+
+        // Execute one instruction.
+        self.pending_charge = Cycles::ZERO;
+        cost += self.exec_inst(core, ptid);
+        cost += self.pending_charge;
+        self.pending_charge = Cycles::ZERO;
+        cost = cost.max(Cycles(1));
+
+        self.cores[core].sched.account(ptid, cost);
+        let done = now + cost;
+        {
+            let t = self.thread_mut(ptid);
+            t.busy_until = t.busy_until.max(done);
+        }
+        self.counters.inc("inst.executed");
+        self.events.schedule(done, Ev::SlotFree { core, slot });
+    }
+
+    /// Executes one instruction for `ptid`; returns its cost. All state
+    /// effects (including faults) happen here.
+    #[allow(clippy::too_many_lines)]
+    fn exec_inst(&mut self, core: usize, ptid: Ptid) -> Cycles {
+        let pc = self.threads[ptid.0 as usize].arch.pc;
+        // Instruction fetch.
+        if pc + 8 > self.cfg.mem_bytes {
+            self.raise_exception(ptid, ExceptionKind::BadMemory, pc);
+            return Cycles(1);
+        }
+        let ifetch = self.hier.access(
+            self.now,
+            core,
+            PAddr(pc),
+            AccessKind::Read,
+            switchless_mem::cache::PartitionId::DEFAULT,
+        );
+        // A pipelined frontend hides L1-hit fetch latency entirely.
+        let ifetch_cost = if ifetch.level == HitLevel::L1 {
+            Cycles::ZERO
+        } else {
+            ifetch.latency
+        };
+        let word = self.peek_u64(pc);
+        let inst = match Inst::decode(word) {
+            Ok(i) => i,
+            Err(_) => {
+                self.raise_exception(ptid, ExceptionKind::BadInstruction, word);
+                return ifetch_cost + Cycles(1);
+            }
+        };
+
+        // Privilege check (§3.2: privileged ops from user mode disable the
+        // thread and write a descriptor, enabling emulation).
+        if inst.is_privileged() && self.threads[ptid.0 as usize].arch.mode == Mode::User {
+            self.raise_exception(ptid, ExceptionKind::PrivilegedOp, word);
+            return ifetch_cost + Cycles(1);
+        }
+
+        let mut cost = ifetch_cost + Cycles(inst.base_cost());
+        let mut next_pc = pc + 8;
+
+        macro_rules! gpr {
+            ($r:expr) => {
+                self.threads[ptid.0 as usize].arch.gprs[$r.0 as usize & 0xf]
+            };
+        }
+        macro_rules! set_gpr {
+            ($r:expr, $v:expr) => {{
+                let v = $v;
+                let t = &mut self.threads[ptid.0 as usize];
+                t.arch.gprs[$r.0 as usize & 0xf] = v;
+                t.touched |= 1 << ($r.0 & 0xf);
+            }};
+        }
+
+        use Inst::*;
+        match inst {
+            Add { d, a, b } => set_gpr!(d, gpr!(a).wrapping_add(gpr!(b))),
+            Sub { d, a, b } => set_gpr!(d, gpr!(a).wrapping_sub(gpr!(b))),
+            And { d, a, b } => set_gpr!(d, gpr!(a) & gpr!(b)),
+            Or { d, a, b } => set_gpr!(d, gpr!(a) | gpr!(b)),
+            Xor { d, a, b } => set_gpr!(d, gpr!(a) ^ gpr!(b)),
+            Shl { d, a, b } => set_gpr!(d, gpr!(a) << (gpr!(b) & 63)),
+            Shr { d, a, b } => set_gpr!(d, gpr!(a) >> (gpr!(b) & 63)),
+            Mul { d, a, b } => set_gpr!(d, gpr!(a).wrapping_mul(gpr!(b))),
+            Div { d, a, b } => {
+                let divisor = gpr!(b);
+                if divisor == 0 {
+                    self.raise_exception(ptid, ExceptionKind::DivZero, pc);
+                    return cost;
+                }
+                set_gpr!(d, gpr!(a) / divisor);
+            }
+            Addi { d, a, imm } => set_gpr!(d, gpr!(a).wrapping_add(imm as u64)),
+            Movi { d, imm } => set_gpr!(d, imm as u64),
+            Mov { d, a } => set_gpr!(d, gpr!(a)),
+            Ld { d, a, off } => {
+                let addr = gpr!(a).wrapping_add(off as u64);
+                match self.data_access(core, ptid, addr, 8, AccessKind::Read) {
+                    Ok(lat) => {
+                        cost += lat;
+                        set_gpr!(d, self.peek_u64(addr));
+                    }
+                    Err(k) => {
+                        self.raise_exception(ptid, k, addr);
+                        return cost;
+                    }
+                }
+            }
+            LdA { d, addr } => match self.data_access(core, ptid, addr, 8, AccessKind::Read) {
+                Ok(lat) => {
+                    cost += lat;
+                    set_gpr!(d, self.peek_u64(addr));
+                }
+                Err(k) => {
+                    self.raise_exception(ptid, k, addr);
+                    return cost;
+                }
+            },
+            St { s, a, off } => {
+                let addr = gpr!(a).wrapping_add(off as u64);
+                match self.data_access(core, ptid, addr, 8, AccessKind::Write) {
+                    Ok(lat) => {
+                        cost += lat;
+                        let v = gpr!(s);
+                        self.raw_write_u64(addr, v);
+                        self.after_store(addr, 8, false);
+                    }
+                    Err(k) => {
+                        self.raise_exception(ptid, k, addr);
+                        return cost;
+                    }
+                }
+            }
+            StA { s, addr } => match self.data_access(core, ptid, addr, 8, AccessKind::Write) {
+                Ok(lat) => {
+                    cost += lat;
+                    let v = gpr!(s);
+                    self.raw_write_u64(addr, v);
+                    self.after_store(addr, 8, false);
+                }
+                Err(k) => {
+                    self.raise_exception(ptid, k, addr);
+                    return cost;
+                }
+            },
+            LdB { d, a, off } => {
+                let addr = gpr!(a).wrapping_add(off as u64);
+                match self.data_access(core, ptid, addr, 1, AccessKind::Read) {
+                    Ok(lat) => {
+                        cost += lat;
+                        set_gpr!(d, u64::from(self.mem[addr as usize]));
+                    }
+                    Err(k) => {
+                        self.raise_exception(ptid, k, addr);
+                        return cost;
+                    }
+                }
+            }
+            StB { s, a, off } => {
+                let addr = gpr!(a).wrapping_add(off as u64);
+                match self.data_access(core, ptid, addr, 1, AccessKind::Write) {
+                    Ok(lat) => {
+                        cost += lat;
+                        let v = (gpr!(s) & 0xff) as u8;
+                        self.mem[addr as usize] = v;
+                        self.after_store(addr, 1, false);
+                    }
+                    Err(k) => {
+                        self.raise_exception(ptid, k, addr);
+                        return cost;
+                    }
+                }
+            }
+            Jmp { addr } => next_pc = addr,
+            Jr { a } => next_pc = gpr!(a),
+            Jal { d, addr } => {
+                set_gpr!(d, pc + 8);
+                next_pc = addr;
+            }
+            Beq { a, b, addr } => {
+                if gpr!(a) == gpr!(b) {
+                    next_pc = addr;
+                }
+            }
+            Bne { a, b, addr } => {
+                if gpr!(a) != gpr!(b) {
+                    next_pc = addr;
+                }
+            }
+            Blt { a, b, addr } => {
+                if (gpr!(a) as i64) < (gpr!(b) as i64) {
+                    next_pc = addr;
+                }
+            }
+            Bge { a, b, addr } => {
+                if (gpr!(a) as i64) >= (gpr!(b) as i64) {
+                    next_pc = addr;
+                }
+            }
+            Halt => {
+                self.thread_mut(ptid).arch.pc = next_pc;
+                self.disable_thread(ptid, ThreadState::Halted);
+                return cost;
+            }
+            Nop | Work { .. } | Fence => {}
+            Syscall { num } => {
+                match self.cfg.trap {
+                    TrapMode::SameThread { syscall_cost, .. } => {
+                        cost += syscall_cost;
+                        if self.syscall_vector == 0 {
+                            self.raise_exception(ptid, ExceptionKind::SyscallTrap, u64::from(num));
+                            return cost;
+                        }
+                        let t = self.thread_mut(ptid);
+                        t.arch.gprs[14] = pc + 8; // link
+                        t.arch.gprs[11] = u64::from(num);
+                        t.arch.mode = Mode::Supervisor;
+                        next_pc = self.syscall_vector;
+                        self.counters.inc("syscall.same_thread");
+                    }
+                    TrapMode::Descriptor => {
+                        self.thread_mut(ptid).arch.pc = pc + 8;
+                        self.raise_exception(ptid, ExceptionKind::SyscallTrap, u64::from(num));
+                        self.counters.inc("syscall.descriptor");
+                        return cost;
+                    }
+                }
+            }
+            VmCall { num } => {
+                match self.cfg.trap {
+                    TrapMode::SameThread { vmexit_cost, .. } => {
+                        cost += vmexit_cost;
+                        if self.vm_vector == 0 {
+                            self.raise_exception(ptid, ExceptionKind::VmExit, u64::from(num));
+                            return cost;
+                        }
+                        let t = self.thread_mut(ptid);
+                        t.arch.gprs[14] = pc + 8;
+                        t.arch.gprs[11] = u64::from(num);
+                        t.arch.mode = Mode::Supervisor;
+                        next_pc = self.vm_vector;
+                        self.counters.inc("vmexit.same_thread");
+                    }
+                    TrapMode::Descriptor => {
+                        self.thread_mut(ptid).arch.pc = pc + 8;
+                        self.raise_exception(ptid, ExceptionKind::VmExit, u64::from(num));
+                        self.counters.inc("vmexit.descriptor");
+                        return cost;
+                    }
+                }
+            }
+            HCall { num } => {
+                self.thread_mut(ptid).arch.pc = next_pc;
+                if let Some(mut h) = self.hcalls.remove(&num) {
+                    let tid = ThreadId { core, ptid };
+                    h(self, tid);
+                    self.hcalls.entry(num).or_insert(h);
+                } else {
+                    self.raise_exception(ptid, ExceptionKind::BadInstruction, u64::from(num));
+                }
+                // The handler may have blocked/redirected the thread; do
+                // not overwrite pc below.
+                return cost;
+            }
+            Monitor { a } => {
+                let addr = gpr!(a);
+                self.arm_monitor(ptid, addr, &mut cost);
+            }
+            MonitorA { addr } => {
+                self.arm_monitor(ptid, addr, &mut cost);
+            }
+            MWait => {
+                let t = self.thread_mut(ptid);
+                if t.monitor_triggered {
+                    // A write raced in between monitor and mwait: fall
+                    // through without blocking (x86 semantics).
+                    t.monitor_triggered = false;
+                    t.arch.pc = next_pc;
+                    let armed = t.monitor_armed;
+                    t.monitor_armed = false;
+                    if armed {
+                        self.filter.disarm_all(WatchId(u64::from(ptid.0)));
+                    }
+                    self.counters.inc("mwait.fallthrough");
+                    return cost;
+                }
+                if !t.monitor_armed {
+                    // mwait with nothing armed would sleep forever; treat
+                    // as nop (x86 behaves as such with invalid monitor).
+                    self.counters.inc("mwait.unarmed");
+                } else {
+                    t.arch.pc = next_pc;
+                    self.disable_thread(ptid, ThreadState::Waiting);
+                    self.counters.inc("mwait.blocked");
+                    return cost;
+                }
+            }
+            Start { .. } | StartI { .. } | Stop { .. } | StopI { .. } => {
+                let (vtid, enable) = match inst {
+                    Start { vt } => (Vtid(gpr!(vt) as u16), true),
+                    StartI { vtid } => (Vtid(vtid), true),
+                    Stop { vt } => (Vtid(gpr!(vt) as u16), false),
+                    StopI { vtid } => (Vtid(vtid), false),
+                    _ => unreachable!(),
+                };
+                match self.start_stop(core, ptid, vtid, enable) {
+                    Ok(extra) => cost += extra,
+                    Err(k) => {
+                        self.raise_exception(ptid, k, u64::from(vtid.0));
+                        return cost;
+                    }
+                }
+            }
+            RPull { vt, local, remote } => {
+                let vtid = Vtid(gpr!(vt) as u16);
+                match self.remote_reg(core, ptid, vtid, remote, None) {
+                    Ok((value, extra)) => {
+                        cost += extra;
+                        set_gpr!(local, value);
+                    }
+                    Err(k) => {
+                        self.raise_exception(ptid, k, u64::from(vtid.0));
+                        return cost;
+                    }
+                }
+            }
+            RPush { vt, remote, local } => {
+                let vtid = Vtid(gpr!(vt) as u16);
+                let value = gpr!(local);
+                match self.remote_reg(core, ptid, vtid, remote, Some(value)) {
+                    Ok((_, extra)) => cost += extra,
+                    Err(k) => {
+                        self.raise_exception(ptid, k, u64::from(vtid.0));
+                        return cost;
+                    }
+                }
+            }
+            InvTid { vt } => {
+                let vtid = Vtid(gpr!(vt) as u16);
+                let tdtr = self.threads[ptid.0 as usize].arch.tdtr;
+                self.cores[core].tdt.invalidate(tdtr, vtid);
+            }
+            CsrR { d, csr } => {
+                let v = self.threads[ptid.0 as usize].arch.read(RegSel::Ctrl(csr));
+                set_gpr!(d, v);
+            }
+            CsrW { csr, a } => {
+                let v = gpr!(a);
+                let t = self.thread_mut(ptid);
+                t.arch.write(RegSel::Ctrl(csr), v);
+                t.touched |= 1 << 16;
+            }
+        }
+
+        self.thread_mut(ptid).arch.pc = next_pc;
+        cost
+    }
+
+    fn arm_monitor(&mut self, ptid: Ptid, addr: u64, cost: &mut Cycles) {
+        if addr + 8 > self.cfg.mem_bytes {
+            self.raise_exception(ptid, ExceptionKind::BadMemory, addr);
+            return;
+        }
+        match self.filter.arm(WatchId(u64::from(ptid.0)), PAddr(addr), 8) {
+            Ok(()) => {
+                let t = self.thread_mut(ptid);
+                t.monitor_armed = true;
+                self.counters.inc("monitor.armed");
+            }
+            Err(_) => {
+                // Filter exhausted (CAM design): deliver as a permission
+                // fault so software can fall back.
+                self.counters.inc("monitor.exhausted");
+                self.raise_exception(ptid, ExceptionKind::PermissionDenied, addr);
+                return;
+            }
+        }
+        *cost += Cycles(1);
+    }
+
+    /// `start`/`stop` semantics with TDT translation and permissions.
+    fn start_stop(
+        &mut self,
+        core: usize,
+        caller: Ptid,
+        vtid: Vtid,
+        enable: bool,
+    ) -> Result<Cycles, ExceptionKind> {
+        let (entry, lookup_cost) = self.tdt_lookup(core, caller, vtid)?;
+        let need = if enable { Perms::START } else { Perms::STOP };
+        self.check_perm(caller, entry, need)?;
+        let target = entry.ptid;
+        if target.0 as usize >= self.threads.len() {
+            return Err(ExceptionKind::PermissionDenied);
+        }
+        if enable {
+            self.counters.inc("thread.starts");
+            self.enable_thread(target);
+        } else {
+            self.counters.inc("thread.stops");
+            self.disable_thread(target, ThreadState::Disabled);
+        }
+        Ok(lookup_cost + Cycles(1))
+    }
+
+    /// Shared `rpull`/`rpush` path. `write` = `Some(value)` for rpush.
+    fn remote_reg(
+        &mut self,
+        core: usize,
+        caller: Ptid,
+        vtid: Vtid,
+        remote: RegSel,
+        write: Option<u64>,
+    ) -> Result<(u64, Cycles), ExceptionKind> {
+        let (entry, lookup_cost) = self.tdt_lookup(core, caller, vtid)?;
+        let need = if remote.is_sensitive() {
+            Perms::MOD_MOST
+        } else {
+            Perms::MOD_SOME
+        };
+        self.check_perm(caller, entry, need)?;
+        let target = entry.ptid;
+        if target.0 as usize >= self.threads.len() {
+            return Err(ExceptionKind::PermissionDenied);
+        }
+        if !self.threads[target.0 as usize].state.is_register_accessible() {
+            return Err(ExceptionKind::ThreadNotStopped);
+        }
+        // Remote state may be parked in a lower tier: accessing it costs
+        // a (partial) transfer, modeled as the tier base cost.
+        let tcore = self.core_of(target);
+        let tier = self.cores[tcore].store.tier_of(target);
+        let tier_cost = match tier {
+            Tier::Rf => Cycles::ZERO,
+            Tier::L2 => self.cfg.store.l2_base,
+            Tier::L3 => self.cfg.store.l3_base,
+            Tier::Dram => self.cfg.store.dram_base,
+        };
+        let t = &mut self.threads[target.0 as usize];
+        let value = match write {
+            Some(v) => {
+                t.arch.write(remote, v);
+                v
+            }
+            None => t.arch.read(remote),
+        };
+        Ok((value, lookup_cost + tier_cost))
+    }
+}
+
+impl core::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Machine")
+            .field("now", &self.now)
+            .field("cores", &self.cfg.cores)
+            .field("threads", &self.threads.len())
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,257 @@
+//! The per-core hardware thread scheduler (§4 "Support for Thread
+//! Scheduling").
+//!
+//! "A simple way ... is to execute runnable hardware threads in a
+//! fine-grain, round-robin (RR) manner, which emulates processor sharing
+//! (PS) and allows all runnable threads to make progress without the need
+//! for interrupts. In addition to RR scheduling, we can introduce
+//! hardware support for thread priorities."
+//!
+//! [`HwScheduler`] dispatches at instruction granularity: every time a
+//! pipeline slot frees, it picks the next eligible runnable thread. Two
+//! policies:
+//!
+//! * [`SchedPolicy::RoundRobin`] — one rotating queue: processor sharing.
+//! * [`SchedPolicy::Priority`] — strict priority classes, RR within a
+//!   class. Time-critical handler threads (e.g. §2's per-interrupt-type
+//!   threads) are placed in high classes so they win the next slot the
+//!   moment they wake.
+//!
+//! The scheduler also keeps per-thread cycle accounting — §4's "fine-grain
+//! tracking of threads' resource consumption for cloud billing".
+
+use std::collections::{HashMap, VecDeque};
+
+use switchless_sim::time::Cycles;
+
+use crate::tid::Ptid;
+
+/// Dispatch policy for runnable hardware threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Fine-grain round-robin over all runnable threads (processor
+    /// sharing).
+    #[default]
+    RoundRobin,
+    /// Strict priority classes (higher `prio` wins), round-robin within a
+    /// class.
+    Priority,
+}
+
+/// Number of priority classes supported by [`SchedPolicy::Priority`].
+pub const PRIO_CLASSES: usize = 8;
+
+/// Per-core hardware scheduler state.
+#[derive(Clone, Debug)]
+pub struct HwScheduler {
+    policy: SchedPolicy,
+    /// One queue per priority class; RoundRobin uses only class 0.
+    queues: [VecDeque<Ptid>; PRIO_CLASSES],
+    /// Which queue each enqueued thread is in (for removal).
+    enrolled: HashMap<Ptid, u8>,
+    /// Cycles consumed per thread (billing).
+    usage: HashMap<Ptid, Cycles>,
+    dispatches: u64,
+}
+
+impl HwScheduler {
+    /// Creates an empty scheduler.
+    #[must_use]
+    pub fn new(policy: SchedPolicy) -> HwScheduler {
+        HwScheduler {
+            policy,
+            queues: Default::default(),
+            enrolled: HashMap::new(),
+            usage: HashMap::new(),
+            dispatches: 0,
+        }
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    fn class_of(&self, prio: u8) -> u8 {
+        match self.policy {
+            SchedPolicy::RoundRobin => 0,
+            SchedPolicy::Priority => prio.min(PRIO_CLASSES as u8 - 1),
+        }
+    }
+
+    /// Adds a thread that became runnable. Idempotent.
+    pub fn enqueue(&mut self, ptid: Ptid, prio: u8) {
+        if self.enrolled.contains_key(&ptid) {
+            return;
+        }
+        let class = self.class_of(prio);
+        self.queues[class as usize].push_back(ptid);
+        self.enrolled.insert(ptid, class);
+    }
+
+    /// Removes a thread that blocked, was stopped, or halted.
+    pub fn dequeue(&mut self, ptid: Ptid) {
+        if let Some(class) = self.enrolled.remove(&ptid) {
+            let q = &mut self.queues[class as usize];
+            if let Some(pos) = q.iter().position(|&p| p == ptid) {
+                q.remove(pos);
+            }
+        }
+    }
+
+    /// Whether any thread is enqueued.
+    #[must_use]
+    pub fn has_runnable(&self) -> bool {
+        !self.enrolled.is_empty()
+    }
+
+    /// Number of enqueued threads.
+    #[must_use]
+    pub fn runnable_len(&self) -> usize {
+        self.enrolled.len()
+    }
+
+    /// Picks the next thread to dispatch, skipping threads for which
+    /// `busy` returns true (already executing on another slot).
+    ///
+    /// The picked thread is rotated to the back of its queue, giving
+    /// instruction-granular round robin.
+    pub fn pick(&mut self, mut busy: impl FnMut(Ptid) -> bool) -> Option<Ptid> {
+        for class in (0..PRIO_CLASSES).rev() {
+            let q = &mut self.queues[class];
+            let len = q.len();
+            for _ in 0..len {
+                let p = q.pop_front().expect("queue length checked");
+                q.push_back(p);
+                if !busy(p) {
+                    self.dispatches += 1;
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates every enqueued (runnable) thread, in no particular order.
+    pub fn iter_enrolled(&self) -> impl Iterator<Item = Ptid> + '_ {
+        self.enrolled.keys().copied()
+    }
+
+    /// Charges `cycles` of pipeline time to `ptid` (billing).
+    pub fn account(&mut self, ptid: Ptid, cycles: Cycles) {
+        *self.usage.entry(ptid).or_insert(Cycles::ZERO) += cycles;
+    }
+
+    /// Total cycles billed to `ptid`.
+    #[must_use]
+    pub fn usage_of(&self, ptid: Ptid) -> Cycles {
+        self.usage.get(&ptid).copied().unwrap_or(Cycles::ZERO)
+    }
+
+    /// Total dispatches performed.
+    #[must_use]
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_fair() {
+        let mut s = HwScheduler::new(SchedPolicy::RoundRobin);
+        for i in 0..3 {
+            s.enqueue(Ptid(i), 0);
+        }
+        let picks: Vec<u32> = (0..6).map(|_| s.pick(|_| false).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn priority_wins_every_slot() {
+        let mut s = HwScheduler::new(SchedPolicy::Priority);
+        s.enqueue(Ptid(1), 0);
+        s.enqueue(Ptid(2), 5);
+        for _ in 0..4 {
+            assert_eq!(s.pick(|_| false), Some(Ptid(2)));
+        }
+        s.dequeue(Ptid(2));
+        assert_eq!(s.pick(|_| false), Some(Ptid(1)));
+    }
+
+    #[test]
+    fn priority_ignored_under_round_robin() {
+        let mut s = HwScheduler::new(SchedPolicy::RoundRobin);
+        s.enqueue(Ptid(1), 0);
+        s.enqueue(Ptid(2), 7);
+        let picks: Vec<u32> = (0..4).map(|_| s.pick(|_| false).unwrap().0).collect();
+        assert_eq!(picks, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn busy_threads_are_skipped() {
+        let mut s = HwScheduler::new(SchedPolicy::RoundRobin);
+        s.enqueue(Ptid(1), 0);
+        s.enqueue(Ptid(2), 0);
+        assert_eq!(s.pick(|p| p == Ptid(1)), Some(Ptid(2)));
+        // All busy: nothing to dispatch.
+        assert_eq!(s.pick(|_| true), None);
+    }
+
+    #[test]
+    fn enqueue_is_idempotent() {
+        let mut s = HwScheduler::new(SchedPolicy::RoundRobin);
+        s.enqueue(Ptid(1), 0);
+        s.enqueue(Ptid(1), 0);
+        assert_eq!(s.runnable_len(), 1);
+        s.dequeue(Ptid(1));
+        assert!(!s.has_runnable());
+        assert_eq!(s.pick(|_| false), None);
+    }
+
+    #[test]
+    fn dequeue_missing_is_noop() {
+        let mut s = HwScheduler::new(SchedPolicy::RoundRobin);
+        s.dequeue(Ptid(9));
+        assert!(!s.has_runnable());
+    }
+
+    #[test]
+    fn rr_max_wait_is_bounded() {
+        // Property the paper relies on: with RR every runnable thread is
+        // served within runnable_len picks.
+        let mut s = HwScheduler::new(SchedPolicy::RoundRobin);
+        for i in 0..10 {
+            s.enqueue(Ptid(i), 0);
+        }
+        let mut last_seen = HashMap::new();
+        for step in 0u64..100 {
+            let p = s.pick(|_| false).unwrap();
+            if let Some(prev) = last_seen.insert(p, step) {
+                assert!(step - prev <= 10, "{p} starved for {} picks", step - prev);
+            }
+        }
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut s = HwScheduler::new(SchedPolicy::RoundRobin);
+        s.account(Ptid(1), Cycles(5));
+        s.account(Ptid(1), Cycles(7));
+        assert_eq!(s.usage_of(Ptid(1)), Cycles(12));
+        assert_eq!(s.usage_of(Ptid(2)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn high_class_prio_clamped() {
+        let mut s = HwScheduler::new(SchedPolicy::Priority);
+        s.enqueue(Ptid(1), 200); // clamps to top class
+        s.enqueue(Ptid(2), 7);
+        // Both in class 7: RR between them.
+        let picks: Vec<u32> = (0..4).map(|_| s.pick(|_| false).unwrap().0).collect();
+        assert_eq!(picks, vec![1, 2, 1, 2]);
+    }
+}

@@ -1,0 +1,100 @@
+//! A network fabric model for distributed-programming experiments
+//! (§2 "Simpler Distributed Programming").
+//!
+//! Remote nodes are modeled by their response behaviour: an RPC issued
+//! into the fabric completes after `rtt + remote service time` by writing
+//! the response word the calling thread `mwait`s on. This captures
+//! exactly what the paper's argument needs — many blocking threads hiding
+//! inter-node latency — without simulating a second machine.
+
+use switchless_core::machine::Machine;
+use switchless_sim::time::Cycles;
+
+/// Fabric latency parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Fabric {
+    /// One-way wire+switch latency. 2 µs at 3 GHz = 6000 cycles.
+    pub one_way: Cycles,
+}
+
+impl Default for Fabric {
+    fn default() -> Fabric {
+        Fabric {
+            one_way: Cycles(6_000),
+        }
+    }
+}
+
+impl Fabric {
+    /// Issues an RPC at `at`: after `2 * one_way + remote_service`, the
+    /// fabric DMA-writes `response_value` to `response_addr`.
+    pub fn rpc(
+        &self,
+        m: &mut Machine,
+        at: Cycles,
+        remote_service: Cycles,
+        response_addr: u64,
+        response_value: u64,
+    ) {
+        let done = at + self.one_way + remote_service + self.one_way;
+        m.at(done, move |mach| {
+            mach.dma_write(response_addr, &response_value.to_le_bytes());
+            mach.counters_mut().inc("fabric.rpc.completed");
+        });
+    }
+
+    /// Round-trip time excluding remote service.
+    #[must_use]
+    pub fn rtt(&self) -> Cycles {
+        self.one_way * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_core::machine::MachineConfig;
+    use switchless_core::tid::ThreadState;
+    use switchless_isa::asm::assemble;
+
+    #[test]
+    fn rpc_completes_after_rtt_plus_service() {
+        let mut m = Machine::new(MachineConfig::small());
+        let f = Fabric {
+            one_way: Cycles(1000),
+        };
+        let resp = m.alloc(8);
+        f.rpc(&mut m, Cycles(0), Cycles(500), resp, 42);
+        m.run_for(Cycles(2_499));
+        assert_eq!(m.peek_u64(resp), 0);
+        m.run_for(Cycles(2));
+        assert_eq!(m.peek_u64(resp), 42);
+        assert_eq!(m.counters().get("fabric.rpc.completed"), 1);
+    }
+
+    #[test]
+    fn blocking_thread_hides_latency_with_mwait() {
+        let mut m = Machine::new(MachineConfig::small());
+        let f = Fabric::default();
+        let resp = m.alloc(8);
+        let prog = assemble(&format!(
+            r#"
+            entry:
+                monitor {resp}
+                mwait
+                ld r1, {resp}
+                halt
+            "#,
+            resp = resp
+        ))
+        .unwrap();
+        let tid = m.load_program(0, &prog).unwrap();
+        m.start_thread(tid);
+        m.run_for(Cycles(1_000));
+        let now = m.now();
+        f.rpc(&mut m, now, Cycles(3_000), resp, 7);
+        m.run_for(Cycles(50_000));
+        assert_eq!(m.thread_state(tid), ThreadState::Halted);
+        assert_eq!(m.thread_reg(tid, 1), 7);
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared helpers for the experiment harness: machine builders,
+//! calibration microbenches, and unit formatting.
+
+use switchless_core::machine::{Machine, MachineConfig};
+use switchless_isa::asm::assemble;
+use switchless_sim::time::{Cycles, Freq};
+
+/// Reference clock used for all ns conversions (the paper's 3 GHz).
+pub const FREQ: Freq = Freq::GHZ3;
+
+/// Formats a cycle count as "cycles (ns)".
+pub fn cy_ns(c: u64) -> String {
+    format!("{c} ({:.0}ns)", FREQ.cycles_to_ns(Cycles(c)))
+}
+
+/// A small single-core machine for latency microbenches.
+pub fn small_machine() -> Machine {
+    Machine::new(MachineConfig::small())
+}
+
+/// Measures the steady-state mwait wake-to-dispatch cost on the machine:
+/// a thread parks on a mailbox; the host pokes it repeatedly; the median
+/// of the machine's wake-latency histogram is returned.
+///
+/// This number *calibrates* the hardware-thread design point used in the
+/// queueing sweeps (F2/F3/F7), so those sweeps inherit the machine's
+/// behaviour rather than a hand-picked constant.
+pub fn calibrate_hwt_wake() -> Cycles {
+    let mut m = small_machine();
+    let prog = assemble(
+        r#"
+        mbox: .word 0
+        entry:
+            movi r1, 0
+        loop:
+            monitor mbox
+            ld r2, mbox
+            bne r2, r1, serve
+            mwait
+            jmp loop
+        serve:
+            mov r1, r2
+            jmp loop
+        "#,
+    )
+    .expect("calibration program is valid");
+    let mbox = prog.symbol("mbox").expect("mbox symbol");
+    let tid = m.load_program(0, &prog).expect("load");
+    m.start_thread(tid);
+    m.run_for(Cycles(20_000));
+    m.reset_wake_latency();
+    for i in 1..=200u64 {
+        m.poke_u64(mbox, i);
+        m.run_for(Cycles(2_000));
+    }
+    let h = m.wake_latency();
+    assert!(h.count() >= 100, "calibration produced too few wakes");
+    Cycles(h.p50())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_nanosecond_scale() {
+        let wake = calibrate_hwt_wake();
+        // RF-resident wake ≈ pipeline refill ≈ 20 cycles; allow head room.
+        assert!(wake.0 >= 10 && wake.0 <= 100, "calibrated {wake}");
+    }
+
+    #[test]
+    fn cy_ns_formats() {
+        assert_eq!(cy_ns(3000), "3000 (1000ns)");
+    }
+}

@@ -1,0 +1,144 @@
+//! F4 — "Exception-less System Calls and No VM-Exits" (§2), syscall half.
+//!
+//! Three designs, three syscall classes (kernel work 0 / 1500 / 4000
+//! cycles ≈ null / getpid-ish / small read):
+//!
+//! * **sync-trap**: same-thread mode switch, *measured on the machine*
+//!   in `TrapMode::SameThread` with the legacy 300-cycle switch cost.
+//! * **flexsc**: batched asynchronous syscalls (cost model, batch 32).
+//! * **hwt-service**: dedicated kernel hardware thread, *measured on the
+//!   machine* via the mailbox channel protocol.
+
+use switchless_core::machine::{Machine, MachineConfig, TrapMode};
+use switchless_core::tid::ThreadState;
+use switchless_isa::asm::assemble;
+use switchless_kern::syscall_svc::SyscallService;
+use switchless_legacy::costs::LegacyCosts;
+use switchless_legacy::syscalls::{FlexScSyscalls, SyncSyscalls};
+use switchless_sim::report::Table;
+use switchless_sim::time::Cycles;
+
+use crate::common::cy_ns;
+
+/// Measures per-call cycles of the same-thread trap design.
+fn measure_sync_trap(kernel_work: u32, iters: u32) -> u64 {
+    let mut cfg = MachineConfig::small();
+    cfg.trap = TrapMode::SameThread {
+        syscall_cost: LegacyCosts::default().syscall_mode_switch,
+        vmexit_cost: Cycles(1500),
+    };
+    let mut m = Machine::new(cfg);
+    let image = assemble(&format!(
+        r#"
+        .base 0x10000
+        entry:
+            movi r7, 0
+            movi r6, {iters}
+        loop:
+            syscall 1
+            addi r7, r7, 1
+            bne r7, r6, loop
+            halt
+        kernel:
+            work {kwork}
+            movi r13, 0
+            csrw mode, r13
+            jr r14
+        "#,
+        iters = iters,
+        kwork = kernel_work.max(1),
+    ))
+    .expect("trap image is valid");
+    let tid = m.load_program(0, &image).expect("load");
+    m.set_syscall_vector(image.symbol("kernel").expect("kernel label"));
+    m.start_thread(tid);
+    // Warm up with the first iteration folded in; measure wall time.
+    let t0 = m.now();
+    assert!(m.run_until_state(tid, ThreadState::Halted, Cycles(100_000_000)));
+    (m.now() - t0).0 / u64::from(iters)
+}
+
+/// Measures per-call cycles of the dedicated-hardware-thread design.
+fn measure_hwt_service(kernel_work: u32, iters: u32) -> u64 {
+    let mut m = Machine::new(MachineConfig::small());
+    let svc = SyscallService::install(&mut m, 0, 1, kernel_work.max(1), 0x40000)
+        .expect("service");
+    let client = assemble(&svc.client_program(0, iters, 0x60000)).expect("client");
+    let app = m.load_program_user(0, &client).expect("load");
+    m.run_for(Cycles(30_000));
+    let t0 = m.now();
+    m.start_thread(app);
+    assert!(m.run_until_state(app, ThreadState::Halted, Cycles(100_000_000)));
+    (m.now() - t0).0 / u64::from(iters)
+}
+
+/// Runs F4.
+pub fn run(quick: bool) -> Vec<Table> {
+    let iters = if quick { 200 } else { 2_000 };
+    let classes: [(&str, u32); 3] = [("null", 1), ("getpid-class", 1500), ("read-class", 4000)];
+    let costs = LegacyCosts::default();
+    let sync = SyncSyscalls { costs };
+    // FlexSC batching matched to a busy caller (~1 call/µs).
+    let flexsc = FlexScSyscalls::new(costs, 32, Cycles(3_000));
+
+    let mut t = Table::new(
+        "F4: per-system-call cost by design (cycles incl. kernel work)",
+        &["syscall class", "sync-trap", "flexsc (batch 32)", "hwt-service"],
+    );
+    for (name, work) in classes {
+        let trap = measure_sync_trap(work, iters);
+        let flex = flexsc.call().round_trip_overhead.0 + u64::from(work);
+        let hwt = measure_hwt_service(work, iters);
+        t.row_owned(vec![
+            name.to_owned(),
+            cy_ns(trap),
+            cy_ns(flex),
+            cy_ns(hwt),
+        ]);
+    }
+    t.caption(
+        "expected shape: hwt-service removes the 300-cycle mode switch and \
+         FlexSC's batching latency; the win is largest for null calls and \
+         shrinks as kernel work dominates",
+    );
+
+    // A second table isolating overhead (kernel work subtracted).
+    let mut o = Table::new(
+        "F4b: pure syscall overhead (kernel work subtracted, cycles)",
+        &["design", "overhead"],
+    );
+    let trap_null = measure_sync_trap(1, iters).saturating_sub(1);
+    let hwt_null = measure_hwt_service(1, iters).saturating_sub(1);
+    o.row_owned(vec!["sync-trap".into(), cy_ns(trap_null)]);
+    o.row_owned(vec![
+        "flexsc (batch 32)".into(),
+        cy_ns(flexsc.call().round_trip_overhead.0),
+    ]);
+    o.row_owned(vec!["hwt-service".into(), cy_ns(hwt_null)]);
+    o.row_owned(vec![
+        "bare mode switch (the cost hwt deletes)".into(),
+        cy_ns(sync.call().round_trip_overhead.0),
+    ]);
+    vec![t, o]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hwt_service_beats_sync_trap_for_null_calls() {
+        let trap = measure_sync_trap(1, 300);
+        let hwt = measure_hwt_service(1, 300);
+        assert!(hwt < trap, "hwt {hwt} vs trap {trap}");
+    }
+
+    #[test]
+    fn kernel_work_dominates_eventually() {
+        let trap = measure_sync_trap(4000, 200);
+        let hwt = measure_hwt_service(4000, 200);
+        // With 4000 cycles of work, designs converge within ~25%.
+        let ratio = trap as f64 / hwt as f64;
+        assert!((0.75..1.6).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,156 @@
+//! F7 — the §4 scheduling claim: "The combination of PS scheduling with
+//! thread-per-request will actually provide superior performance for
+//! server workloads with high execution-time variability `[46, 80]`".
+//!
+//! Load sweep over three designs under bimodal and heavy-tailed service:
+//!
+//! * **fcfs-rtc**: run-to-completion FCFS (a polling dataplane / event
+//!   loop): short requests get stuck behind long ones.
+//! * **os-threads**: thread-per-request on the OS scheduler:
+//!   millisecond quantum, context-switch per dispatch, µs wakeups.
+//! * **hwt-ps**: thread-per-request on hardware fine-grain RR
+//!   (processor sharing), wake cost calibrated from the machine.
+
+use switchless_sim::report::{fnum, Table};
+use switchless_sim::time::Cycles;
+use switchless_legacy::swsched::SwScheduler;
+use switchless_wl::dist::ServiceDist;
+use switchless_wl::queue::{Discipline, QueueConfig};
+use switchless_wl::sweep::{make_jobs, run_point};
+
+use crate::common::calibrate_hwt_wake;
+
+const SERVERS: usize = 2;
+
+/// Runs F7.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 10_000 } else { 60_000 };
+    let hwt_wake = calibrate_hwt_wake();
+
+    let fcfs = QueueConfig {
+        servers: SERVERS,
+        discipline: Discipline::Fcfs,
+        wakeup_overhead: Cycles(150),
+        dispatch_overhead: Cycles::ZERO,
+    };
+    let os_threads = SwScheduler::default().to_queue_config(SERVERS, 16 * 1024);
+    let hwt_ps = QueueConfig {
+        servers: SERVERS,
+        discipline: Discipline::Rr { quantum: Cycles(200) },
+        wakeup_overhead: hwt_wake,
+        dispatch_overhead: Cycles::ZERO,
+    };
+
+    let dists = [
+        (
+            "bimodal 99.5:0.5 (1us/100us)",
+            ServiceDist::Bimodal {
+                p_short: 0.995,
+                short: 3_000,
+                long: 300_000,
+            },
+        ),
+        (
+            "pareto a=1.3 (1us..300us)",
+            ServiceDist::BoundedPareto {
+                min: 3_000,
+                max: 900_000,
+                alpha: 1.3,
+            },
+        ),
+    ];
+
+    let mut tables = Vec::new();
+    for (dname, dist) in dists {
+        let mut t = Table::new(
+            &format!("F7: p99 slowdown vs load, {dname}"),
+            &[
+                "rho",
+                "fcfs-rtc p99",
+                "os-threads p99",
+                "hwt-ps p99",
+                "fcfs p50",
+                "os p50",
+                "hwt p50",
+            ],
+        );
+        for rho in [0.3, 0.5, 0.7, 0.8] {
+            let mut rng = switchless_sim::rng::Rng::seed_from(99);
+            let jobs = make_jobs(&mut rng, &dist, SERVERS, rho, n);
+            let pf = run_point(&fcfs, &jobs, 0.1, rho);
+            let po = run_point(&os_threads, &jobs, 0.1, rho);
+            let ph = run_point(&hwt_ps, &jobs, 0.1, rho);
+            t.row_owned(vec![
+                format!("{rho:.1}"),
+                fnum(pf.p99 as f64 / 1000.0),
+                fnum(po.p99 as f64 / 1000.0),
+                fnum(ph.p99 as f64 / 1000.0),
+                fnum(pf.p50 as f64 / 1000.0),
+                fnum(po.p50 as f64 / 1000.0),
+                fnum(ph.p50 as f64 / 1000.0),
+            ]);
+        }
+        t.caption(
+            "kcycles; expected shape: hwt-ps p50 stays near the short-class \
+             service time at every load; fcfs p50/p99 blow up behind long \
+             requests; os-threads pays quantum-scale delays (ms) for the \
+             same PS idea done in software",
+        );
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_sim::rng::Rng;
+
+    #[test]
+    fn hwt_ps_beats_fcfs_p99_under_variability() {
+        let dist = ServiceDist::Bimodal {
+            p_short: 0.995,
+            short: 3_000,
+            long: 300_000,
+        };
+        let mut rng = Rng::seed_from(5);
+        let jobs = make_jobs(&mut rng, &dist, SERVERS, 0.7, 20_000);
+        let fcfs = QueueConfig {
+            servers: SERVERS,
+            discipline: Discipline::Fcfs,
+            wakeup_overhead: Cycles(150),
+            dispatch_overhead: Cycles::ZERO,
+        };
+        let hwt = QueueConfig {
+            servers: SERVERS,
+            discipline: Discipline::Rr { quantum: Cycles(200) },
+            wakeup_overhead: Cycles(40),
+            dispatch_overhead: Cycles::ZERO,
+        };
+        let pf = run_point(&fcfs, &jobs, 0.1, 0.7);
+        let ph = run_point(&hwt, &jobs, 0.1, 0.7);
+        // The PS win is in the tail: short requests never wait behind a
+        // full 100-µs-class request (the Shinjuku/RackSched result).
+        assert!(
+            ph.p99 * 5 < pf.p99,
+            "hwt p99 {} should be far under fcfs p99 {}",
+            ph.p99,
+            pf.p99
+        );
+    }
+
+    #[test]
+    fn os_threads_pay_overheads_even_at_low_load() {
+        let dist = ServiceDist::Bimodal {
+            p_short: 0.995,
+            short: 3_000,
+            long: 300_000,
+        };
+        let mut rng = Rng::seed_from(6);
+        let jobs = make_jobs(&mut rng, &dist, SERVERS, 0.3, 10_000);
+        let os = SwScheduler::default().to_queue_config(SERVERS, 16 * 1024);
+        let po = run_point(&os, &jobs, 0.1, 0.3);
+        // Short requests (3k cycles) cost >> 3k under the OS path.
+        assert!(po.p50 > 9_000, "os-threads p50 {}", po.p50);
+    }
+}

@@ -1,0 +1,171 @@
+//! F12 — ablation of the generalized monitor filter (§4): the hardware
+//! structure consulted on every store must scale to many armed watches.
+//!
+//! * **CAM**: exact byte-range matching, ~1-cycle lookups, but bounded
+//!   capacity — arming beyond it fails over to software.
+//! * **hashed banks**: unbounded, line-granular — colliding watches add
+//!   lookup latency and unrelated writes to a watched line cause false
+//!   wakeups (the woken thread re-checks and re-parks).
+
+use switchless_core::machine::{Machine, MachineConfig, MonitorKind};
+use switchless_isa::asm::assemble;
+use switchless_mem::addr::PAddr;
+use switchless_mem::monitor::{CamFilter, HashFilter, MonitorFilter, WatchId};
+use switchless_sim::report::{fnum, Table};
+use switchless_sim::rng::Rng;
+use switchless_sim::time::Cycles;
+
+/// Microbench: arm `n` watches spaced `stride` bytes apart, fire random
+/// stores, return (mean lookup cycles, wakes, false wakes, armed ok).
+fn drive(filter: &mut dyn MonitorFilter, n: u64, stride: u64, stores: u64) -> (f64, u64, u64, u64) {
+    let base = 0x10000u64;
+    let mut armed = 0;
+    for i in 0..n {
+        if filter
+            .arm(WatchId(i), PAddr(base + i * stride), 8)
+            .is_ok()
+        {
+            armed += 1;
+        }
+    }
+    let mut rng = Rng::seed_from(3);
+    let mut total_cost = 0u64;
+    let mut wakes = 0u64;
+    let mut false_wakes = 0u64;
+    let mut out = Vec::new();
+    for _ in 0..stores {
+        // Half the stores hit watched addresses, half miss.
+        let addr = if rng.chance(0.5) {
+            base + rng.next_below(n.max(1)) * stride
+        } else {
+            base + n * stride + rng.next_below(1 << 16)
+        };
+        out.clear();
+        total_cost += filter.on_store(PAddr(addr), 8, &mut out).0;
+        wakes += out.len() as u64;
+        false_wakes += out.iter().filter(|w| !w.exact).count() as u64;
+        // Woken watchers re-arm (as real mwait users would).
+        for w in out.clone() {
+            filter.disarm_all(w.watcher);
+            let idx = w.watcher.0;
+            let _ = filter.arm(w.watcher, PAddr(base + idx * stride), 8);
+        }
+    }
+    (total_cost as f64 / stores as f64, wakes, false_wakes, armed)
+}
+
+/// Machine-level false-wakeup demo: two mailboxes in one cache line
+/// under the hashed filter.
+fn false_wake_on_machine() -> (u64, u64) {
+    let mut cfg = MachineConfig::small();
+    cfg.monitor = MonitorKind::Hash;
+    let mut m = Machine::new(cfg);
+    let line = m.alloc(64); // both words share this line
+    let a = line;
+    let b = line + 8;
+    let prog = assemble(&format!(
+        r#"
+        entry:
+            movi r1, 0
+        loop:
+            monitor {a}
+            ld r2, {a}
+            bne r2, r1, serve
+            mwait
+            jmp loop
+        serve:
+            mov r1, r2
+            jmp loop
+        "#,
+        a = a
+    ))
+    .expect("prog");
+    let tid = m.load_program(0, &prog).expect("load");
+    m.start_thread(tid);
+    m.run_for(Cycles(20_000));
+    // Write only the *other* word of the line, repeatedly.
+    for i in 1..=50u64 {
+        m.poke_u64(b, i);
+        m.run_for(Cycles(5_000));
+    }
+    (
+        m.counters().get("monitor.wakes"),
+        m.counters().get("monitor.false_wakes"),
+    )
+}
+
+/// Runs F12.
+pub fn run(quick: bool) -> Vec<Table> {
+    let stores = if quick { 20_000 } else { 100_000 };
+    let mut t = Table::new(
+        "F12: monitor-filter designs vs armed watch count",
+        &[
+            "watches",
+            "stride",
+            "cam cost/store",
+            "cam armed",
+            "hash cost/store",
+            "hash false-wake %",
+        ],
+    );
+    for &(n, stride) in &[(16u64, 64u64), (256, 64), (1024, 64), (4096, 64), (256, 8)] {
+        let mut cam = CamFilter::new(1024);
+        let (cam_cost, _, _, cam_armed) = drive(&mut cam, n, stride, stores);
+        let mut hash = HashFilter::new();
+        let (hash_cost, wakes, fw, _) = drive(&mut hash, n, stride, stores);
+        t.row_owned(vec![
+            n.to_string(),
+            stride.to_string(),
+            fnum(cam_cost),
+            format!("{cam_armed}/{n}"),
+            fnum(hash_cost),
+            fnum(100.0 * fw as f64 / wakes.max(1) as f64),
+        ]);
+    }
+    t.caption(
+        "expected shape: CAM lookups stay 1 cycle but arming fails past \
+         1024 entries; the hashed filter scales to 4096+ with ~2-3 cycle \
+         lookups, and dense 8-byte-stride watches (8 per line) produce \
+         ~87% false wakeups — the capacity/precision trade §4 leaves open",
+    );
+
+    let (wakes, false_wakes) = false_wake_on_machine();
+    let mut t2 = Table::new(
+        "F12b: machine-level false wakeups (hashed filter, shared line)",
+        &["metric", "count"],
+    );
+    t2.row_owned(vec!["wakes delivered".into(), wakes.to_string()]);
+    t2.row_owned(vec!["of which false (same line, other word)".into(), false_wakes.to_string()]);
+    t2.caption("the woken thread re-checks its predicate and re-parks: correct, just wasteful");
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cam_capacity_fails_over() {
+        let mut cam = CamFilter::new(1024);
+        let (_, _, _, armed) = drive(&mut cam, 4096, 64, 1000);
+        assert_eq!(armed, 1024);
+    }
+
+    #[test]
+    fn hash_dense_watches_false_wake() {
+        let mut hash = HashFilter::new();
+        let (_, wakes, fw, _) = drive(&mut hash, 256, 8, 20_000);
+        assert!(wakes > 0);
+        assert!(
+            fw as f64 / wakes as f64 > 0.5,
+            "dense watches should mostly false-wake: {fw}/{wakes}"
+        );
+    }
+
+    #[test]
+    fn machine_false_wakes_counted_and_survived() {
+        let (wakes, fw) = false_wake_on_machine();
+        assert_eq!(wakes, 50, "every poke woke the thread");
+        assert_eq!(fw, 50, "every wake was false (other word)");
+    }
+}

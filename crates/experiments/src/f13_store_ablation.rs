@@ -1,0 +1,177 @@
+//! F13 — ablation of the §4 state-store optimizations: dirty-register
+//! tracking, criticality placement, and wake-prefetch.
+//!
+//! A deliberately tiny RF tier (8 threads) is oversubscribed by 32
+//! park/wake workers so most wakes move state between tiers; each policy
+//! combination is measured on the machine.
+
+use switchless_core::machine::{Machine, MachineConfig};
+use switchless_isa::asm::assemble;
+use switchless_sim::report::{fnum, Table};
+use switchless_sim::stats::Histogram;
+use switchless_sim::time::Cycles;
+
+use crate::common::{cy_ns, FREQ};
+
+const WORKERS: usize = 32;
+
+fn measure(dirty: bool, criticality: bool, prefetch: bool, rounds: usize) -> (Histogram, Histogram) {
+    let mut cfg = MachineConfig::small();
+    cfg.ptids_per_core = WORKERS + 8;
+    cfg.store.rf_threads = 8;
+    cfg.store.l2_threads = 16;
+    cfg.store.l3_threads = 64;
+    cfg.store.dirty_tracking = dirty;
+    cfg.store.criticality_placement = criticality;
+    cfg.store.prefetch_on_wake = prefetch;
+    cfg.sched = switchless_core::sched::SchedPolicy::Priority;
+    let mut m = Machine::new(cfg);
+
+    let mut mboxes = Vec::new();
+    let mut tids = Vec::new();
+    for i in 0..WORKERS {
+        let mb = m.alloc(64);
+        let prog = assemble(&format!(
+            r#"
+            .base {base:#x}
+            entry:
+                movi r1, 0
+            loop:
+                monitor {mb}
+                ld r2, {mb}
+                bne r2, r1, serve
+                mwait
+                jmp loop
+            serve:
+                mov r1, r2
+                work 300
+                jmp loop
+            "#,
+            base = 0x40000 + (i as u64) * 0x100,
+            mb = mb,
+        ))
+        .expect("worker");
+        let tid = m.load_program(0, &prog).expect("load");
+        // Thread 0 is the "critical" one under criticality placement.
+        m.set_thread_prio(tid, if i == 0 { 7 } else { 0 });
+        m.start_thread(tid);
+        mboxes.push(mb);
+        tids.push(tid);
+    }
+    m.run_for(Cycles(300_000));
+    m.reset_wake_latency();
+
+    // Wake pattern: *bursts* of four wakes (the critical thread plus
+    // three rotating background workers), so woken threads queue for the
+    // two pipeline slots — the regime where prefetch overlap matters —
+    // while the round-robin rotation cycles everyone through the lower
+    // tiers.
+    m.reset_thread_wake_stats(tids[0]);
+    let mut seq = vec![0u64; WORKERS];
+    let mut next = 1usize;
+    for _ in 0..rounds {
+        for _burst in 0..WORKERS / 4 {
+            seq[0] += 1;
+            m.poke_u64(mboxes[0], seq[0]);
+            for _ in 0..3 {
+                let i = next;
+                next = 1 + (next % (WORKERS - 1));
+                seq[i] += 1;
+                m.poke_u64(mboxes[i], seq[i]);
+            }
+            m.run_for(Cycles(10_000));
+        }
+    }
+    let (crit_n, crit_total, crit_max) = m.thread_wake_stats(tids[0]);
+    let mut crit_hist = Histogram::new();
+    if let Some(mean) = crit_total.checked_div(crit_n) {
+        // Summarise the exact per-thread accounting as a two-point
+        // histogram (mean-ish and max) for the report columns.
+        crit_hist.record(mean);
+        crit_hist.record(crit_max);
+    }
+    (m.wake_latency().clone(), crit_hist)
+}
+
+/// Runs F13.
+pub fn run(quick: bool) -> Vec<Table> {
+    let rounds = if quick { 2 } else { 6 };
+    let mut t = Table::new(
+        "F13: state-store policy ablation (RF=8, 32 workers)",
+        &[
+            "dirty-tracking",
+            "criticality",
+            "wake-prefetch",
+            "all-wakes mean (ns)",
+            "all-wakes p99",
+            "critical-thread max",
+        ],
+    );
+    for &(d, c, p) in &[
+        (false, false, false),
+        (true, false, false),
+        (false, true, false),
+        (false, false, true),
+        (true, true, false),
+        (true, true, true),
+    ] {
+        let (all, crit) = measure(d, c, p, rounds);
+        t.row_owned(vec![
+            if d { "on" } else { "off" }.into(),
+            if c { "on" } else { "off" }.into(),
+            if p { "on" } else { "off" }.into(),
+            fnum(FREQ.cycles_to_ns(Cycles(all.mean() as u64))),
+            cy_ns(all.p99()),
+            cy_ns(crit.p99()),
+        ]);
+    }
+    t.caption(
+        "expected shape: dirty tracking shrinks transfer volume (lower \
+         mean); criticality placement pins the hot thread in RF (its p99 \
+         drops to ~pipeline refill); prefetch overlaps the transfer with \
+         queueing — combined, wakes approach the RF floor despite 4x \
+         oversubscription",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_tracking_reduces_mean_wake() {
+        let (off, _) = measure(false, false, false, 3);
+        let (on, _) = measure(true, false, false, 3);
+        assert!(
+            on.mean() < off.mean(),
+            "dirty tracking on {} vs off {}",
+            on.mean(),
+            off.mean()
+        );
+    }
+
+    #[test]
+    fn criticality_placement_helps_critical_thread() {
+        let (_, crit_off) = measure(true, false, false, 3);
+        let (_, crit_on) = measure(true, true, false, 3);
+        assert!(
+            crit_on.p99() <= crit_off.p99(),
+            "criticality on {} vs off {}",
+            crit_on.p99(),
+            crit_off.p99()
+        );
+    }
+
+    #[test]
+    fn all_policies_beat_none() {
+        let (none, _) = measure(false, false, false, 3);
+        let (all, _) = measure(true, true, true, 3);
+        assert!(
+            all.mean() < none.mean(),
+            "all-on {} vs all-off {}",
+            all.mean(),
+            none.mean()
+        );
+    }
+}

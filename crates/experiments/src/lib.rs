@@ -1,0 +1,172 @@
+//! Experiment harness library: regenerates every table and figure in
+//! EXPERIMENTS.md. The `experiments` binary is a thin wrapper around
+//! [`run_cli`].
+//!
+//! ```text
+//! experiments all [--quick]      # run everything
+//! experiments f1 f7 [--quick]    # run selected experiments
+//! experiments list               # list experiment ids
+//! ```
+//!
+//! Each experiment prints its table(s) and writes CSV files under
+//! `results/`.
+
+use std::path::PathBuf;
+
+use switchless_sim::report::Table;
+
+pub mod common;
+pub mod f01_wakeup;
+pub mod f02_io_throughput;
+pub mod f04_syscalls;
+pub mod f05_vmexits;
+pub mod f06_microkernel;
+pub mod f07_tail_latency;
+pub mod f08_thread_state;
+pub mod f09_priorities;
+pub mod f10_cache;
+pub mod f11_distributed;
+pub mod f12_monitor_filter;
+pub mod f13_store_ablation;
+pub mod f14_security;
+pub mod f15_multicore;
+pub mod t1_tdt;
+pub mod t2_capacity;
+
+/// One runnable experiment.
+pub struct Experiment {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub run: fn(quick: bool) -> Vec<Table>,
+}
+
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "t1",
+            title: "Table 1: TDT permission matrix, enforced",
+            run: t1_tdt::run,
+        },
+        Experiment {
+            id: "t2",
+            title: "Table 2: thread-state storage arithmetic (paper s4)",
+            run: t2_capacity::run,
+        },
+        Experiment {
+            id: "f1",
+            title: "F1: event wakeup latency - legacy IRQ path vs mwait",
+            run: f01_wakeup::run,
+        },
+        Experiment {
+            id: "f2",
+            title: "F2/F3: I/O designs under load - throughput, latency, cores",
+            run: f02_io_throughput::run,
+        },
+        Experiment {
+            id: "f4",
+            title: "F4: system-call cost by design",
+            run: f04_syscalls::run,
+        },
+        Experiment {
+            id: "f5",
+            title: "F5: VM-exit handling by design",
+            run: f05_vmexits::run,
+        },
+        Experiment {
+            id: "f6",
+            title: "F6: microkernel IPC round trips",
+            run: f06_microkernel::run,
+        },
+        Experiment {
+            id: "f7",
+            title: "F7: tail latency vs load under service variability",
+            run: f07_tail_latency::run,
+        },
+        Experiment {
+            id: "f8",
+            title: "F8: thread-start latency vs state residency",
+            run: f08_thread_state::run,
+        },
+        Experiment {
+            id: "f9",
+            title: "F9: time-critical wakeups vs background threads",
+            run: f09_priorities::run,
+        },
+        Experiment {
+            id: "f10",
+            title: "F10: cache interference vs thread count (partition/prefetch)",
+            run: f10_cache::run,
+        },
+        Experiment {
+            id: "f11",
+            title: "F11: remote-latency hiding with blocking hardware threads",
+            run: f11_distributed::run,
+        },
+        Experiment {
+            id: "f12",
+            title: "F12: monitor-filter designs (CAM vs hashed)",
+            run: f12_monitor_filter::run,
+        },
+        Experiment {
+            id: "f13",
+            title: "F13: state-store policy ablation",
+            run: f13_store_ablation::run,
+        },
+        Experiment {
+            id: "f14",
+            title: "F14: security-model costs and exception chains",
+            run: f14_security::run,
+        },
+        Experiment {
+            id: "f15",
+            title: "F15: multi-core scaling and thread migration",
+            run: f15_multicore::run,
+        },
+    ]
+}
+
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+pub fn run_cli() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+
+    let registry = registry();
+    if selected.iter().any(|s| s == "list") {
+        for e in &registry {
+            println!("{:4}  {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let run_all = selected.is_empty() || selected.iter().any(|s| s == "all");
+    let dir = results_dir();
+    let mut ran = 0;
+    for e in &registry {
+        if !run_all && !selected.iter().any(|s| s == e.id) {
+            continue;
+        }
+        ran += 1;
+        println!("\n##### {} #####", e.title);
+        let t0 = std::time::Instant::now();
+        for table in (e.run)(quick) {
+            print!("{}", table.render());
+            match table.write_csv(&dir) {
+                Ok(path) => println!("  csv: {}", path.display()),
+                Err(err) => eprintln!("  csv write failed: {err}"),
+            }
+        }
+        println!("  ({:.1}s)", t0.elapsed().as_secs_f64());
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment id(s): {selected:?}; try `experiments list`");
+        std::process::exit(2);
+    }
+}

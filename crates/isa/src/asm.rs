@@ -1,0 +1,877 @@
+//! A two-pass assembler for the `switchless` ISA.
+//!
+//! The assembler exists so that kernels and test programs in this
+//! repository are *real programs* executed instruction-by-instruction by
+//! the machine model, not hand-woven event scripts. Syntax is
+//! deliberately small:
+//!
+//! ```text
+//! ; comment        (also # and //)
+//! .base 0x10000    ; load address (default 0x10000)
+//! .equ TEN, 10     ; named constant
+//! tail: .word 0    ; 8-byte initialised data
+//! buf:  .zero 64   ; zero-filled bytes (rounded up to 8)
+//! entry:
+//!     movi r1, TEN
+//!     addi r1, r1, -1
+//!     ld   r2, tail        ; absolute (label) load
+//!     st   r2, r3, 8       ; register+offset store
+//!     monitor tail
+//!     mwait
+//!     beq  r1, r2, entry
+//!     halt
+//! ```
+//!
+//! Execution starts at the `entry` label if defined, else at `.base`.
+//! Every instruction and `.word` occupies 8 bytes.
+
+use std::collections::HashMap;
+
+use crate::arch::{CtrlReg, RegSel};
+use crate::inst::{Inst, Reg, IMM44_MAX};
+
+/// A fully assembled, loadable program image.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Load address of the first word.
+    pub base: u64,
+    /// Image contents (code and data), one 64-bit word per 8 bytes.
+    pub words: Vec<u64>,
+    /// Address execution starts at.
+    pub entry: u64,
+    symbols: HashMap<String, u64>,
+}
+
+impl Program {
+    /// Builds a raw image from pre-encoded words (fuzzers, generated
+    /// code). Execution starts at `base`; the symbol table is empty.
+    #[must_use]
+    pub fn from_words(base: u64, words: Vec<u64>) -> Program {
+        Program {
+            base,
+            entry: base,
+            words,
+            symbols: HashMap::new(),
+        }
+    }
+
+    /// Address of a label or `.equ` constant.
+    #[must_use]
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols, for debuggers.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.symbols.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// First address past the image.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.base + (self.words.len() as u64) * 8
+    }
+
+    /// Image size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        (self.words.len() as u64) * 8
+    }
+
+    /// Decodes the instruction at an (8-byte aligned) address, if the
+    /// address is inside the image and holds a valid instruction.
+    #[must_use]
+    pub fn inst_at(&self, addr: u64) -> Option<Inst> {
+        if addr < self.base || addr >= self.end() || !addr.is_multiple_of(8) {
+            return None;
+        }
+        let idx = ((addr - self.base) / 8) as usize;
+        Inst::decode(self.words[idx]).ok()
+    }
+}
+
+/// An assembly error, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Description of the problem.
+    pub msg: String,
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Default load address when no `.base` directive is present.
+pub const DEFAULT_BASE: u64 = 0x10000;
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for (i, _) in line.match_indices([';', '#']) {
+        end = end.min(i);
+    }
+    if let Some(i) = line.find("//") {
+        end = end.min(i);
+    }
+    &line[..end]
+}
+
+#[derive(Clone, Debug)]
+enum Item {
+    Inst { line: usize, mnemonic: String, operands: Vec<String> },
+    Word { line: usize, value: String },
+    Zero { words: u64 },
+    Ascii { bytes: Vec<u8> },
+}
+
+struct Parsed {
+    base: u64,
+    items: Vec<Item>,
+    symbols: HashMap<String, u64>,
+}
+
+fn parse_number(tok: &str) -> Option<i64> {
+    let tok = tok.replace('_', "");
+    let (neg, rest) = match tok.strip_prefix('-') {
+        Some(r) => (true, r),
+        None => (false, tok.as_str()),
+    };
+    let v = if let Some(hex) = rest.strip_prefix("0x").or_else(|| rest.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        rest.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn is_ident(tok: &str) -> bool {
+    let mut chars = tok.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_source(src: &str) -> Result<Parsed, AsmError> {
+    let mut base: Option<u64> = None;
+    let mut items: Vec<Item> = Vec::new();
+    let mut labels: Vec<(String, u64, usize)> = Vec::new(); // (name, word-offset, line)
+    let mut equs: Vec<(String, i64, usize)> = Vec::new();
+    let mut offset_words: u64 = 0;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line_number = lineno + 1;
+        let mut text = strip_comment(raw).trim().to_owned();
+        if text.is_empty() {
+            continue;
+        }
+        // Peel off any leading labels ("name: rest").
+        while let Some(colon) = text.find(':') {
+            let (head, rest) = text.split_at(colon);
+            let head = head.trim();
+            if !is_ident(head) {
+                return Err(err(line_number, format!("invalid label name '{head}'")));
+            }
+            labels.push((head.to_owned(), offset_words, line_number));
+            text = rest[1..].trim().to_owned();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (word, rest) = match text.find(char::is_whitespace) {
+            Some(i) => (text[..i].to_owned(), text[i..].trim().to_owned()),
+            None => (text.clone(), String::new()),
+        };
+        match word.as_str() {
+            ".base" => {
+                let v = parse_number(&rest)
+                    .ok_or_else(|| err(line_number, format!("bad .base value '{rest}'")))?;
+                if offset_words != 0 {
+                    return Err(err(line_number, ".base must precede code/data"));
+                }
+                if v < 0 || v as u64 > IMM44_MAX {
+                    return Err(err(line_number, ".base out of 44-bit range"));
+                }
+                if v % 8 != 0 {
+                    return Err(err(line_number, ".base must be 8-byte aligned"));
+                }
+                base = Some(v as u64);
+            }
+            ".equ" => {
+                let parts: Vec<&str> = rest.splitn(2, ',').map(str::trim).collect();
+                if parts.len() != 2 || !is_ident(parts[0]) {
+                    return Err(err(line_number, "usage: .equ NAME, VALUE"));
+                }
+                let v = parse_number(parts[1])
+                    .ok_or_else(|| err(line_number, format!("bad .equ value '{}'", parts[1])))?;
+                equs.push((parts[0].to_owned(), v, line_number));
+            }
+            ".word" => {
+                if rest.is_empty() {
+                    return Err(err(line_number, ".word needs a value"));
+                }
+                items.push(Item::Word { line: line_number, value: rest });
+                offset_words += 1;
+            }
+            ".ascii" => {
+                let text = rest.trim();
+                if text.len() < 2 || !text.starts_with('"') || !text.ends_with('"') {
+                    return Err(err(line_number, r#"usage: .ascii "text""#));
+                }
+                let bytes = text.as_bytes()[1..text.len() - 1].to_vec();
+                let words = (bytes.len() as u64).div_ceil(8).max(1);
+                items.push(Item::Ascii { bytes });
+                offset_words += words;
+            }
+            ".zero" => {
+                let v = parse_number(&rest)
+                    .filter(|&v| v >= 0)
+                    .ok_or_else(|| err(line_number, format!("bad .zero size '{rest}'")))?;
+                let words = (v as u64).div_ceil(8).max(1);
+                items.push(Item::Zero { words });
+                offset_words += words;
+            }
+            m if m.starts_with('.') => {
+                return Err(err(line_number, format!("unknown directive '{m}'")));
+            }
+            mnemonic => {
+                let operands: Vec<String> = if rest.is_empty() {
+                    Vec::new()
+                } else {
+                    rest.split(',').map(|s| s.trim().to_owned()).collect()
+                };
+                if operands.iter().any(String::is_empty) {
+                    return Err(err(line_number, "empty operand"));
+                }
+                items.push(Item::Inst {
+                    line: line_number,
+                    mnemonic: mnemonic.to_ascii_lowercase(),
+                    operands,
+                });
+                offset_words += 1;
+            }
+        }
+    }
+
+    let base = base.unwrap_or(DEFAULT_BASE);
+    let mut symbols: HashMap<String, u64> = HashMap::new();
+    for (name, off, line) in labels {
+        if symbols.insert(name.clone(), base + off * 8).is_some() {
+            return Err(err(line, format!("duplicate label '{name}'")));
+        }
+    }
+    for (name, v, line) in equs {
+        if v < 0 {
+            return Err(err(line, format!(".equ '{name}' must be non-negative")));
+        }
+        if symbols.insert(name.clone(), v as u64).is_some() {
+            return Err(err(line, format!("duplicate symbol '{name}'")));
+        }
+    }
+    Ok(Parsed { base, items, symbols })
+}
+
+struct Ctx<'a> {
+    symbols: &'a HashMap<String, u64>,
+    line: usize,
+}
+
+impl Ctx<'_> {
+    fn reg(&self, tok: &str) -> Result<Reg, AsmError> {
+        let t = tok.to_ascii_lowercase();
+        if let Some(n) = t.strip_prefix('r') {
+            if let Ok(i) = n.parse::<u8>() {
+                if i < 16 {
+                    return Ok(Reg(i));
+                }
+            }
+        }
+        Err(err(self.line, format!("expected register, got '{tok}'")))
+    }
+
+    fn regsel(&self, tok: &str) -> Result<RegSel, AsmError> {
+        match tok.to_ascii_lowercase().as_str() {
+            "pc" => Ok(RegSel::Pc),
+            "edp" => Ok(RegSel::Ctrl(CtrlReg::Edp)),
+            "tdtr" => Ok(RegSel::Ctrl(CtrlReg::Tdtr)),
+            "mode" => Ok(RegSel::Ctrl(CtrlReg::Mode)),
+            "prio" => Ok(RegSel::Ctrl(CtrlReg::Prio)),
+            _ => self.reg(tok).map(|r| RegSel::Gpr(r.0)),
+        }
+    }
+
+    fn csr(&self, tok: &str) -> Result<CtrlReg, AsmError> {
+        match tok.to_ascii_lowercase().as_str() {
+            "edp" => Ok(CtrlReg::Edp),
+            "tdtr" => Ok(CtrlReg::Tdtr),
+            "mode" => Ok(CtrlReg::Mode),
+            "prio" => Ok(CtrlReg::Prio),
+            _ => Err(err(self.line, format!("expected control register, got '{tok}'"))),
+        }
+    }
+
+    /// A signed immediate or symbol value.
+    fn imm(&self, tok: &str) -> Result<i64, AsmError> {
+        if let Some(v) = parse_number(tok) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.symbols.get(tok) {
+            return Ok(v as i64);
+        }
+        Err(err(self.line, format!("undefined symbol or bad number '{tok}'")))
+    }
+
+    /// An absolute 44-bit address (number or symbol).
+    fn addr(&self, tok: &str) -> Result<u64, AsmError> {
+        let v = self.imm(tok)?;
+        if v < 0 || v as u64 > IMM44_MAX {
+            return Err(err(self.line, format!("address '{tok}' out of 44-bit range")));
+        }
+        Ok(v as u64)
+    }
+
+    fn simm44(&self, tok: &str) -> Result<i64, AsmError> {
+        let v = self.imm(tok)?;
+        let lim = 1i64 << 43;
+        if v < -lim || v >= lim {
+            return Err(err(self.line, format!("immediate '{tok}' out of signed 44-bit range")));
+        }
+        Ok(v)
+    }
+
+    fn u16imm(&self, tok: &str) -> Result<u16, AsmError> {
+        let v = self.imm(tok)?;
+        u16::try_from(v)
+            .map_err(|_| err(self.line, format!("immediate '{tok}' out of u16 range")))
+    }
+
+    fn is_reg(&self, tok: &str) -> bool {
+        self.reg(tok).is_ok()
+    }
+}
+
+fn expect_n(line: usize, ops: &[String], n: usize, usage: &str) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(err(line, format!("expected {n} operand(s): {usage}")))
+    }
+}
+
+fn encode_item(
+    mnemonic: &str,
+    ops: &[String],
+    ctx: &Ctx<'_>,
+) -> Result<Inst, AsmError> {
+    let line = ctx.line;
+    let three_reg = |f: fn(Reg, Reg, Reg) -> Inst| -> Result<Inst, AsmError> {
+        expect_n(line, ops, 3, "d, a, b")?;
+        Ok(f(ctx.reg(&ops[0])?, ctx.reg(&ops[1])?, ctx.reg(&ops[2])?))
+    };
+    let branch = |f: fn(Reg, Reg, u64) -> Inst| -> Result<Inst, AsmError> {
+        expect_n(line, ops, 3, "a, b, target")?;
+        Ok(f(ctx.reg(&ops[0])?, ctx.reg(&ops[1])?, ctx.addr(&ops[2])?))
+    };
+    match mnemonic {
+        "add" => three_reg(|d, a, b| Inst::Add { d, a, b }),
+        "sub" => three_reg(|d, a, b| Inst::Sub { d, a, b }),
+        "and" => three_reg(|d, a, b| Inst::And { d, a, b }),
+        "or" => three_reg(|d, a, b| Inst::Or { d, a, b }),
+        "xor" => three_reg(|d, a, b| Inst::Xor { d, a, b }),
+        "shl" => three_reg(|d, a, b| Inst::Shl { d, a, b }),
+        "shr" => three_reg(|d, a, b| Inst::Shr { d, a, b }),
+        "mul" => three_reg(|d, a, b| Inst::Mul { d, a, b }),
+        "div" => three_reg(|d, a, b| Inst::Div { d, a, b }),
+        "addi" => {
+            expect_n(line, ops, 3, "d, a, imm")?;
+            Ok(Inst::Addi {
+                d: ctx.reg(&ops[0])?,
+                a: ctx.reg(&ops[1])?,
+                imm: ctx.simm44(&ops[2])?,
+            })
+        }
+        "movi" => {
+            expect_n(line, ops, 2, "d, imm")?;
+            Ok(Inst::Movi {
+                d: ctx.reg(&ops[0])?,
+                imm: ctx.simm44(&ops[1])?,
+            })
+        }
+        "mov" => {
+            expect_n(line, ops, 2, "d, a")?;
+            Ok(Inst::Mov {
+                d: ctx.reg(&ops[0])?,
+                a: ctx.reg(&ops[1])?,
+            })
+        }
+        "ld" => match ops.len() {
+            2 => Ok(Inst::LdA {
+                d: ctx.reg(&ops[0])?,
+                addr: ctx.addr(&ops[1])?,
+            }),
+            3 => Ok(Inst::Ld {
+                d: ctx.reg(&ops[0])?,
+                a: ctx.reg(&ops[1])?,
+                off: ctx.simm44(&ops[2])?,
+            }),
+            _ => Err(err(line, "usage: ld d, symbol  or  ld d, base, off")),
+        },
+        "ldb" => {
+            expect_n(line, ops, 3, "d, base, off")?;
+            Ok(Inst::LdB {
+                d: ctx.reg(&ops[0])?,
+                a: ctx.reg(&ops[1])?,
+                off: ctx.simm44(&ops[2])?,
+            })
+        }
+        "stb" => {
+            expect_n(line, ops, 3, "s, base, off")?;
+            Ok(Inst::StB {
+                s: ctx.reg(&ops[0])?,
+                a: ctx.reg(&ops[1])?,
+                off: ctx.simm44(&ops[2])?,
+            })
+        }
+        "st" => match ops.len() {
+            2 => Ok(Inst::StA {
+                s: ctx.reg(&ops[0])?,
+                addr: ctx.addr(&ops[1])?,
+            }),
+            3 => Ok(Inst::St {
+                s: ctx.reg(&ops[0])?,
+                a: ctx.reg(&ops[1])?,
+                off: ctx.simm44(&ops[2])?,
+            }),
+            _ => Err(err(line, "usage: st s, symbol  or  st s, base, off")),
+        },
+        "jmp" => {
+            expect_n(line, ops, 1, "target")?;
+            Ok(Inst::Jmp { addr: ctx.addr(&ops[0])? })
+        }
+        "jr" => {
+            expect_n(line, ops, 1, "a")?;
+            Ok(Inst::Jr { a: ctx.reg(&ops[0])? })
+        }
+        // Pseudo-instructions.
+        "call" => {
+            expect_n(line, ops, 1, "target")?;
+            Ok(Inst::Jal {
+                d: Reg(14),
+                addr: ctx.addr(&ops[0])?,
+            })
+        }
+        "ret" => {
+            expect_n(line, ops, 0, "")?;
+            Ok(Inst::Jr { a: Reg(14) })
+        }
+        "li" => {
+            expect_n(line, ops, 2, "d, imm")?;
+            Ok(Inst::Movi {
+                d: ctx.reg(&ops[0])?,
+                imm: ctx.simm44(&ops[1])?,
+            })
+        }
+        "jal" => {
+            expect_n(line, ops, 2, "link, target")?;
+            Ok(Inst::Jal {
+                d: ctx.reg(&ops[0])?,
+                addr: ctx.addr(&ops[1])?,
+            })
+        }
+        "beq" => branch(|a, b, addr| Inst::Beq { a, b, addr }),
+        "bne" => branch(|a, b, addr| Inst::Bne { a, b, addr }),
+        "blt" => branch(|a, b, addr| Inst::Blt { a, b, addr }),
+        "bge" => branch(|a, b, addr| Inst::Bge { a, b, addr }),
+        "halt" => {
+            expect_n(line, ops, 0, "")?;
+            Ok(Inst::Halt)
+        }
+        "nop" => {
+            expect_n(line, ops, 0, "")?;
+            Ok(Inst::Nop)
+        }
+        "work" => {
+            expect_n(line, ops, 1, "cycles")?;
+            let v = ctx.imm(&ops[0])?;
+            let cycles = u32::try_from(v)
+                .map_err(|_| err(line, "work cycles out of u32 range"))?;
+            Ok(Inst::Work { cycles })
+        }
+        "syscall" => {
+            expect_n(line, ops, 1, "num")?;
+            Ok(Inst::Syscall { num: ctx.u16imm(&ops[0])? })
+        }
+        "vmcall" => {
+            expect_n(line, ops, 1, "num")?;
+            Ok(Inst::VmCall { num: ctx.u16imm(&ops[0])? })
+        }
+        "hcall" => {
+            expect_n(line, ops, 1, "num")?;
+            Ok(Inst::HCall { num: ctx.u16imm(&ops[0])? })
+        }
+        "monitor" => {
+            expect_n(line, ops, 1, "reg-or-symbol")?;
+            if ctx.is_reg(&ops[0]) {
+                Ok(Inst::Monitor { a: ctx.reg(&ops[0])? })
+            } else {
+                Ok(Inst::MonitorA { addr: ctx.addr(&ops[0])? })
+            }
+        }
+        "mwait" => {
+            expect_n(line, ops, 0, "")?;
+            Ok(Inst::MWait)
+        }
+        "start" => {
+            expect_n(line, ops, 1, "reg-or-vtid")?;
+            if ctx.is_reg(&ops[0]) {
+                Ok(Inst::Start { vt: ctx.reg(&ops[0])? })
+            } else {
+                Ok(Inst::StartI { vtid: ctx.u16imm(&ops[0])? })
+            }
+        }
+        "stop" => {
+            expect_n(line, ops, 1, "reg-or-vtid")?;
+            if ctx.is_reg(&ops[0]) {
+                Ok(Inst::Stop { vt: ctx.reg(&ops[0])? })
+            } else {
+                Ok(Inst::StopI { vtid: ctx.u16imm(&ops[0])? })
+            }
+        }
+        "rpull" => {
+            expect_n(line, ops, 3, "vt, local, remote")?;
+            Ok(Inst::RPull {
+                vt: ctx.reg(&ops[0])?,
+                local: ctx.reg(&ops[1])?,
+                remote: ctx.regsel(&ops[2])?,
+            })
+        }
+        "rpush" => {
+            expect_n(line, ops, 3, "vt, remote, local")?;
+            Ok(Inst::RPush {
+                vt: ctx.reg(&ops[0])?,
+                remote: ctx.regsel(&ops[1])?,
+                local: ctx.reg(&ops[2])?,
+            })
+        }
+        "invtid" => {
+            expect_n(line, ops, 1, "vt")?;
+            Ok(Inst::InvTid { vt: ctx.reg(&ops[0])? })
+        }
+        "csrr" => {
+            expect_n(line, ops, 2, "d, csr")?;
+            Ok(Inst::CsrR {
+                d: ctx.reg(&ops[0])?,
+                csr: ctx.csr(&ops[1])?,
+            })
+        }
+        "csrw" => {
+            expect_n(line, ops, 2, "csr, a")?;
+            Ok(Inst::CsrW {
+                csr: ctx.csr(&ops[0])?,
+                a: ctx.reg(&ops[1])?,
+            })
+        }
+        "fence" => {
+            expect_n(line, ops, 0, "")?;
+            Ok(Inst::Fence)
+        }
+        other => Err(err(line, format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, with its source line.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let parsed = parse_source(src)?;
+    let mut words: Vec<u64> = Vec::new();
+    for item in &parsed.items {
+        match item {
+            Item::Zero { words: n } => words.extend(std::iter::repeat_n(0u64, *n as usize)),
+            Item::Ascii { bytes } => {
+                for chunk in bytes.chunks(8) {
+                    let mut w = [0u8; 8];
+                    w[..chunk.len()].copy_from_slice(chunk);
+                    words.push(u64::from_le_bytes(w));
+                }
+                if bytes.is_empty() {
+                    words.push(0);
+                }
+            }
+            Item::Word { line, value } => {
+                let ctx = Ctx { symbols: &parsed.symbols, line: *line };
+                let v = ctx.imm(value)?;
+                words.push(v as u64);
+            }
+            Item::Inst { line, mnemonic, operands } => {
+                let ctx = Ctx { symbols: &parsed.symbols, line: *line };
+                let inst = encode_item(mnemonic, operands, &ctx)?;
+                words.push(inst.encode());
+            }
+        }
+    }
+    let entry = parsed
+        .symbols
+        .get("entry")
+        .copied()
+        .unwrap_or(parsed.base);
+    Ok(Program {
+        base: parsed.base,
+        words,
+        entry,
+        symbols: parsed.symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_minimal_program() {
+        let p = assemble(
+            r#"
+            ; a counter loop
+            count: .word 0
+            entry:
+                movi r1, 5
+            loop:
+                addi r1, r1, -1
+                bne r1, r0, loop
+                st r1, count
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.base, DEFAULT_BASE);
+        assert_eq!(p.symbol("count"), Some(DEFAULT_BASE));
+        assert_eq!(p.entry, DEFAULT_BASE + 8);
+        assert_eq!(p.words.len(), 6);
+        assert_eq!(
+            p.inst_at(p.entry),
+            Some(Inst::Movi { d: Reg(1), imm: 5 })
+        );
+        // The branch targets `loop` = base + 16.
+        assert_eq!(
+            p.inst_at(DEFAULT_BASE + 24),
+            Some(Inst::Bne { a: Reg(1), b: Reg(0), addr: DEFAULT_BASE + 16 })
+        );
+    }
+
+    #[test]
+    fn base_directive_relocates() {
+        let p = assemble(".base 0x40000\nentry: halt\n").unwrap();
+        assert_eq!(p.base, 0x40000);
+        assert_eq!(p.entry, 0x40000);
+        assert_eq!(p.inst_at(0x40000), Some(Inst::Halt));
+    }
+
+    #[test]
+    fn equ_constants_work() {
+        let p = assemble(
+            r#"
+            .equ ANSWER, 42
+            entry: movi r2, ANSWER
+                   halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.inst_at(p.entry), Some(Inst::Movi { d: Reg(2), imm: 42 }));
+    }
+
+    #[test]
+    fn zero_directive_reserves_space() {
+        let p = assemble("buf: .zero 100\nentry: halt\n").unwrap();
+        // 100 bytes -> 13 words + 1 halt.
+        assert_eq!(p.words.len(), 14);
+        assert_eq!(p.entry, p.base + 13 * 8);
+    }
+
+    #[test]
+    fn word_can_reference_label() {
+        let p = assemble(
+            r#"
+            ptr: .word target
+            target: .word 7
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.words[0], p.symbol("target").unwrap());
+        assert_eq!(p.words[1], 7);
+    }
+
+    #[test]
+    fn monitor_label_form() {
+        let p = assemble("m: .word 0\nentry: monitor m\nmwait\nhalt\n").unwrap();
+        assert_eq!(
+            p.inst_at(p.entry),
+            Some(Inst::MonitorA { addr: p.symbol("m").unwrap() })
+        );
+    }
+
+    #[test]
+    fn start_stop_immediate_and_register() {
+        let p = assemble("entry: start 3\nstop r2\nhalt\n").unwrap();
+        assert_eq!(p.inst_at(p.entry), Some(Inst::StartI { vtid: 3 }));
+        assert_eq!(p.inst_at(p.entry + 8), Some(Inst::Stop { vt: Reg(2) }));
+    }
+
+    #[test]
+    fn rpull_rpush_selectors() {
+        use crate::arch::{CtrlReg, RegSel};
+        let p = assemble("entry: rpull r1, r2, pc\nrpush r1, tdtr, r3\nhalt\n").unwrap();
+        assert_eq!(
+            p.inst_at(p.entry),
+            Some(Inst::RPull { vt: Reg(1), local: Reg(2), remote: RegSel::Pc })
+        );
+        assert_eq!(
+            p.inst_at(p.entry + 8),
+            Some(Inst::RPush {
+                vt: Reg(1),
+                remote: RegSel::Ctrl(CtrlReg::Tdtr),
+                local: Reg(3)
+            })
+        );
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = assemble("entry:\n  nop\n  frobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_errors() {
+        let e = assemble("entry: jmp nowhere\n").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let e = assemble("a: nop\na: nop\n").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn wrong_operand_count_errors() {
+        let e = assemble("entry: add r1, r2\n").unwrap_err();
+        assert!(e.msg.contains("3 operand"));
+    }
+
+    #[test]
+    fn base_after_code_errors() {
+        let e = assemble("entry: nop\n.base 0x2000\n").unwrap_err();
+        assert!(e.msg.contains("precede"));
+    }
+
+    #[test]
+    fn misaligned_base_errors() {
+        let e = assemble(".base 0x1004\nentry: halt\n").unwrap_err();
+        assert!(e.msg.contains("aligned"));
+    }
+
+    #[test]
+    fn comments_all_styles() {
+        let p = assemble(
+            "entry: nop ; semicolon\nnop # hash\nnop // slashes\nhalt\n",
+        )
+        .unwrap();
+        assert_eq!(p.words.len(), 4);
+    }
+
+    #[test]
+    fn negative_and_hex_numbers() {
+        let p = assemble("entry: movi r1, -0x10\naddi r1, r1, 1_000\nhalt\n").unwrap();
+        assert_eq!(p.inst_at(p.entry), Some(Inst::Movi { d: Reg(1), imm: -16 }));
+        assert_eq!(
+            p.inst_at(p.entry + 8),
+            Some(Inst::Addi { d: Reg(1), a: Reg(1), imm: 1000 })
+        );
+    }
+
+    #[test]
+    fn entry_defaults_to_base() {
+        let p = assemble("nop\nhalt\n").unwrap();
+        assert_eq!(p.entry, p.base);
+    }
+
+    #[test]
+    fn label_on_own_line() {
+        let p = assemble("entry:\n    halt\n").unwrap();
+        assert_eq!(p.inst_at(p.entry), Some(Inst::Halt));
+    }
+
+    #[test]
+    fn inst_at_out_of_range() {
+        let p = assemble("entry: halt\n").unwrap();
+        assert_eq!(p.inst_at(p.base - 8), None);
+        assert_eq!(p.inst_at(p.end()), None);
+        assert_eq!(p.inst_at(p.base + 3), None);
+    }
+}
+
+#[cfg(test)]
+mod pseudo_tests {
+    use super::*;
+
+    #[test]
+    fn call_ret_li_pseudo_ops() {
+        let p = assemble(
+            r#"
+            entry:
+                li r1, 5
+                call helper
+                halt
+            helper:
+                addi r1, r1, 1
+                ret
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.inst_at(p.entry), Some(Inst::Movi { d: Reg(1), imm: 5 }));
+        let helper = p.symbol("helper").unwrap();
+        assert_eq!(
+            p.inst_at(p.entry + 8),
+            Some(Inst::Jal { d: Reg(14), addr: helper })
+        );
+        assert_eq!(p.inst_at(helper + 8), Some(Inst::Jr { a: Reg(14) }));
+    }
+
+    #[test]
+    fn ascii_directive_packs_bytes() {
+        let p = assemble(
+            r#"
+            msg: .ascii "hello, hw threads"
+            entry: halt
+            "#,
+        )
+        .unwrap();
+        // 17 bytes -> 3 words.
+        assert_eq!(p.entry, p.base + 3 * 8);
+        let first = p.words[0].to_le_bytes();
+        assert_eq!(&first, b"hello, h");
+        let last = p.words[2].to_le_bytes();
+        assert_eq!(&last[..1], b"s");
+    }
+
+    #[test]
+    fn bad_ascii_errors() {
+        assert!(assemble("x: .ascii hello\n").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! The paper's §2 "Faster and Better Kernels", built on the new model.
+//!
+//! Every subsystem here is a *runnable kernel design* on the
+//! `switchless-core` machine: its latency-critical paths are real ISA
+//! programs (monitor/mwait, start/stop, rpush/rpull), and only bulk
+//! bookkeeping (assigning requests to worker threads, recording
+//! latencies) runs as host services via `hcall` (the documented modeling
+//! shortcut).
+//!
+//! * [`nointr`] — **No More Interrupts**: one hardware thread per event
+//!   type, parked in `mwait` on the event word the device (or the
+//!   MSI-X bridge) writes.
+//! * [`ioengine`] — **Fast I/O without Inefficient Polling**: a
+//!   dispatcher thread waits on the NIC RX tail; worker threads each
+//!   wait on a per-worker mailbox; thread-per-request with blocking
+//!   semantics and zero polling.
+//! * [`syscall_svc`] — **Exception-less System Calls**: applications pass
+//!   arguments through a shared channel and wake a dedicated kernel
+//!   hardware thread; no mode switch anywhere.
+//! * [`microkernel`] — **Faster Microkernels**: services (FS, network
+//!   stack) on dedicated hardware threads; XPC-style direct switch:
+//!   client writes the request, service wakes, replies, client wakes.
+//! * [`hypervisor`] — **Untrusted Hypervisors / No VM-Exits**: `vmcall`
+//!   disables the guest and wakes an *unprivileged* hypervisor thread
+//!   that services the exit and restarts the guest via its TDT rights.
+//! * [`timeslice`] — the §4 scheduler role, rebuilt: a scheduler
+//!   hardware thread that time-slices batch threads purely with
+//!   `start`/`stop` on APIC-counter wakeups — preemption without any
+//!   interrupt machinery.
+//! * [`distrt`] — **Simpler Distributed Programming**: thread-per-request
+//!   with blocking RPCs over the fabric; many in-flight hardware threads
+//!   hide remote latency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distrt;
+pub mod hypervisor;
+pub mod ioengine;
+pub mod microkernel;
+pub mod nointr;
+pub mod syscall_svc;
+pub mod timeslice;
+
+pub use ioengine::IoEngine;
+pub use microkernel::Microkernel;
+pub use nointr::EventHandlerSet;

@@ -1,0 +1,228 @@
+//! "Exception-less System Calls" (§2): a dedicated kernel hardware
+//! thread serves system calls; applications never mode-switch.
+//!
+//! Channel protocol (one cache-line channel per application thread):
+//!
+//! ```text
+//! req word:  app stores (seq << 16 | syscall number)  -> wakes kernel
+//! arg word:  app stores the argument before the req store
+//! resp word: kernel stores seq when done               -> wakes app
+//! ```
+//!
+//! The application's call sequence is: store arg, store req, `monitor`
+//! resp, `mwait`, load result — pure user-mode instructions, no traps.
+//! The kernel thread parks on the req words of all its channels (one
+//! `monitor` each, §3.1 allows multiple) and serves whichever fired.
+
+use switchless_core::machine::{Machine, MachineError, ThreadId};
+use switchless_isa::asm::assemble;
+use switchless_sim::time::Cycles;
+
+/// Default hcall number for the kernel's syscall-work service.
+pub const HCALL_SYSCALL_WORK: u16 = 110;
+
+/// One application↔kernel syscall channel.
+#[derive(Clone, Copy, Debug)]
+pub struct Channel {
+    /// Request word (app writes; kernel waits).
+    pub req: u64,
+    /// Argument word.
+    pub arg: u64,
+    /// Response word (kernel writes; app waits).
+    pub resp: u64,
+}
+
+/// The dedicated-thread syscall service.
+#[derive(Clone, Debug)]
+pub struct SyscallService {
+    /// The kernel service thread.
+    pub kernel: ThreadId,
+    /// Channels, one per client.
+    pub channels: Vec<Channel>,
+    /// Completed-calls counter word.
+    pub served_word: u64,
+}
+
+impl SyscallService {
+    /// Installs the service with `n_channels` channels on `core`.
+    ///
+    /// `kernel_work` is the cycles of kernel work per call (charged via
+    /// an hcall so different syscall types can be modeled by the
+    /// harness).
+    pub fn install(
+        m: &mut Machine,
+        core: usize,
+        n_channels: usize,
+        kernel_work: u32,
+        image_base: u64,
+    ) -> Result<SyscallService, MachineError> {
+        assert!((1..=8).contains(&n_channels), "1..=8 channels supported");
+        let channels: Vec<Channel> = (0..n_channels)
+            .map(|_| Channel {
+                req: m.alloc(64),
+                arg: m.alloc(64),
+                resp: m.alloc(64),
+            })
+            .collect();
+        let served_word = m.alloc(64);
+
+        // Kernel loop: arm a monitor on every channel's req word, wait,
+        // then scan channels for new requests (r4..: last-seen seq per
+        // channel kept in registers r8+i).
+        let mut arms = String::new();
+        for c in &channels {
+            arms.push_str(&format!("    monitor {}\n", c.req));
+        }
+        let mut scans = String::new();
+        for (i, c) in channels.iter().enumerate() {
+            let seen = 8 + i; // r8, r9, ... hold last-served req values
+            scans.push_str(&format!(
+                r#"
+            scan{i}:
+                ld r2, {req}
+                beq r2, r{seen}, next{i}
+                mov r{seen}, r2
+                ld r3, {arg}          ; fetch argument
+                hcall {work}           ; kernel work (charged)
+                st r2, {resp}          ; response: echoes req seq
+                ld r5, {served}
+                addi r5, r5, 1
+                st r5, {served}
+                jmp scan{i}
+            next{i}:
+            "#,
+                i = i,
+                req = c.req,
+                arg = c.arg,
+                resp = c.resp,
+                served = served_word,
+                seen = seen,
+                work = HCALL_SYSCALL_WORK,
+            ));
+        }
+        // Arm-check-wait order (see nointr.rs): monitors are armed, then
+        // every channel is scanned, then mwait. A request stored during
+        // the scan trips the armed trigger and mwait falls through.
+        let prog = assemble(&format!(
+            r#"
+            .base {base:#x}
+            entry:
+            loop:
+            {arms}
+            {scans}
+                mwait
+                jmp loop
+            "#,
+            base = image_base,
+            arms = arms,
+            scans = scans,
+        ))
+        .expect("kernel template is valid");
+        let kernel = m.load_program(core, &prog)?;
+        m.set_thread_prio(kernel, 6);
+
+        m.register_hcall(HCALL_SYSCALL_WORK, move |mach, _tid| {
+            mach.charge(Cycles(u64::from(kernel_work)));
+        });
+
+        m.start_thread(kernel);
+        Ok(SyscallService {
+            kernel,
+            channels,
+            served_word,
+        })
+    }
+
+    /// Builds a client program that performs `iters` null-ish syscalls
+    /// on `channel` back to back, then halts. `r7` ends with the number
+    /// of completed calls.
+    #[must_use]
+    pub fn client_program(&self, channel: usize, iters: u32, image_base: u64) -> String {
+        let c = self.channels[channel];
+        format!(
+            r#"
+            .base {base:#x}
+            entry:
+                movi r1, 0          ; seq
+                movi r7, 0          ; completed
+                movi r6, {iters}
+            loop:
+                addi r1, r1, 1
+                st r1, {arg}        ; argument = seq
+                st r1, {req}        ; fire the request (kernel wakes)
+            wait:
+                monitor {resp}
+                ld r2, {resp}
+                beq r2, r1, done
+                mwait
+                jmp wait
+            done:
+                addi r7, r7, 1
+                bne r7, r6, loop
+                halt
+            "#,
+            base = image_base,
+            req = c.req,
+            arg = c.arg,
+            resp = c.resp,
+            iters = iters,
+        )
+    }
+
+    /// Calls served so far.
+    #[must_use]
+    pub fn served(&self, m: &Machine) -> u64 {
+        m.peek_u64(self.served_word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_core::machine::MachineConfig;
+    use switchless_core::tid::ThreadState;
+
+    #[test]
+    fn one_client_completes_calls_without_traps() {
+        let mut m = Machine::new(MachineConfig::small());
+        let svc = SyscallService::install(&mut m, 0, 1, 500, 0x40000).unwrap();
+        let client = assemble(&svc.client_program(0, 10, 0x60000)).unwrap();
+        let app = m.load_program_user(0, &client).unwrap();
+        m.run_for(Cycles(10_000));
+        m.start_thread(app);
+        m.run_for(Cycles(1_000_000));
+        assert_eq!(m.thread_state(app), ThreadState::Halted);
+        assert_eq!(m.thread_reg(app, 7), 10, "all calls returned");
+        assert_eq!(svc.served(&m), 10);
+        // The whole point: zero mode switches / trap descriptors.
+        assert_eq!(m.counters().get("syscall.same_thread"), 0);
+        assert_eq!(m.counters().get("exception.syscall_trap"), 0);
+    }
+
+    #[test]
+    fn two_clients_share_one_kernel_thread() {
+        let mut m = Machine::new(MachineConfig::small());
+        let svc = SyscallService::install(&mut m, 0, 2, 300, 0x40000).unwrap();
+        let c0 = assemble(&svc.client_program(0, 5, 0x60000)).unwrap();
+        let c1 = assemble(&svc.client_program(1, 5, 0x70000)).unwrap();
+        let a0 = m.load_program_user(0, &c0).unwrap();
+        let a1 = m.load_program_user(0, &c1).unwrap();
+        m.run_for(Cycles(10_000));
+        m.start_thread(a0);
+        m.start_thread(a1);
+        m.run_for(Cycles(2_000_000));
+        assert_eq!(m.thread_state(a0), ThreadState::Halted);
+        assert_eq!(m.thread_state(a1), ThreadState::Halted);
+        assert_eq!(svc.served(&m), 10);
+    }
+
+    #[test]
+    fn kernel_thread_parks_when_idle() {
+        let mut m = Machine::new(MachineConfig::small());
+        let svc = SyscallService::install(&mut m, 0, 1, 500, 0x40000).unwrap();
+        m.run_for(Cycles(20_000));
+        assert_eq!(m.thread_state(svc.kernel), ThreadState::Waiting);
+    }
+
+    use switchless_isa::asm::assemble;
+}

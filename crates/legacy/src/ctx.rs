@@ -1,0 +1,95 @@
+//! Software context-switch cost: direct plus cache pollution.
+//!
+//! §1: "Even switching between software threads in the same protection
+//! level incurs hundreds of cycles of overhead as registers are
+//! saved/restored and caches are warmed `[25, 46]`." The direct term is
+//! the save/restore + stack/address-space switch; the indirect term is
+//! re-warming the incoming thread's working set through the cache
+//! hierarchy.
+
+use switchless_sim::time::Cycles;
+
+use crate::costs::LegacyCosts;
+
+/// Cache-pollution parameters for the indirect term.
+#[derive(Clone, Copy, Debug)]
+pub struct PollutionModel {
+    /// Average refill penalty per working-set line that was evicted
+    /// while the thread was off-CPU (a blend of L2/L3/DRAM hits; ~60
+    /// cycles is a mild, L3-heavy blend).
+    pub refill_per_line: Cycles,
+    /// Fraction of the working set evicted while descheduled, in `[0, 1]`.
+    /// Grows with time off-CPU and competing threads; 0.5 is typical for
+    /// a loaded server.
+    pub evicted_fraction: f64,
+}
+
+impl Default for PollutionModel {
+    fn default() -> PollutionModel {
+        PollutionModel {
+            refill_per_line: Cycles(60),
+            evicted_fraction: 0.5,
+        }
+    }
+}
+
+/// The full context-switch model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CtxSwitchModel {
+    /// Direct-cost book.
+    pub costs: LegacyCosts,
+    /// Indirect-cost parameters.
+    pub pollution: PollutionModel,
+}
+
+impl CtxSwitchModel {
+    /// Direct cost only (register save/restore, stack switch).
+    #[must_use]
+    pub fn direct(&self) -> Cycles {
+        self.costs.ctx_switch_direct
+    }
+
+    /// Indirect (pollution) cost for a thread with `working_set_bytes`.
+    #[must_use]
+    pub fn pollution(&self, working_set_bytes: u64) -> Cycles {
+        let lines = working_set_bytes.div_ceil(64);
+        let evicted = (lines as f64 * self.pollution.evicted_fraction).round() as u64;
+        Cycles(evicted * self.pollution.refill_per_line.0)
+    }
+
+    /// Total switch cost for a given incoming working set.
+    #[must_use]
+    pub fn total(&self, working_set_bytes: u64) -> Cycles {
+        self.direct() + self.pollution(working_set_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_sim::time::Freq;
+
+    #[test]
+    fn direct_is_hundreds_of_cycles() {
+        let m = CtxSwitchModel::default();
+        assert!((500..5000).contains(&m.direct().0));
+    }
+
+    #[test]
+    fn pollution_scales_with_working_set() {
+        let m = CtxSwitchModel::default();
+        let small = m.pollution(4 * 1024);
+        let large = m.pollution(64 * 1024);
+        assert!(large > small * 10);
+        assert_eq!(m.pollution(0), Cycles::ZERO);
+    }
+
+    #[test]
+    fn total_for_typical_thread_is_microsecond_class() {
+        // 32 KiB working set, default model -> ~1500 + 256*60 = ~16.9k
+        // cycles ≈ 5.6 µs: the "hidden" cost the paper highlights.
+        let m = CtxSwitchModel::default();
+        let ns = Freq::GHZ3.cycles_to_ns(m.total(32 * 1024));
+        assert!((2000.0..10_000.0).contains(&ns), "{ns}ns");
+    }
+}

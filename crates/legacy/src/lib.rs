@@ -1,0 +1,40 @@
+//! The world being argued against: interrupts, mode switches, software
+//! context switches, OS scheduling, and polling dataplanes.
+//!
+//! The paper's comparisons are against *today's* mechanisms, whose costs
+//! are established in the literature it cites: hundreds of cycles for
+//! system-call mode switches (FlexSC `[69]`, Shinjuku `[46]`), ~1000+ cycles
+//! for VM-exits (Agesen et al. `[20]`, SplitX `[53]`), microseconds for the
+//! interrupt → scheduler → context-switch wakeup path (`[40, 41, 49]`),
+//! and one or more burned cores for polling designs (IX `[24]`,
+//! Shenango/TAS/Snap `[63, 48, 55]`). This crate packages those mechanisms
+//! as explicit, testable models:
+//!
+//! * [`costs`] — the parameter set, with per-field provenance.
+//! * [`idt`] — interrupt delivery through an IDT: vectoring, IRQ-context
+//!   entry/exit, and inter-processor interrupts.
+//! * [`ctx`] — software context switches: direct save/restore cost plus
+//!   the indirect cache-pollution term.
+//! * [`swsched`] — the software scheduler's wakeup path (enqueue, IPI,
+//!   quantum preemption) and its mapping onto the queueing simulator.
+//! * [`syscalls`] — synchronous mode-switch system calls and FlexSC-style
+//!   batched asynchronous system calls.
+//! * [`polling`] — dedicated-core polling dataplanes: near-zero
+//!   notification latency, whole cores burned.
+//!
+//! Everything here is *modeled*, not measured on the switchless machine —
+//! these mechanisms are precisely the hardware behaviours the paper
+//! proposes to delete, so they exist as calibrated cost models (see
+//! DESIGN.md "Substitutions").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod ctx;
+pub mod idt;
+pub mod polling;
+pub mod swsched;
+pub mod syscalls;
+
+pub use costs::LegacyCosts;

@@ -1,0 +1,85 @@
+//! The OS scheduler's wakeup path, and the mapping of "software threads
+//! on an OS scheduler" onto the queueing simulator.
+
+use switchless_sim::time::Cycles;
+use switchless_wl::queue::{Discipline, QueueConfig};
+
+use crate::costs::LegacyCosts;
+use crate::ctx::CtxSwitchModel;
+
+/// The software-thread scheduling model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SwScheduler {
+    /// Cost book.
+    pub costs: LegacyCosts,
+    /// Context-switch model used per dispatch.
+    pub ctx: CtxSwitchModel,
+}
+
+impl SwScheduler {
+    /// End-to-end latency to wake a blocked software thread from an I/O
+    /// event: interrupt entry → scheduler → (IPI) → context switch.
+    #[must_use]
+    pub fn wakeup_latency(&self, cross_core: bool) -> Cycles {
+        self.costs.blocked_wakeup_path(cross_core)
+    }
+
+    /// Maps "thread-per-request on the OS scheduler" onto the queueing
+    /// simulator: millisecond quantum, context-switch per dispatch, and
+    /// the IRQ+scheduler wakeup path charged per request.
+    ///
+    /// `working_set_bytes` sizes the pollution term per context switch.
+    #[must_use]
+    pub fn to_queue_config(&self, servers: usize, working_set_bytes: u64) -> QueueConfig {
+        QueueConfig {
+            servers,
+            discipline: Discipline::Rr {
+                quantum: self.costs.quantum,
+            },
+            wakeup_overhead: self.wakeup_latency(true),
+            dispatch_overhead: self.ctx.total(working_set_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use switchless_sim::rng::Rng;
+    use switchless_wl::dist::ServiceDist;
+    use switchless_wl::queue::QueueSim;
+    use switchless_wl::sweep::make_jobs;
+
+    #[test]
+    fn wakeup_is_microseconds() {
+        let s = SwScheduler::default();
+        assert!(s.wakeup_latency(true).0 > 3000);
+    }
+
+    #[test]
+    fn queue_config_has_ms_quantum_and_ctx_cost() {
+        let s = SwScheduler::default();
+        let cfg = s.to_queue_config(2, 16 * 1024);
+        match cfg.discipline {
+            Discipline::Rr { quantum } => assert!(quantum.0 >= 1_000_000),
+            Discipline::Fcfs => panic!("legacy threads must preempt"),
+        }
+        assert!(cfg.dispatch_overhead.0 >= 1500);
+    }
+
+    #[test]
+    fn microsecond_tasks_dominated_by_overheads() {
+        // A 3000-cycle (1 µs) service behind a ~7µs wakeup + ctx switch:
+        // sojourn is dominated by the legacy path, the paper's complaint.
+        let s = SwScheduler::default();
+        let cfg = s.to_queue_config(1, 16 * 1024);
+        let mut rng = Rng::seed_from(1);
+        let jobs = make_jobs(&mut rng, &ServiceDist::Fixed(3000), 1, 0.10, 2000);
+        let r = QueueSim::run(&cfg, &jobs, Cycles::ZERO);
+        let min_sojourn = r.sojourn.min();
+        assert!(
+            min_sojourn > 3000 * 3,
+            "overheads should dominate: {min_sojourn}"
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! The full cache hierarchy: per-core L1/L2, shared L3, DRAM.
+//!
+//! Latencies follow the figures the paper's §4 arithmetic assumes for a
+//! ~3 GHz server part: L1 ≈ 4 cycles, L2 ≈ 14, L3 ≈ 42, DRAM ≈ 190.
+//! The hierarchy is inclusive-on-fill: a DRAM fill installs the line at
+//! every level on the way back to the requesting core.
+
+use switchless_sim::time::Cycles;
+
+use crate::addr::PAddr;
+use crate::cache::{Cache, CacheGeom, PartitionId};
+use crate::dram::{Dram, DramConfig};
+
+/// Which level served an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// Served by the core's L1 data cache.
+    L1,
+    /// Served by the core's private L2.
+    L2,
+    /// Served by the shared L3.
+    L3,
+    /// Served by DRAM (off-chip).
+    Dram,
+}
+
+/// Read or write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Outcome of one access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Total load-to-use latency.
+    pub latency: Cycles,
+    /// The level that had the line.
+    pub level: HitLevel,
+}
+
+/// Geometry and latency configuration for [`Hierarchy`].
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchyConfig {
+    /// Per-core L1 data cache geometry.
+    pub l1: CacheGeom,
+    /// Per-core private L2 geometry.
+    pub l2: CacheGeom,
+    /// Shared L3 geometry.
+    pub l3: CacheGeom,
+    /// L1 hit latency.
+    pub lat_l1: Cycles,
+    /// L2 hit latency.
+    pub lat_l2: Cycles,
+    /// L3 hit latency.
+    pub lat_l3: Cycles,
+    /// DRAM model parameters.
+    pub dram: DramConfig,
+}
+
+impl HierarchyConfig {
+    /// A representative server-class configuration.
+    #[must_use]
+    pub fn server() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheGeom {
+                size_bytes: 32 * 1024,
+                ways: 8,
+            },
+            l2: CacheGeom {
+                size_bytes: 512 * 1024,
+                ways: 8,
+            },
+            l3: CacheGeom {
+                size_bytes: 8 * 1024 * 1024,
+                ways: 16,
+            },
+            lat_l1: Cycles(4),
+            lat_l2: Cycles(14),
+            lat_l3: Cycles(42),
+            dram: DramConfig::default(),
+        }
+    }
+
+    /// A tiny configuration for fast unit tests.
+    #[must_use]
+    pub fn tiny() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheGeom {
+                size_bytes: 1024,
+                ways: 2,
+            },
+            l2: CacheGeom {
+                size_bytes: 4096,
+                ways: 4,
+            },
+            l3: CacheGeom {
+                size_bytes: 16 * 1024,
+                ways: 4,
+            },
+            lat_l1: Cycles(4),
+            lat_l2: Cycles(14),
+            lat_l3: Cycles(42),
+            dram: DramConfig::default(),
+        }
+    }
+}
+
+/// A multi-core cache hierarchy.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    l3: Cache,
+    dram: Dram,
+    /// Dirty lines written back on eviction, per level (l1, l2, l3).
+    writebacks: (u64, u64, u64),
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    #[must_use]
+    pub fn new(cores: usize, config: HierarchyConfig) -> Hierarchy {
+        assert!(cores > 0, "hierarchy needs at least one core");
+        Hierarchy {
+            config,
+            l1: (0..cores).map(|_| Cache::new(config.l1)).collect(),
+            l2: (0..cores).map(|_| Cache::new(config.l2)).collect(),
+            l3: Cache::new(config.l3),
+            dram: Dram::new(config.dram),
+            writebacks: (0, 0, 0),
+        }
+    }
+
+    /// Number of cores this hierarchy was built for.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Performs one access from `core`, filling lines on the way back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(
+        &mut self,
+        now: Cycles,
+        core: usize,
+        addr: PAddr,
+        kind: AccessKind,
+        part: PartitionId,
+    ) -> AccessResult {
+        let write = kind == AccessKind::Write;
+        if self.l1[core].access(addr, write) {
+            return AccessResult {
+                latency: self.config.lat_l1,
+                level: HitLevel::L1,
+            };
+        }
+        if self.l2[core].access(addr, write) {
+            if self.l1[core].fill(addr, part, write).is_some() {
+                self.writebacks.0 += 1;
+            }
+            return AccessResult {
+                latency: self.config.lat_l2,
+                level: HitLevel::L2,
+            };
+        }
+        if self.l3.access(addr, write) {
+            if self.l2[core].fill(addr, part, false).is_some() {
+                self.writebacks.1 += 1;
+            }
+            if self.l1[core].fill(addr, part, write).is_some() {
+                self.writebacks.0 += 1;
+            }
+            return AccessResult {
+                latency: self.config.lat_l3,
+                level: HitLevel::L3,
+            };
+        }
+        let dram_lat = self.dram.access_line(now, addr.line().0);
+        if self.l3.fill(addr, part, false).is_some() {
+            self.writebacks.2 += 1;
+        }
+        if self.l2[core].fill(addr, part, false).is_some() {
+            self.writebacks.1 += 1;
+        }
+        if self.l1[core].fill(addr, part, write).is_some() {
+            self.writebacks.0 += 1;
+        }
+        AccessResult {
+            latency: self.config.lat_l3 + dram_lat,
+            level: HitLevel::Dram,
+        }
+    }
+
+    /// Dirty lines written back on eviction, per level `(l1, l2, l3)`.
+    ///
+    /// Write-back traffic is counted but not charged to the evicting
+    /// access (the write buffer drains off the critical path).
+    #[must_use]
+    pub fn writebacks(&self) -> (u64, u64, u64) {
+        self.writebacks
+    }
+
+    /// Installs a line into `core`'s caches without charging latency —
+    /// used by the wake-prefetcher (§4) to warm a thread's working set.
+    pub fn warm(&mut self, core: usize, addr: PAddr, part: PartitionId) {
+        self.l3.fill(addr, part, false);
+        self.l2[core].fill(addr, part, false);
+        self.l1[core].fill(addr, part, false);
+    }
+
+    /// Installs a line in the shared L3 only — models DDIO-style DMA
+    /// deposit by a device.
+    pub fn warm_l3_only(&mut self, addr: PAddr) {
+        self.l3.fill(addr, PartitionId::DEFAULT, true);
+    }
+
+    /// Declares a partition quota at the shared L3 (the level §4 pins).
+    pub fn set_l3_partition(&mut self, part: PartitionId, fraction: f64) {
+        self.l3.set_partition_target(part, fraction);
+    }
+
+    /// Invalidates a line everywhere — models a DMA write from a device
+    /// that is not cache-coherent with a stale copy, or explicit flush.
+    pub fn invalidate_line(&mut self, addr: PAddr) {
+        for c in &mut self.l1 {
+            c.invalidate(addr);
+        }
+        for c in &mut self.l2 {
+            c.invalidate(addr);
+        }
+        self.l3.invalidate(addr);
+    }
+
+    /// Whether `core`'s L1 currently holds the line (for tests/prefetch).
+    #[must_use]
+    pub fn l1_contains(&self, core: usize, addr: PAddr) -> bool {
+        self.l1[core].contains(addr)
+    }
+
+    /// Per-level (hits, misses) aggregated over cores: `(l1, l2, l3)`.
+    #[must_use]
+    pub fn level_stats(&self) -> ((u64, u64), (u64, u64), (u64, u64)) {
+        let agg = |cs: &[Cache]| {
+            cs.iter().fold((0, 0), |(h, m), c| {
+                let (ch, cm) = c.hit_miss();
+                (h + ch, m + cm)
+            })
+        };
+        (agg(&self.l1), agg(&self.l2), self.l3.hit_miss())
+    }
+
+    /// L3 occupancy of a partition, in lines.
+    #[must_use]
+    pub fn l3_occupancy(&self, part: PartitionId) -> u64 {
+        self.l3.occupancy(part)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> Hierarchy {
+        Hierarchy::new(2, HierarchyConfig::tiny())
+    }
+
+    #[test]
+    fn cold_access_goes_to_dram() {
+        let mut m = h();
+        let r = m.access(
+            Cycles(0),
+            0,
+            PAddr(0x1000),
+            AccessKind::Read,
+            PartitionId::DEFAULT,
+        );
+        assert_eq!(r.level, HitLevel::Dram);
+        assert!(r.latency > Cycles(180));
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut m = h();
+        let a = PAddr(0x1000);
+        m.access(Cycles(0), 0, a, AccessKind::Read, PartitionId::DEFAULT);
+        let r = m.access(Cycles(10), 0, a, AccessKind::Read, PartitionId::DEFAULT);
+        assert_eq!(r.level, HitLevel::L1);
+        assert_eq!(r.latency, Cycles(4));
+    }
+
+    #[test]
+    fn other_core_hits_shared_l3() {
+        let mut m = h();
+        let a = PAddr(0x1000);
+        m.access(Cycles(0), 0, a, AccessKind::Read, PartitionId::DEFAULT);
+        let r = m.access(Cycles(10), 1, a, AccessKind::Read, PartitionId::DEFAULT);
+        assert_eq!(r.level, HitLevel::L3);
+        assert_eq!(r.latency, Cycles(42));
+    }
+
+    #[test]
+    fn warm_makes_l1_hit() {
+        let mut m = h();
+        let a = PAddr(0x2000);
+        m.warm(0, a, PartitionId::DEFAULT);
+        let r = m.access(Cycles(0), 0, a, AccessKind::Read, PartitionId::DEFAULT);
+        assert_eq!(r.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn invalidate_line_forces_refetch() {
+        let mut m = h();
+        let a = PAddr(0x3000);
+        m.access(Cycles(0), 0, a, AccessKind::Read, PartitionId::DEFAULT);
+        m.invalidate_line(a);
+        let r = m.access(Cycles(10), 0, a, AccessKind::Read, PartitionId::DEFAULT);
+        assert_eq!(r.level, HitLevel::Dram);
+    }
+
+    #[test]
+    fn level_stats_accumulate() {
+        let mut m = h();
+        let a = PAddr(0x4000);
+        m.access(Cycles(0), 0, a, AccessKind::Read, PartitionId::DEFAULT);
+        m.access(Cycles(1), 0, a, AccessKind::Read, PartitionId::DEFAULT);
+        let ((l1h, l1m), _, (l3h, l3m)) = m.level_stats();
+        assert_eq!((l1h, l1m), (1, 1));
+        assert_eq!((l3h, l3m), (0, 1));
+    }
+
+    #[test]
+    fn l3_partition_survives_thrash_from_other_core() {
+        let mut m = Hierarchy::new(1, HierarchyConfig::tiny());
+        let pinned_part = PartitionId(3);
+        m.set_l3_partition(pinned_part, 0.2);
+        let pinned = PAddr(0);
+        m.access(Cycles(0), 0, pinned, AccessKind::Read, pinned_part);
+        // Thrash far more lines than the L3 holds.
+        for i in 1..2000u64 {
+            m.access(
+                Cycles(i),
+                0,
+                PAddr(i * 64),
+                AccessKind::Read,
+                PartitionId::DEFAULT,
+            );
+        }
+        // Pinned line must still be on-chip: next access must not be DRAM.
+        let r = m.access(Cycles(9999), 0, pinned, AccessKind::Read, pinned_part);
+        assert!(r.level < HitLevel::Dram, "pinned line went off-chip");
+    }
+}
+
+#[cfg(test)]
+mod writeback_tests {
+    use super::*;
+
+    #[test]
+    fn dirty_evictions_are_counted() {
+        let mut m = Hierarchy::new(1, HierarchyConfig::tiny());
+        // Dirty many lines mapping beyond L1 capacity (1 KiB = 16 lines).
+        for i in 0..64u64 {
+            m.access(
+                Cycles(i),
+                0,
+                PAddr(i * 64),
+                AccessKind::Write,
+                PartitionId::DEFAULT,
+            );
+        }
+        let (l1_wb, _, _) = m.writebacks();
+        assert!(l1_wb > 0, "dirty L1 evictions must be counted");
+    }
+
+    #[test]
+    fn clean_traffic_produces_no_writebacks() {
+        let mut m = Hierarchy::new(1, HierarchyConfig::tiny());
+        for i in 0..64u64 {
+            m.access(
+                Cycles(i),
+                0,
+                PAddr(i * 64),
+                AccessKind::Read,
+                PartitionId::DEFAULT,
+            );
+        }
+        assert_eq!(m.writebacks(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,40 @@
+//! Memory-system models for the `switchless` simulator.
+//!
+//! The paper's argument leans on four memory-system mechanisms, all modeled
+//! here:
+//!
+//! * [`cache`] / [`hierarchy`] — a set-associative L1/L2/L3 + DRAM latency
+//!   model. §4 proposes storing hardware-thread state in L2/L3 fractions
+//!   and pinning critical working sets with *fine-grain cache partitioning*
+//!   (Vantage-style); [`cache::Cache`] supports per-partition occupancy
+//!   targets and partition-aware victim selection.
+//! * [`tlb`] — a small TLB model with page-walk penalties, for the §4
+//!   "Managing Non-register State" experiments.
+//! * [`monitor`] — the **generalized monitor filter**: the paper requires
+//!   `monitor`/`mwait` to observe *any* store to *any* address, including
+//!   DMA writes from devices and MMIO. Two implementations are provided —
+//!   an associative [`monitor::CamFilter`] with bounded capacity and a
+//!   line-granular [`monitor::HashFilter`] that can produce (measurable)
+//!   false wakeups — so experiment F12 can compare them.
+//! * [`prefetch`] — the §4 wake-prefetcher that captures a thread's working
+//!   set while it runs and warms caches when the thread becomes runnable.
+//!
+//! All models are *timing* models: they track tags, occupancy and latency,
+//! while actual data contents live in the flat memory owned by the machine
+//! in `switchless-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+pub mod monitor;
+pub mod prefetch;
+pub mod tlb;
+
+pub use addr::{PAddr, LINE_BYTES, PAGE_BYTES};
+pub use cache::{Cache, CacheGeom, PartitionId};
+pub use hierarchy::{AccessKind, AccessResult, Hierarchy, HierarchyConfig, HitLevel};
+pub use monitor::{CamFilter, HashFilter, MonitorFilter, WakeEvent, WatchId};

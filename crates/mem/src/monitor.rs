@@ -1,0 +1,407 @@
+//! The generalized monitor filter (§3.1, §4 "Generalized monitor-mwait").
+//!
+//! The paper requires `monitor`/`mwait` to observe **any write to any
+//! address** — CPU stores, DMA writes from devices, MMIO register updates —
+//! from **any privilege level**, with one thread able to monitor multiple
+//! locations. This module models the hardware structure that makes that
+//! possible: a filter consulted on every store, mapping the written range
+//! to the set of waiting hardware threads to wake.
+//!
+//! Two implementations let experiment F12 compare design points:
+//!
+//! * [`CamFilter`] — a fully-associative array (CAM). Exact byte-range
+//!   matching, constant lookup time, but bounded capacity: arming beyond
+//!   capacity fails, forcing software fallback.
+//! * [`HashFilter`] — banked hash table indexed by cache line. Effectively
+//!   unbounded, but line-granular: a store to an unwatched byte of a
+//!   watched line produces a *false wakeup* (the woken thread re-checks
+//!   its condition and re-waits, exactly like x86 `mwait` spurious
+//!   wakeups), and bucket collisions add lookup latency.
+
+use std::collections::HashMap;
+
+use switchless_sim::time::Cycles;
+
+use crate::addr::{lines_covering, PAddr};
+
+/// Identifies the waiting entity (in practice a hardware thread / ptid).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WatchId(pub u64);
+
+/// A wakeup produced by a store hitting the filter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WakeEvent {
+    /// The watcher to wake.
+    pub watcher: WatchId,
+    /// `true` if the store byte-range actually overlapped the armed
+    /// range; `false` is a line-granularity false wakeup.
+    pub exact: bool,
+}
+
+/// Error arming a watch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MonitorError {
+    /// The filter is out of entries (CAM capacity exhausted).
+    CapacityExhausted,
+}
+
+impl core::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MonitorError::CapacityExhausted => write!(f, "monitor filter capacity exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+/// Common interface of monitor-filter implementations.
+pub trait MonitorFilter {
+    /// Arms a watch on the byte range `[addr, addr + len)`.
+    ///
+    /// One watcher may arm multiple ranges (§3.1: "a hardware thread can
+    /// monitor multiple memory locations").
+    fn arm(&mut self, watcher: WatchId, addr: PAddr, len: u64) -> Result<(), MonitorError>;
+
+    /// Removes every watch held by `watcher` (on wake or `stop`).
+    fn disarm_all(&mut self, watcher: WatchId);
+
+    /// Reports a store; pushes wakeups into `out` and returns the modeled
+    /// lookup cost the store incurs.
+    fn on_store(&mut self, addr: PAddr, len: u64, out: &mut Vec<WakeEvent>) -> Cycles;
+
+    /// Number of armed (watcher, range) entries.
+    fn armed_len(&self) -> usize;
+}
+
+fn ranges_overlap(a_start: u64, a_len: u64, b_start: u64, b_len: u64) -> bool {
+    let a_end = a_start.saturating_add(a_len);
+    let b_end = b_start.saturating_add(b_len);
+    a_start < b_end && b_start < a_end
+}
+
+// ---------------------------------------------------------------------------
+// CAM design
+// ---------------------------------------------------------------------------
+
+/// Fully-associative monitor filter with exact matching.
+#[derive(Clone, Debug)]
+pub struct CamFilter {
+    entries: Vec<(WatchId, PAddr, u64)>,
+    capacity: usize,
+    lookup_cost: Cycles,
+    stores_checked: u64,
+}
+
+impl CamFilter {
+    /// Creates a CAM filter holding up to `capacity` armed ranges.
+    #[must_use]
+    pub fn new(capacity: usize) -> CamFilter {
+        CamFilter {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            // A CAM compares all entries in parallel: ~1 cycle.
+            lookup_cost: Cycles(1),
+            stores_checked: 0,
+        }
+    }
+
+    /// Number of stores that have consulted the filter.
+    #[must_use]
+    pub fn stores_checked(&self) -> u64 {
+        self.stores_checked
+    }
+}
+
+impl MonitorFilter for CamFilter {
+    fn arm(&mut self, watcher: WatchId, addr: PAddr, len: u64) -> Result<(), MonitorError> {
+        let len = len.max(1);
+        // Re-arming an identical range is idempotent (x86 `monitor`
+        // semantics): software loops that arm before every condition
+        // check must not leak filter entries.
+        if self.entries.contains(&(watcher, addr, len)) {
+            return Ok(());
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(MonitorError::CapacityExhausted);
+        }
+        self.entries.push((watcher, addr, len));
+        Ok(())
+    }
+
+    fn disarm_all(&mut self, watcher: WatchId) {
+        self.entries.retain(|(w, _, _)| *w != watcher);
+    }
+
+    fn on_store(&mut self, addr: PAddr, len: u64, out: &mut Vec<WakeEvent>) -> Cycles {
+        self.stores_checked += 1;
+        let len = len.max(1);
+        for &(w, a, l) in &self.entries {
+            if ranges_overlap(addr.0, len, a.0, l) {
+                out.push(WakeEvent {
+                    watcher: w,
+                    exact: true,
+                });
+            }
+        }
+        self.lookup_cost
+    }
+
+    fn armed_len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hashed-bank design
+// ---------------------------------------------------------------------------
+
+/// Line-granular hashed monitor filter.
+#[derive(Clone, Debug)]
+pub struct HashFilter {
+    /// line address -> armed entries on that line.
+    lines: HashMap<u64, Vec<(WatchId, PAddr, u64)>>,
+    base_cost: Cycles,
+    /// Additional cost per colliding entry scanned in the bucket.
+    per_entry_cost: Cycles,
+    armed: usize,
+    false_wakes: u64,
+}
+
+impl HashFilter {
+    /// Creates an empty hashed filter.
+    #[must_use]
+    pub fn new() -> HashFilter {
+        HashFilter {
+            lines: HashMap::new(),
+            base_cost: Cycles(2),
+            per_entry_cost: Cycles(1),
+            armed: 0,
+            false_wakes: 0,
+        }
+    }
+
+    /// Number of line-granularity false wakeups produced so far.
+    #[must_use]
+    pub fn false_wakes(&self) -> u64 {
+        self.false_wakes
+    }
+}
+
+impl Default for HashFilter {
+    fn default() -> HashFilter {
+        HashFilter::new()
+    }
+}
+
+impl MonitorFilter for HashFilter {
+    fn arm(&mut self, watcher: WatchId, addr: PAddr, len: u64) -> Result<(), MonitorError> {
+        let len = len.max(1);
+        for line in lines_covering(addr, len) {
+            let bucket = self.lines.entry(line.0).or_default();
+            // Idempotent re-arm (see CamFilter::arm).
+            if bucket.contains(&(watcher, addr, len)) {
+                continue;
+            }
+            bucket.push((watcher, addr, len));
+            self.armed += 1;
+        }
+        Ok(())
+    }
+
+    fn disarm_all(&mut self, watcher: WatchId) {
+        let mut removed = 0usize;
+        self.lines.retain(|_, v| {
+            let before = v.len();
+            v.retain(|(w, _, _)| *w != watcher);
+            removed += before - v.len();
+            !v.is_empty()
+        });
+        self.armed -= removed;
+    }
+
+    fn on_store(&mut self, addr: PAddr, len: u64, out: &mut Vec<WakeEvent>) -> Cycles {
+        let len = len.max(1);
+        let mut scanned = 0u64;
+        let before = out.len();
+        for line in lines_covering(addr, len) {
+            if let Some(entries) = self.lines.get(&line.0) {
+                for &(w, a, l) in entries {
+                    scanned += 1;
+                    let exact = ranges_overlap(addr.0, len, a.0, l);
+                    if !exact {
+                        self.false_wakes += 1;
+                    }
+                    // Line-granular hardware wakes on any write to the
+                    // line; software re-checks the condition.
+                    if !out[before..].iter().any(|e| e.watcher == w) {
+                        out.push(WakeEvent { watcher: w, exact });
+                    }
+                }
+            }
+        }
+        self.base_cost + Cycles(self.per_entry_cost.0 * scanned)
+    }
+
+    fn armed_len(&self) -> usize {
+        self.armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wakes(f: &mut dyn MonitorFilter, addr: PAddr, len: u64) -> Vec<WakeEvent> {
+        let mut out = Vec::new();
+        f.on_store(addr, len, &mut out);
+        out
+    }
+
+    #[test]
+    fn cam_exact_hit() {
+        let mut f = CamFilter::new(8);
+        f.arm(WatchId(1), PAddr(0x100), 8).unwrap();
+        let w = wakes(&mut f, PAddr(0x100), 8);
+        assert_eq!(
+            w,
+            vec![WakeEvent {
+                watcher: WatchId(1),
+                exact: true
+            }]
+        );
+    }
+
+    #[test]
+    fn cam_non_overlapping_store_is_silent() {
+        let mut f = CamFilter::new(8);
+        f.arm(WatchId(1), PAddr(0x100), 8).unwrap();
+        assert!(wakes(&mut f, PAddr(0x108), 8).is_empty());
+        assert!(wakes(&mut f, PAddr(0xf8), 8).is_empty());
+    }
+
+    #[test]
+    fn cam_partial_overlap_wakes() {
+        let mut f = CamFilter::new(8);
+        f.arm(WatchId(1), PAddr(0x100), 8).unwrap();
+        assert_eq!(wakes(&mut f, PAddr(0x104), 8).len(), 1);
+    }
+
+    #[test]
+    fn cam_capacity_enforced() {
+        let mut f = CamFilter::new(2);
+        f.arm(WatchId(1), PAddr(0), 1).unwrap();
+        f.arm(WatchId(2), PAddr(8), 1).unwrap();
+        assert_eq!(
+            f.arm(WatchId(3), PAddr(16), 1),
+            Err(MonitorError::CapacityExhausted)
+        );
+        // Disarming frees space.
+        f.disarm_all(WatchId(1));
+        assert!(f.arm(WatchId(3), PAddr(16), 1).is_ok());
+    }
+
+    #[test]
+    fn cam_multiple_watchers_same_address() {
+        let mut f = CamFilter::new(8);
+        f.arm(WatchId(1), PAddr(0x40), 8).unwrap();
+        f.arm(WatchId(2), PAddr(0x40), 8).unwrap();
+        let w = wakes(&mut f, PAddr(0x40), 1);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn cam_one_watcher_multiple_ranges() {
+        let mut f = CamFilter::new(8);
+        f.arm(WatchId(1), PAddr(0x40), 8).unwrap();
+        f.arm(WatchId(1), PAddr(0x4000), 8).unwrap();
+        assert_eq!(f.armed_len(), 2);
+        assert_eq!(wakes(&mut f, PAddr(0x4000), 4).len(), 1);
+        f.disarm_all(WatchId(1));
+        assert_eq!(f.armed_len(), 0);
+    }
+
+    #[test]
+    fn hash_exact_and_false_wakes() {
+        let mut f = HashFilter::new();
+        // Watch bytes [0x100, 0x108); store to same line but outside range.
+        f.arm(WatchId(1), PAddr(0x100), 8).unwrap();
+        let w = wakes(&mut f, PAddr(0x110), 4);
+        assert_eq!(w.len(), 1, "line-granular filter wakes");
+        assert!(!w[0].exact, "but it is a false wakeup");
+        assert_eq!(f.false_wakes(), 1);
+        let w = wakes(&mut f, PAddr(0x100), 4);
+        assert!(w[0].exact);
+    }
+
+    #[test]
+    fn hash_cross_line_range() {
+        let mut f = HashFilter::new();
+        // Range spans two lines: watch entries on both.
+        f.arm(WatchId(9), PAddr(0x7c), 16).unwrap();
+        assert_eq!(f.armed_len(), 2);
+        assert_eq!(wakes(&mut f, PAddr(0x80), 1).len(), 1);
+        assert_eq!(wakes(&mut f, PAddr(0x7c), 1).len(), 1);
+    }
+
+    #[test]
+    fn hash_no_duplicate_wake_for_same_store() {
+        let mut f = HashFilter::new();
+        f.arm(WatchId(1), PAddr(0x7c), 16).unwrap();
+        // A store spanning both watched lines must wake the watcher once.
+        let w = wakes(&mut f, PAddr(0x7e), 8);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn hash_lookup_cost_grows_with_collisions() {
+        let mut f = HashFilter::new();
+        let mut out = Vec::new();
+        let base = f.on_store(PAddr(0x40), 1, &mut out);
+        for i in 0..10 {
+            f.arm(WatchId(i), PAddr(0x40), 4).unwrap();
+        }
+        out.clear();
+        let loaded = f.on_store(PAddr(0x40), 1, &mut out);
+        assert!(loaded > base, "collisions must add latency");
+    }
+
+    #[test]
+    fn hash_disarm_removes_all_lines() {
+        let mut f = HashFilter::new();
+        f.arm(WatchId(1), PAddr(0x7c), 16).unwrap();
+        f.arm(WatchId(2), PAddr(0x7c), 4).unwrap();
+        f.disarm_all(WatchId(1));
+        assert_eq!(f.armed_len(), 1);
+        let w = wakes(&mut f, PAddr(0x7c), 2);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].watcher, WatchId(2));
+    }
+
+    #[test]
+    fn rearming_same_range_is_idempotent() {
+        // Regression: a wait loop arms before every condition check; if
+        // it takes the serve path (no mwait/disarm), re-arming must not
+        // leak entries toward CAM exhaustion.
+        let mut cam = CamFilter::new(4);
+        for _ in 0..100 {
+            cam.arm(WatchId(1), PAddr(0x40), 8).unwrap();
+        }
+        assert_eq!(cam.armed_len(), 1);
+        let mut hash = HashFilter::new();
+        for _ in 0..100 {
+            hash.arm(WatchId(1), PAddr(0x40), 8).unwrap();
+        }
+        assert_eq!(hash.armed_len(), 1);
+        // A *different* range still adds.
+        cam.arm(WatchId(1), PAddr(0x80), 8).unwrap();
+        assert_eq!(cam.armed_len(), 2);
+    }
+
+    #[test]
+    fn zero_len_store_treated_as_one_byte() {
+        let mut f = CamFilter::new(4);
+        f.arm(WatchId(1), PAddr(0x100), 0).unwrap();
+        assert_eq!(wakes(&mut f, PAddr(0x100), 0).len(), 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Working-set capture and wake-prefetch (§4 "Managing Non-register State").
+//!
+//! The paper proposes "prefetching techniques that warm up caches of all
+//! types as soon as threads become runnable", capturing "the cache line
+//! they perform an `mwait` on and memory regions written to by I/O
+//! devices". [`WakePrefetcher`] records the last-N distinct lines each
+//! thread touches while running; when the thread is woken, the recorded
+//! set is replayed into the waking core's caches.
+
+use std::collections::HashMap;
+
+use crate::addr::PAddr;
+use crate::monitor::WatchId;
+
+/// Per-thread captured working set (most-recent-N distinct lines).
+#[derive(Clone, Debug, Default)]
+struct WorkingSet {
+    /// Line addresses, most recently touched last.
+    lines: Vec<u64>,
+}
+
+/// Records working sets per thread and replays them on wake.
+#[derive(Clone, Debug)]
+pub struct WakePrefetcher {
+    sets: HashMap<WatchId, WorkingSet>,
+    /// Max distinct lines remembered per thread.
+    capacity: usize,
+    enabled: bool,
+    replays: u64,
+    lines_replayed: u64,
+}
+
+impl WakePrefetcher {
+    /// Creates a prefetcher remembering up to `capacity` lines per thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> WakePrefetcher {
+        assert!(capacity > 0, "prefetcher capacity must be positive");
+        WakePrefetcher {
+            sets: HashMap::new(),
+            capacity,
+            enabled: true,
+            replays: 0,
+            lines_replayed: 0,
+        }
+    }
+
+    /// Enables or disables capture+replay (the F13 ablation switch).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether the prefetcher is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Notes that `thread` touched `addr` while running.
+    pub fn record_access(&mut self, thread: WatchId, addr: PAddr) {
+        if !self.enabled {
+            return;
+        }
+        let set = self.sets.entry(thread).or_default();
+        let line = addr.line().0;
+        if let Some(pos) = set.lines.iter().position(|&l| l == line) {
+            set.lines.remove(pos);
+        } else if set.lines.len() >= self.capacity {
+            set.lines.remove(0);
+        }
+        set.lines.push(line);
+    }
+
+    /// Returns the lines to warm for a thread being woken (oldest first),
+    /// empty when disabled or unknown.
+    #[must_use]
+    pub fn wake_set(&mut self, thread: WatchId) -> Vec<PAddr> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        match self.sets.get(&thread) {
+            Some(ws) => {
+                self.replays += 1;
+                self.lines_replayed += ws.lines.len() as u64;
+                ws.lines.iter().map(|&l| PAddr(l)).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Forgets a thread's set (thread destroyed / reassigned).
+    pub fn forget(&mut self, thread: WatchId) {
+        self.sets.remove(&thread);
+    }
+
+    /// `(wake replays performed, total lines replayed)`.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.replays, self.lines_replayed)
+    }
+
+    /// Number of distinct lines currently captured for `thread`.
+    #[must_use]
+    pub fn captured_len(&self, thread: WatchId) -> usize {
+        self.sets.get(&thread).map_or(0, |s| s.lines.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn captures_distinct_lines() {
+        let mut p = WakePrefetcher::new(8);
+        let t = WatchId(1);
+        p.record_access(t, PAddr(0));
+        p.record_access(t, PAddr(8)); // same line
+        p.record_access(t, PAddr(64));
+        assert_eq!(p.captured_len(t), 2);
+        assert_eq!(p.wake_set(t), vec![PAddr(0), PAddr(64)]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut p = WakePrefetcher::new(2);
+        let t = WatchId(1);
+        p.record_access(t, PAddr(0));
+        p.record_access(t, PAddr(64));
+        p.record_access(t, PAddr(128));
+        assert_eq!(p.wake_set(t), vec![PAddr(64), PAddr(128)]);
+    }
+
+    #[test]
+    fn retouch_refreshes_recency() {
+        let mut p = WakePrefetcher::new(2);
+        let t = WatchId(1);
+        p.record_access(t, PAddr(0));
+        p.record_access(t, PAddr(64));
+        p.record_access(t, PAddr(0)); // refresh line 0
+        p.record_access(t, PAddr(128)); // evicts 64
+        assert_eq!(p.wake_set(t), vec![PAddr(0), PAddr(128)]);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut p = WakePrefetcher::new(4);
+        p.set_enabled(false);
+        let t = WatchId(1);
+        p.record_access(t, PAddr(0));
+        assert!(p.wake_set(t).is_empty());
+        assert_eq!(p.stats(), (0, 0));
+    }
+
+    #[test]
+    fn unknown_thread_empty() {
+        let mut p = WakePrefetcher::new(4);
+        assert!(p.wake_set(WatchId(42)).is_empty());
+    }
+
+    #[test]
+    fn forget_clears() {
+        let mut p = WakePrefetcher::new(4);
+        let t = WatchId(1);
+        p.record_access(t, PAddr(0));
+        p.forget(t);
+        assert_eq!(p.captured_len(t), 0);
+    }
+
+    #[test]
+    fn stats_count_replays() {
+        let mut p = WakePrefetcher::new(4);
+        let t = WatchId(1);
+        p.record_access(t, PAddr(0));
+        p.record_access(t, PAddr(64));
+        let _ = p.wake_set(t);
+        let _ = p.wake_set(t);
+        assert_eq!(p.stats(), (2, 4));
+    }
+}

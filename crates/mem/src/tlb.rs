@@ -1,0 +1,168 @@
+//! A TLB model with page-walk penalties.
+//!
+//! §4 of the paper notes that "misses in caches and TLBs can lead to
+//! significant performance loss and even thrashing as numerous hardware
+//! threads start and stop". The experiments that quantify that (F10) use
+//! this model: a fully-associative LRU TLB per core, charged with a
+//! configurable page-walk penalty on miss.
+
+use std::collections::HashMap;
+
+use switchless_sim::time::Cycles;
+
+/// Configuration for a [`Tlb`].
+#[derive(Clone, Copy, Debug)]
+pub struct TlbConfig {
+    /// Number of entries (e.g. 64 for an L1 DTLB).
+    pub entries: usize,
+    /// Cycles charged for a page walk on miss (~4 dependent cache
+    /// accesses; ≈100 cycles when walks hit the L2).
+    pub walk_penalty: Cycles,
+}
+
+impl Default for TlbConfig {
+    fn default() -> TlbConfig {
+        TlbConfig {
+            entries: 64,
+            walk_penalty: Cycles(100),
+        }
+    }
+}
+
+/// A fully-associative, LRU translation lookaside buffer.
+///
+/// Tracks page-number residency only; the simulator's address space is
+/// identity-mapped, so the TLB contributes *timing*, not translation.
+/// Entries are tagged with an address-space id so multiple processes can
+/// share a TLB without flushes (as with x86 PCIDs).
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// (asid, page-number) -> last-use stamp.
+    entries: HashMap<(u16, u64), u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    #[must_use]
+    pub fn new(config: TlbConfig) -> Tlb {
+        Tlb {
+            config,
+            entries: HashMap::with_capacity(config.entries + 1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates a page access; returns the added latency (zero on hit,
+    /// the walk penalty on miss) and installs the entry.
+    pub fn access(&mut self, asid: u16, page_number: u64) -> Cycles {
+        self.tick += 1;
+        let key = (asid, page_number);
+        if let Some(stamp) = self.entries.get_mut(&key) {
+            *stamp = self.tick;
+            self.hits += 1;
+            return Cycles::ZERO;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.config.entries {
+            // Evict the LRU entry.
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &s)| s) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(key, self.tick);
+        self.config.walk_penalty
+    }
+
+    /// Flushes all entries for one address space (e.g. on teardown).
+    pub fn flush_asid(&mut self, asid: u16) {
+        self.entries.retain(|&(a, _), _| a != asid);
+    }
+
+    /// Flushes everything.
+    pub fn flush_all(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Lifetime (hits, misses).
+    #[must_use]
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of currently resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the TLB holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 4,
+            walk_penalty: Cycles(100),
+        })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut t = small();
+        assert_eq!(t.access(0, 5), Cycles(100));
+        assert_eq!(t.access(0, 5), Cycles::ZERO);
+        assert_eq!(t.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut t = small();
+        for p in 0..4 {
+            t.access(0, p);
+        }
+        // Touch page 0 so page 1 is LRU.
+        t.access(0, 0);
+        t.access(0, 99); // evicts page 1
+        assert_eq!(t.access(0, 0), Cycles::ZERO);
+        assert_eq!(t.access(0, 1), Cycles(100), "page 1 should have been evicted");
+    }
+
+    #[test]
+    fn asids_do_not_collide() {
+        let mut t = small();
+        t.access(1, 7);
+        assert_eq!(t.access(2, 7), Cycles(100), "distinct asid must miss");
+    }
+
+    #[test]
+    fn flush_asid_only_hits_that_asid() {
+        let mut t = small();
+        t.access(1, 7);
+        t.access(2, 8);
+        t.flush_asid(1);
+        assert_eq!(t.access(1, 7), Cycles(100));
+        assert_eq!(t.access(2, 8), Cycles::ZERO);
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let mut t = small();
+        t.access(0, 1);
+        t.flush_all();
+        assert!(t.is_empty());
+        assert_eq!(t.access(0, 1), Cycles(100));
+    }
+}

@@ -1,0 +1,56 @@
+//! Discrete-event simulation substrate for the `switchless` project.
+//!
+//! This crate provides the foundations every other `switchless` crate builds
+//! on:
+//!
+//! * [`time`] — a cycle-granular simulated clock ([`time::Cycles`]) and
+//!   frequency conversions to wall-clock nanoseconds.
+//! * [`event`] — a cancellable discrete-event queue ([`event::EventQueue`])
+//!   with deterministic FIFO ordering among same-cycle events.
+//! * [`rng`] — a small, fully deterministic xoshiro256\*\* random number
+//!   generator ([`rng::Rng`]) so that every simulation is reproducible from
+//!   a seed, independent of external crates.
+//! * [`stats`] — streaming summaries, log-bucketed latency histograms with
+//!   percentile queries, and named counter registries.
+//! * [`report`] — plain-text/CSV table rendering used by the experiment
+//!   harness to regenerate the paper's tables and figures.
+//! * [`trace`] — a bounded in-memory trace ring for debugging simulations.
+//!
+//! The event queue is deliberately *passive*: it orders and stores events
+//! but does not own the dispatch loop. The machine model in
+//! `switchless-core` owns its own loop, popping events and mutating the
+//! world, which keeps borrow-checking simple and the control flow explicit.
+//!
+//! # Examples
+//!
+//! ```
+//! use switchless_sim::event::EventQueue;
+//! use switchless_sim::time::Cycles;
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev {
+//!     Tick,
+//!     Tock,
+//! }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Cycles(10), Ev::Tock);
+//! q.schedule(Cycles(5), Ev::Tick);
+//! assert_eq!(q.pop().unwrap(), (Cycles(5), Ev::Tick));
+//! assert_eq!(q.pop().unwrap(), (Cycles(10), Ev::Tock));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod report;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use stats::{Counters, Histogram, Summary};
+pub use time::{Cycles, Freq};

@@ -1,0 +1,262 @@
+//! Table rendering for the experiment harness.
+//!
+//! Every reproduced table/figure is emitted both as an aligned plain-text
+//! table (human inspection) and as CSV (plotting). [`Table`] is a tiny,
+//! dependency-free formatter shared by all experiments.
+
+use core::fmt::Write as _;
+
+/// A simple column-aligned table with a title and optional caption.
+///
+/// # Examples
+///
+/// ```
+/// use switchless_sim::report::Table;
+///
+/// let mut t = Table::new("F1: wakeup latency", &["design", "p50 (ns)", "p99 (ns)"]);
+/// t.row(&["legacy-irq", "2100", "4800"]);
+/// t.row(&["hwt-mwait", "15", "40"]);
+/// let text = t.render();
+/// assert!(text.contains("legacy-irq"));
+/// let csv = t.to_csv();
+/// assert!(csv.starts_with("design,p50 (ns),p99 (ns)\n"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    caption: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            caption: None,
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows are
+    /// allowed (extra cells render but get no header).
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends a row of already-owned strings (convenient with `format!`).
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Sets a caption rendered under the table.
+    pub fn caption(&mut self, text: &str) {
+        self.caption = Some(text.to_owned());
+    }
+
+    /// Table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned plain-text form.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = w - cell.chars().count();
+                // Right-align numeric-looking cells, left-align text.
+                let numeric = !cell.is_empty()
+                    && cell
+                        .chars()
+                        .all(|ch| ch.is_ascii_digit() || ".-+e%x".contains(ch));
+                if numeric {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                } else {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                }
+            }
+            line.trim_end().to_owned()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r, &widths));
+        }
+        if let Some(c) = &self.caption {
+            let _ = writeln!(out, "  note: {c}");
+        }
+        out
+    }
+
+    /// Renders the CSV form (RFC-4180 quoting for cells that need it).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let line =
+            |cells: &[String]| cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
+        let _ = writeln!(out, "{}", line(&self.headers));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", line(r));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `dir/<slug>.csv`, creating the directory.
+    ///
+    /// The slug is derived from the title (lowercased, non-alphanumerics
+    /// collapsed to `_`). Returns the written path.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .title
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_");
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with engineering-friendly precision.
+///
+/// Values ≥ 100 get no decimals, ≥ 10 one decimal, otherwise two.
+#[must_use]
+pub fn fnum(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let a = x.abs();
+    if a >= 100.0 {
+        format!("{x:.0}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["short", "1"]);
+        t.row(&["much-longer-name", "23456"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, rule, two rows.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[3].starts_with("short"));
+    }
+
+    #[test]
+    fn csv_escapes_properly() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["has,comma", "has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("switchless_report_test");
+        let mut t = Table::new("F9: Priority vs RR!", &["n", "lat"]);
+        t.row(&["1", "2"]);
+        let path = t.write_csv(&dir).unwrap();
+        assert!(path.ends_with("f9_priority_vs_rr.csv"));
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "n,lat\n1,2\n");
+    }
+
+    #[test]
+    fn short_rows_pad() {
+        let mut t = Table::new("p", &["a", "b", "c"]);
+        t.row(&["only-one"]);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn fnum_precision() {
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(42.25), "42.2");
+        assert_eq!(fnum(3.21987), "3.22");
+        assert_eq!(fnum(0.5), "0.50");
+    }
+
+    #[test]
+    fn caption_rendered() {
+        let mut t = Table::new("t", &["h"]);
+        t.row(&["v"]);
+        t.caption("hello");
+        assert!(t.render().contains("note: hello"));
+    }
+}

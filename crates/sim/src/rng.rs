@@ -1,0 +1,260 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Simulations must be reproducible from a seed regardless of platform or
+//! dependency versions, so this crate carries its own tiny generator:
+//! xoshiro256\*\* seeded through SplitMix64, the standard combination
+//! recommended by the xoshiro authors. Workload crates layer distributions
+//! on top of [`Rng::next_f64`].
+
+/// A xoshiro256\*\* pseudo-random generator.
+///
+/// Not cryptographically secure; statistically strong and extremely fast,
+/// which is what a simulator needs.
+///
+/// # Examples
+///
+/// ```
+/// use switchless_sim::rng::Rng;
+///
+/// let mut a = Rng::seed_from(42);
+/// let mut b = Rng::seed_from(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a single seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Any seed (including 0) produces a valid, well-mixed state.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Derives an independent child stream, e.g. one per simulated device.
+    ///
+    /// Mixing a stream index into the parent's output decorrelates children
+    /// from the parent and from each other.
+    #[must_use]
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let base = self.next_u64();
+        Rng::seed_from(base ^ stream.wrapping_mul(0xa24b_aed4_963e_e407))
+    }
+
+    /// Next uniformly distributed 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        // Lemire 2019: unbiased bounded generation without division in the
+        // common case.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: only entered when low < bound.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "next_range requires lo <= hi");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform floating-point value in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    ///
+    /// Used directly by Poisson arrival processes (inter-arrival gaps).
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        // Guard against ln(0): next_f64 is in [0,1), so 1-x is in (0,1].
+        -mean * (1.0 - self.next_f64()).ln()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element, `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.next_below(xs.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Rng::seed_from(7);
+        let mut b = Rng::seed_from(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from(1);
+        let mut b = Rng::seed_from(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let mut root = Rng::seed_from(99);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let same = (0..100).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_in_bounds() {
+        let mut r = Rng::seed_from(3);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_roughly_uniform() {
+        let mut r = Rng::seed_from(5);
+        let mut buckets = [0u32; 10];
+        for _ in 0..100_000 {
+            buckets[r.next_below(10) as usize] += 1;
+        }
+        for &b in &buckets {
+            // Each bucket should be ~10000; allow generous 10% slack.
+            assert!((9000..=11000).contains(&b), "bucket count {b}");
+        }
+    }
+
+    #[test]
+    fn next_range_endpoints_reachable() {
+        let mut r = Rng::seed_from(11);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            match r.next_range(4, 6) {
+                4 => lo_seen = true,
+                6 => hi_seen = true,
+                5 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from(13);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exp_mean_approximately_correct() {
+        let mut r = Rng::seed_from(17);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.next_exp(50.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed_from(19);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle changed order");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut r = Rng::seed_from(23);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        assert_eq!(r.choose(&[42]), Some(&42));
+    }
+}

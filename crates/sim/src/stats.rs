@@ -1,0 +1,508 @@
+//! Streaming statistics: summaries, latency histograms, counters.
+//!
+//! The experiment harness reports percentiles (p50/p90/p99/p99.9) of
+//! latency distributions, as the papers cited by our target (`[46]` Shinjuku,
+//! `[63]` Shenango) do. [`Histogram`] is a log-bucketed (HDR-style) histogram
+//! with bounded relative error, so recording is O(1) and memory is constant
+//! regardless of sample count.
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+/// Welford streaming mean/variance plus min/max.
+///
+/// # Examples
+///
+/// ```
+/// use switchless_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Summary {
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Log-bucketed histogram of non-negative integer values (e.g. cycles).
+///
+/// Values are bucketed with `SUB_BITS` sub-buckets per power of two, giving
+/// a worst-case relative quantile error of `2^-SUB_BITS` (< 2% with the
+/// default 6 bits). Recording saturates at `2^62` rather than panicking.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total: u128,
+    max: u64,
+    min: u64,
+}
+
+/// Sub-bucket resolution: 2^6 = 64 sub-buckets per octave (<2% error).
+const SUB_BITS: u32 = 6;
+const SUBS: usize = 1 << SUB_BITS;
+/// 63 octaves × 64 sub-buckets covers the full u64-ish range.
+const NBUCKETS: usize = 63 * SUBS;
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let octave = msb - SUB_BITS;
+    let sub = (v >> octave) as usize - SUBS;
+    ((octave as usize) * SUBS + SUBS + sub).min(NBUCKETS - 1)
+}
+
+/// Representative (midpoint) value for a bucket index.
+fn bucket_value(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let octave = (idx - SUBS) / SUBS;
+    let sub = (idx - SUBS) % SUBS;
+    let lo = ((SUBS + sub) as u64) << octave;
+    let width = 1u64 << octave;
+    lo + width / 2
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; NBUCKETS],
+            count: 0,
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let v = v.min(1 << 62);
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.total += u128::from(v);
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, within the bucket resolution.
+    ///
+    /// Returns 0 for an empty histogram. `q` outside `[0,1]` is clamped.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based ceil like HdrHistogram.
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_value(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50) shorthand.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile shorthand.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile shorthand.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        if other.count > 0 {
+            self.max = self.max.max(other.max);
+            self.min = self.min.min(other.min);
+        }
+    }
+
+    /// Clears all recorded samples (e.g. at the end of a warmup window).
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.total = 0;
+        self.max = 0;
+        self.min = u64::MAX;
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p99={} p99.9={} max={}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.p999(),
+            self.max()
+        )
+    }
+}
+
+/// A registry of named monotonically increasing counters.
+///
+/// Kernels and devices bump counters ("irq.delivered", "nic.rx.drops") and
+/// experiments snapshot them. Names are ordered for stable output.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    map: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.map.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (0 if never bumped).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Removes all counters.
+    pub fn reset(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_combined() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * 37 % 91) as f64).collect();
+        let mut whole = Summary::new();
+        let mut left = Summary::new();
+        let mut right = Summary::new();
+        for (i, &x) in xs.iter().enumerate() {
+            whole.record(x);
+            if i < 40 {
+                left.record(x);
+            } else {
+                right.record(x);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn histogram_small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUBS as u64 {
+            h.record(v);
+        }
+        // Below SUBS every value has its own bucket, so quantiles are exact.
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUBS as u64 - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bounded_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let expect = (q * 100_000.0) as u64;
+            let got = h.quantile(q);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.03, "q={q} got={got} expect={expect} err={err}");
+        }
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert!((h.mean() - 25.0).abs() < 1e-12);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn histogram_merge_matches_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut u = Histogram::new();
+        for v in 0..1000u64 {
+            let x = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            u.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), u.count());
+        assert_eq!(a.p50(), u.p50());
+        assert_eq!(a.p99(), u.p99());
+        assert_eq!(a.max(), u.max());
+    }
+
+    #[test]
+    fn histogram_reset() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let mut h = Histogram::new();
+        h.record(77);
+        assert_eq!(h.p50(), 77);
+        assert_eq!(h.p999(), 77);
+        assert_eq!(h.min(), 77);
+    }
+
+    #[test]
+    fn histogram_huge_value_saturates() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.max(), 1 << 62);
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_bounded() {
+        for v in [1u64, 63, 64, 65, 100, 1000, 123_456, 1 << 30, 1 << 45] {
+            let idx = bucket_index(v);
+            let rep = bucket_value(idx);
+            let err = (rep as f64 - v as f64).abs() / v as f64;
+            assert!(err < 0.02, "v={v} rep={rep} err={err}");
+        }
+    }
+
+    #[test]
+    fn counters_basic() {
+        let mut c = Counters::new();
+        c.inc("a");
+        c.add("a", 4);
+        c.inc("b");
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("b"), 1);
+        assert_eq!(c.get("missing"), 0);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

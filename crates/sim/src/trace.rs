@@ -1,0 +1,178 @@
+//! Bounded in-memory event tracing.
+//!
+//! A [`TraceRing`] records `(cycle, category, message)` triples into a fixed
+//! ring buffer. Tracing is off by default; tests enable it to assert on
+//! ordering (e.g. "the handler thread started before the second packet
+//! arrived") and determinism (equal seeds produce equal traces).
+
+use core::fmt;
+
+use crate::time::Cycles;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time at which the event was recorded.
+    pub at: Cycles,
+    /// Short category tag, e.g. `"sched"`, `"irq"`, `"mwait"`.
+    pub category: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10}] {:<8} {}", self.at.0, self.category, self.message)
+    }
+}
+
+/// A bounded ring of trace events.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    head: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Creates a disabled ring that can hold `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> TraceRing {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        TraceRing {
+            events: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is enabled.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if tracing is enabled.
+    ///
+    /// When the ring is full the oldest event is overwritten and the
+    /// `dropped` count incremented.
+    pub fn record(&mut self, at: Cycles, category: &'static str, message: String) {
+        if !self.enabled {
+            return;
+        }
+        let ev = TraceEvent { at, category, message };
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Returns events oldest-first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Number of events overwritten because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears all recorded events (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.dropped = 0;
+    }
+
+    /// Renders the trace as one line per event, oldest first.
+    #[must_use]
+    pub fn dump(&self) -> String {
+        self.snapshot()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = TraceRing::new(4);
+        t.record(Cycles(1), "x", "hi".into());
+        assert!(t.snapshot().is_empty());
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = TraceRing::new(8);
+        t.set_enabled(true);
+        for i in 0..5u64 {
+            t.record(Cycles(i), "c", format!("e{i}"));
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap[0].message, "e0");
+        assert_eq!(snap[4].message, "e4");
+    }
+
+    #[test]
+    fn wraps_and_counts_drops() {
+        let mut t = TraceRing::new(3);
+        t.set_enabled(true);
+        for i in 0..5u64 {
+            t.record(Cycles(i), "c", format!("e{i}"));
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].message, "e2");
+        assert_eq!(snap[2].message, "e4");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = TraceRing::new(2);
+        t.set_enabled(true);
+        t.record(Cycles(1), "c", "a".into());
+        t.clear();
+        assert!(t.snapshot().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.enabled());
+    }
+
+    #[test]
+    fn dump_format() {
+        let mut t = TraceRing::new(2);
+        t.set_enabled(true);
+        t.record(Cycles(42), "irq", "delivered".into());
+        let d = t.dump();
+        assert!(d.contains("42"));
+        assert!(d.contains("irq"));
+        assert!(d.contains("delivered"));
+    }
+}

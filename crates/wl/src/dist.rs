@@ -1,0 +1,205 @@
+//! Service-time distributions.
+
+use switchless_sim::rng::Rng;
+use switchless_sim::time::Cycles;
+
+/// A distribution of request service times, in cycles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServiceDist {
+    /// Every request takes exactly `c` cycles.
+    Fixed(u64),
+    /// Exponentially distributed with the given mean.
+    Exponential {
+        /// Mean service time in cycles.
+        mean: u64,
+    },
+    /// With probability `p_short` take `short`, else `long` — the
+    /// dispatch-heavy/request-heavy mix used by Shinjuku `[46]`.
+    Bimodal {
+        /// Probability of the short class.
+        p_short: f64,
+        /// Short service time in cycles.
+        short: u64,
+        /// Long service time in cycles.
+        long: u64,
+    },
+    /// Bounded Pareto: heavy-tailed with exponent `alpha`, scaled so the
+    /// minimum is `min` and truncated at `max`.
+    BoundedPareto {
+        /// Minimum (scale) in cycles.
+        min: u64,
+        /// Truncation point in cycles.
+        max: u64,
+        /// Tail exponent (smaller = heavier tail); typical 1.1–2.0.
+        alpha: f64,
+    },
+}
+
+impl ServiceDist {
+    /// Draws one service time.
+    pub fn sample(&self, rng: &mut Rng) -> Cycles {
+        match *self {
+            ServiceDist::Fixed(c) => Cycles(c.max(1)),
+            ServiceDist::Exponential { mean } => {
+                Cycles((rng.next_exp(mean as f64).round() as u64).max(1))
+            }
+            ServiceDist::Bimodal { p_short, short, long } => {
+                if rng.chance(p_short) {
+                    Cycles(short.max(1))
+                } else {
+                    Cycles(long.max(1))
+                }
+            }
+            ServiceDist::BoundedPareto { min, max, alpha } => {
+                // Inverse-CDF sampling of a Pareto truncated at max.
+                let (l, h) = (min.max(1) as f64, max.max(min + 1) as f64);
+                let u = rng.next_f64();
+                let la = l.powf(alpha);
+                let ha = h.powf(alpha);
+                let x = (-(u * (1.0 - la / ha) - 1.0)).powf(-1.0 / alpha) * l;
+                Cycles((x.round() as u64).clamp(min.max(1), max))
+            }
+        }
+    }
+
+    /// The distribution's analytic mean (cycles, approximate for the
+    /// bounded Pareto).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceDist::Fixed(c) => c.max(1) as f64,
+            ServiceDist::Exponential { mean } => mean as f64,
+            ServiceDist::Bimodal { p_short, short, long } => {
+                p_short * short as f64 + (1.0 - p_short) * long as f64
+            }
+            ServiceDist::BoundedPareto { min, max, alpha } => {
+                let (l, h) = (min.max(1) as f64, max as f64);
+                if (alpha - 1.0).abs() < 1e-9 {
+                    // α = 1: mean = ln(h/l) / (1/l - 1/h)
+                    (h / l).ln() / (1.0 / l - 1.0 / h)
+                } else {
+                    let num = l.powf(alpha) / (1.0 - (l / h).powf(alpha));
+                    num * alpha / (alpha - 1.0) * (1.0 / l.powf(alpha - 1.0) - 1.0 / h.powf(alpha - 1.0))
+                }
+            }
+        }
+    }
+
+    /// Short label for report rows.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            ServiceDist::Fixed(c) => format!("fixed({c})"),
+            ServiceDist::Exponential { mean } => format!("exp({mean})"),
+            ServiceDist::Bimodal { p_short, short, long } => {
+                format!("bimodal({p_short:.2}:{short},{long})")
+            }
+            ServiceDist::BoundedPareto { min, max, alpha } => {
+                format!("pareto({min},{max},a={alpha})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut r = Rng::seed_from(1);
+        let d = ServiceDist::Fixed(500);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), Cycles(500));
+        }
+        assert_eq!(d.mean(), 500.0);
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = Rng::seed_from(2);
+        let d = ServiceDist::Exponential { mean: 3000 };
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut r).0).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3000.0).abs() < 60.0, "mean {mean}");
+    }
+
+    #[test]
+    fn bimodal_fractions_and_mean() {
+        let mut r = Rng::seed_from(3);
+        let d = ServiceDist::Bimodal {
+            p_short: 0.9,
+            short: 1000,
+            long: 100_000,
+        };
+        let n = 100_000;
+        let shorts = (0..n)
+            .filter(|_| d.sample(&mut r) == Cycles(1000))
+            .count();
+        let frac = shorts as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.01, "short fraction {frac}");
+        assert!((d.mean() - (0.9 * 1000.0 + 0.1 * 100_000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_bounded_and_heavy() {
+        let mut r = Rng::seed_from(4);
+        let d = ServiceDist::BoundedPareto {
+            min: 1000,
+            max: 1_000_000,
+            alpha: 1.2,
+        };
+        let mut max_seen = 0;
+        let mut over_10x = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            let s = d.sample(&mut r).0;
+            assert!((1000..=1_000_000).contains(&s));
+            max_seen = max_seen.max(s);
+            if s > 10_000 {
+                over_10x += 1;
+            }
+        }
+        assert!(max_seen > 100_000, "tail never materialised: {max_seen}");
+        // Pareto(1.2): P(X > 10x min) = 10^-1.2 ≈ 6.3%.
+        let frac = f64::from(over_10x) / n as f64;
+        assert!((0.03..0.12).contains(&frac), "tail fraction {frac}");
+    }
+
+    #[test]
+    fn pareto_empirical_mean_matches_analytic() {
+        let mut r = Rng::seed_from(5);
+        let d = ServiceDist::BoundedPareto {
+            min: 1000,
+            max: 100_000,
+            alpha: 1.5,
+        };
+        let n = 400_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut r).0).sum();
+        let emp = sum as f64 / n as f64;
+        let ana = d.mean();
+        let err = (emp - ana).abs() / ana;
+        assert!(err < 0.05, "empirical {emp} vs analytic {ana}");
+    }
+
+    #[test]
+    fn samples_never_zero() {
+        let mut r = Rng::seed_from(6);
+        for d in [
+            ServiceDist::Fixed(0),
+            ServiceDist::Exponential { mean: 1 },
+            ServiceDist::Bimodal { p_short: 0.5, short: 0, long: 0 },
+        ] {
+            for _ in 0..100 {
+                assert!(d.sample(&mut r).0 >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ServiceDist::Fixed(5).label(), "fixed(5)");
+        assert_eq!(ServiceDist::Exponential { mean: 9 }.label(), "exp(9)");
+    }
+}

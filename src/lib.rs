@@ -1,0 +1,72 @@
+//! # switchless
+//!
+//! A production-quality reproduction of **"A Case Against (Most) Context
+//! Switches"** (Humphries, Kaffes, Mazières, Kozyrakis — HotOS '21).
+//!
+//! The paper proposes a hardware threading model with 10s–1000s of
+//! *software-controlled hardware threads per core*, plus ISA extensions
+//! (`monitor`/`mwait` on any address, `start`/`stop`, `rpull`/`rpush`,
+//! `invtid`, a Thread Descriptor Table with non-hierarchical permissions)
+//! that together eliminate most context switches: interrupts, polling
+//! loops, mode-switching system calls, VM-exits, microkernel IPC scheduling
+//! and software-thread multiplexing.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — discrete-event engine, deterministic RNG, statistics.
+//! * [`mem`] — cache/TLB/DRAM hierarchy, cache partitioning, the
+//!   generalized monitor filter that watches *any* store including DMA.
+//! * [`isa`] — the instruction set (with the paper's extensions), binary
+//!   encoding, assembler and disassembler.
+//! * [`core`] — **the paper's contribution**: hardware threads
+//!   (`ptid`/`vtid`), thread states, the TDT security model, exception
+//!   descriptors, thread-state storage tiers, the hardware scheduler, and
+//!   the [`core::machine::Machine`] that executes programs.
+//! * [`dev`] — NIC / SSD / timer device models with DMA and the
+//!   interrupt→memory-write bridge.
+//! * [`legacy`] — the world being argued against: IDT + interrupts,
+//!   software context switches, an OS run-queue scheduler, synchronous and
+//!   FlexSC-style system calls, dedicated-core polling.
+//! * [`kern`] — the paper's §2 use cases built on the new model.
+//! * [`wl`] — workload generators and load-sweep drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use switchless::core::machine::{Machine, MachineConfig};
+//! use switchless::isa::asm::assemble;
+//!
+//! // Build a machine with one core and 64 hardware threads.
+//! let mut m = Machine::new(MachineConfig::small());
+//!
+//! // A thread that waits on a mailbox, then adds 1 to what it receives.
+//! let prog = assemble(
+//!     r#"
+//!     mailbox: .word 0
+//!     entry:
+//!         monitor mailbox
+//!         mwait
+//!         ld r1, mailbox
+//!         addi r1, r1, 1
+//!         halt
+//!     "#,
+//! )
+//! .unwrap();
+//! let tid = m.load_program(0, &prog).unwrap();
+//! m.start_thread(tid);
+//! m.run_for(switchless::sim::time::Cycles(1_000));
+//! // The thread is parked in `mwait`; writing the mailbox wakes it.
+//! let mailbox = prog.symbol("mailbox").unwrap();
+//! m.poke_u64(mailbox, 41);
+//! m.run_for(switchless::sim::time::Cycles(10_000));
+//! assert_eq!(m.thread_reg(tid, 1), 42);
+//! ```
+
+pub use switchless_core as core;
+pub use switchless_dev as dev;
+pub use switchless_isa as isa;
+pub use switchless_kern as kern;
+pub use switchless_legacy as legacy;
+pub use switchless_mem as mem;
+pub use switchless_sim as sim;
+pub use switchless_wl as wl;

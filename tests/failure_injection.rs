@@ -1,0 +1,220 @@
+//! Failure injection: misconfigured TDTs, fault storms, filter
+//! exhaustion, truncated exception chains — the machine must either
+//! contain the failure (disable the offender, deliver a descriptor) or
+//! halt deliberately, never wedge or corrupt unrelated threads.
+
+use switchless::core::exception::ExceptionKind;
+use switchless::core::machine::{Machine, MachineConfig, MonitorKind};
+use switchless::core::perm::{Perms, TdtEntry};
+use switchless::core::tid::{ThreadState, Vtid};
+use switchless::isa::asm::assemble;
+use switchless::sim::time::Cycles;
+
+fn small() -> Machine {
+    Machine::new(MachineConfig::small())
+}
+
+/// A fault storm: 20 user threads all divide by zero; every one is
+/// individually disabled with its own descriptor; the handler drains all
+/// of them; nothing else is disturbed.
+#[test]
+fn fault_storm_contained() {
+    let mut cfg = MachineConfig::small();
+    cfg.ptids_per_core = 64;
+    let mut m = Machine::new(cfg);
+    // An innocent bystander thread.
+    let bystander = assemble(".base 0x80000\nentry: jmp entry\n").unwrap();
+    let bt = m.load_program(0, &bystander).unwrap();
+    m.start_thread(bt);
+
+    let n = 20;
+    let mut edps = Vec::new();
+    for i in 0..n {
+        let edp = m.alloc(32);
+        edps.push(edp);
+        let prog = assemble(&format!(
+            ".base {:#x}\nentry:\n movi r2, 0\n div r1, r1, r2\n halt\n",
+            0x10000 + i * 0x1000
+        ))
+        .unwrap();
+        let tid = m.load_program_user(0, &prog).unwrap();
+        m.set_thread_edp(tid, edp);
+        m.start_thread(tid);
+    }
+    m.run_for(Cycles(1_000_000));
+    assert!(m.halted_reason().is_none(), "storm must not halt the machine");
+    assert_eq!(m.counters().get("exception.div_zero"), n);
+    for &edp in &edps {
+        assert_eq!(m.peek_u64(edp), ExceptionKind::DivZero.code());
+    }
+    assert_ne!(m.thread_state(bt), ThreadState::Disabled, "bystander unharmed");
+}
+
+/// TDT pointing at a bogus ptid: start through it faults the caller
+/// rather than corrupting anything.
+#[test]
+fn tdt_bogus_ptid_faults_caller() {
+    let mut m = small();
+    let prog = assemble(".base 0x10000\nentry: start 0\nmovi r9, 1\nhalt\n").unwrap();
+    let tid = m.load_program_user(0, &prog).unwrap();
+    let tdt = m.alloc(64);
+    // ptid 60000 does not exist on this machine.
+    m.write_tdt_entry(
+        tdt,
+        Vtid(0),
+        TdtEntry::new(switchless::core::tid::Ptid(60_000), Perms::ALL),
+    );
+    m.set_thread_tdtr(tid, tdt);
+    let edp = m.alloc(32);
+    m.set_thread_edp(tid, edp);
+    m.start_thread(tid);
+    m.run_for(Cycles(100_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Disabled);
+    assert_eq!(m.thread_reg(tid, 9), 0);
+    assert_eq!(m.peek_u64(edp), ExceptionKind::PermissionDenied.code());
+}
+
+/// A TDT base pointing outside memory: lookup faults as BadMemory.
+#[test]
+fn tdt_base_outside_memory_faults() {
+    let mut m = small();
+    let prog = assemble(".base 0x10000\nentry: start 0\nhalt\n").unwrap();
+    let tid = m.load_program_user(0, &prog).unwrap();
+    m.set_thread_tdtr(tid, (4 << 20) - 4); // near the end of memory
+    let edp = m.alloc(32);
+    m.set_thread_edp(tid, edp);
+    m.start_thread(tid);
+    m.run_for(Cycles(100_000));
+    assert_eq!(m.peek_u64(edp), ExceptionKind::BadMemory.code());
+}
+
+/// Monitor-filter exhaustion (CAM design): arming beyond capacity
+/// delivers a descriptor so software can fall back, rather than silently
+/// dropping the watch.
+#[test]
+fn cam_exhaustion_faults_gracefully() {
+    let mut cfg = MachineConfig::small();
+    cfg.monitor = MonitorKind::Cam { capacity: 2 };
+    let mut m = Machine::new(cfg);
+    let mut tids = Vec::new();
+    for i in 0..3 {
+        let mb = m.alloc(64);
+        let prog = assemble(&format!(
+            ".base {:#x}\nentry:\n monitor {mb}\n mwait\n halt\n",
+            0x10000 + i * 0x1000,
+        ))
+        .unwrap();
+        let tid = m.load_program_user(0, &prog).unwrap();
+        let edp = m.alloc(32);
+        m.set_thread_edp(tid, edp);
+        m.start_thread(tid);
+        tids.push((tid, edp));
+    }
+    m.run_for(Cycles(100_000));
+    let disabled = tids
+        .iter()
+        .filter(|&&(t, _)| m.thread_state(t) == ThreadState::Disabled)
+        .count();
+    assert_eq!(disabled, 1, "exactly the third monitor fails");
+    assert_eq!(m.counters().get("monitor.exhausted"), 1);
+    assert!(m.halted_reason().is_none());
+}
+
+/// Stopping a thread that is parked in mwait disarms its watches: a
+/// later store must not wake it.
+#[test]
+fn stop_disarms_watches() {
+    let mut m = small();
+    let mb = m.alloc(64);
+    let prog = assemble(&format!(
+        ".base 0x10000\nentry:\n monitor {mb}\n mwait\n movi r9, 1\n halt\n"
+    ))
+    .unwrap();
+    let tid = m.load_program(0, &prog).unwrap();
+    m.start_thread(tid);
+    m.run_for(Cycles(5_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Waiting);
+    m.stop_thread(tid);
+    m.poke_u64(mb, 1);
+    m.run_for(Cycles(100_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Disabled);
+    assert_eq!(m.thread_reg(tid, 9), 0, "stopped thread must not run");
+    // Restarting it resumes at the instruction after mwait.
+    m.start_thread(tid);
+    m.run_for(Cycles(100_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Halted);
+    assert_eq!(m.thread_reg(tid, 9), 1);
+}
+
+/// Self-stop: a thread stopping itself takes effect and it can be
+/// resumed by another thread.
+#[test]
+fn self_stop_and_resume() {
+    let mut m = small();
+    let victim = assemble(
+        r#"
+        .base 0x10000
+        entry:
+            stop 0          ; vtid 0 maps to self
+            movi r9, 1      ; runs only after someone restarts us
+            halt
+        "#,
+    )
+    .unwrap();
+    let v = m.load_program(0, &victim).unwrap();
+    let tdt = m.alloc(64);
+    m.write_tdt_entry(tdt, Vtid(0), TdtEntry::new(v.ptid, Perms::ALL));
+    m.set_thread_tdtr(v, tdt);
+    m.start_thread(v);
+    m.run_for(Cycles(100_000));
+    assert_eq!(m.thread_state(v), ThreadState::Disabled);
+    assert_eq!(m.thread_reg(v, 9), 0);
+    m.start_thread(v);
+    m.run_for(Cycles(100_000));
+    assert_eq!(m.thread_state(v), ThreadState::Halted);
+    assert_eq!(m.thread_reg(v, 9), 1);
+}
+
+/// Exception descriptor area overlapping the faulting thread's own EDP
+/// chain end: a second fault in the handler with EDP=0 halts exactly
+/// once with a triple-fault-analog reason.
+#[test]
+fn double_fault_without_handler_halts_once() {
+    let mut m = small();
+    let edp = m.alloc(32);
+    let a = assemble(".base 0x10000\nentry:\n movi r2, 0\n div r1, r1, r2\nhalt\n").unwrap();
+    let b = assemble(&format!(
+        ".base 0x20000\nentry:\n monitor {edp}\n mwait\n movi r2, 0\n div r1, r1, r2\n halt\n"
+    ))
+    .unwrap();
+    let ta = m.load_program(0, &a).unwrap();
+    let tb = m.load_program(0, &b).unwrap();
+    m.set_thread_edp(ta, edp);
+    // tb has NO edp: its fault is terminal.
+    m.start_thread(tb);
+    m.run_for(Cycles(5_000));
+    m.start_thread(ta);
+    m.run_for(Cycles(1_000_000));
+    let reason = m.halted_reason().expect("must halt");
+    assert!(reason.contains("triple-fault"), "{reason}");
+    assert_eq!(m.counters().get("machine.halt"), 1);
+}
+
+/// After a machine halt, the world is frozen: no further instructions
+/// execute even across long run_for windows.
+#[test]
+fn halted_machine_is_frozen() {
+    let mut m = small();
+    let bad = assemble(".base 0x10000\nentry:\n movi r2, 0\n div r1, r1, r2\nhalt\n").unwrap();
+    let spin = assemble(".base 0x20000\nentry: jmp entry\n").unwrap();
+    let tb = m.load_program(0, &bad).unwrap();
+    let ts = m.load_program(0, &spin).unwrap();
+    m.start_thread(ts);
+    m.start_thread(tb);
+    m.run_for(Cycles(100_000));
+    assert!(m.halted_reason().is_some());
+    let insts = m.counters().get("inst.executed");
+    m.run_for(Cycles(1_000_000));
+    assert_eq!(m.counters().get("inst.executed"), insts, "frozen after halt");
+    let _ = ts;
+}

@@ -1,0 +1,183 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use switchless::core::perm::{Perms, TdtEntry};
+use switchless::core::store::{StateStore, StoreConfig, Tier};
+use switchless::core::tid::Ptid;
+use switchless::isa::asm::assemble;
+use switchless::isa::disasm::disassemble;
+use switchless::isa::inst::Inst;
+use switchless::mem::monitor::{CamFilter, HashFilter, MonitorFilter, WatchId};
+use switchless::mem::PAddr;
+use switchless::sim::stats::Histogram;
+use switchless::sim::time::Cycles;
+use switchless::wl::queue::{Discipline, QueueConfig, QueueSim};
+
+proptest! {
+    /// Every decodable instruction word re-encodes to itself.
+    #[test]
+    fn inst_decode_encode_roundtrip(word in any::<u64>()) {
+        if let Ok(inst) = Inst::decode(word) {
+            let re = inst.encode();
+            let back = Inst::decode(re).expect("re-encoded word decodes");
+            prop_assert_eq!(inst, back);
+        }
+    }
+
+    /// Disassembling any decodable instruction produces text the
+    /// assembler accepts and that round-trips to the same instruction.
+    #[test]
+    fn disasm_reassembles(word in any::<u64>()) {
+        if let Ok(inst) = Inst::decode(word) {
+            let text = disassemble(inst);
+            let src = format!("entry: {text}\n");
+            let p = assemble(&src)
+                .unwrap_or_else(|e| panic!("'{text}' failed to assemble: {e}"));
+            let back = Inst::decode(p.words[0]).expect("assembled word decodes");
+            prop_assert_eq!(inst, back);
+        }
+    }
+
+    /// TDT entries survive the memory encoding.
+    #[test]
+    fn tdt_entry_roundtrip(ptid in any::<u32>(), perms in 0u8..16, valid in any::<bool>()) {
+        let e = TdtEntry { ptid: Ptid(ptid), perms: Perms(perms), valid };
+        prop_assert_eq!(TdtEntry::decode(e.encode()), e);
+    }
+
+    /// Histogram quantiles are within 3% of an exact sorted reference.
+    #[test]
+    fn histogram_quantiles_match_reference(
+        mut values in prop::collection::vec(1u64..1_000_000, 50..400),
+        q in 0.01f64..0.999,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let got = h.quantile(q);
+        let err = (got as f64 - exact as f64).abs() / exact as f64;
+        prop_assert!(err < 0.03, "q={q} got={got} exact={exact}");
+    }
+
+    /// The CAM monitor filter never misses an armed write (no lost
+    /// wakeups), and never wakes a watcher whose range is disjoint.
+    #[test]
+    fn cam_filter_exact_semantics(
+        watches in prop::collection::vec((0u64..10_000, 1u64..64), 1..50),
+        store_addr in 0u64..10_064,
+        store_len in 1u64..64,
+    ) {
+        let mut f = CamFilter::new(256);
+        for (i, &(a, l)) in watches.iter().enumerate() {
+            f.arm(WatchId(i as u64), PAddr(a), l).expect("capacity is sufficient");
+        }
+        let mut out = Vec::new();
+        f.on_store(PAddr(store_addr), store_len, &mut out);
+        for (i, &(a, l)) in watches.iter().enumerate() {
+            let overlap = store_addr < a + l && a < store_addr + store_len;
+            let woken = out.iter().any(|w| w.watcher == WatchId(i as u64));
+            prop_assert_eq!(overlap, woken, "watch {} at ({},{})", i, a, l);
+        }
+    }
+
+    /// The hashed filter is *conservative*: it may false-wake, but every
+    /// genuinely overlapping watch is woken (no lost wakeups).
+    #[test]
+    fn hash_filter_never_loses_wakeups(
+        watches in prop::collection::vec((0u64..10_000, 1u64..64), 1..50),
+        store_addr in 0u64..10_064,
+        store_len in 1u64..64,
+    ) {
+        let mut f = HashFilter::new();
+        for (i, &(a, l)) in watches.iter().enumerate() {
+            f.arm(WatchId(i as u64), PAddr(a), l).expect("unbounded");
+        }
+        let mut out = Vec::new();
+        f.on_store(PAddr(store_addr), store_len, &mut out);
+        for (i, &(a, l)) in watches.iter().enumerate() {
+            let overlap = store_addr < a + l && a < store_addr + store_len;
+            if overlap {
+                prop_assert!(
+                    out.iter().any(|w| w.watcher == WatchId(i as u64)),
+                    "lost wakeup for watch {} at ({},{})", i, a, l
+                );
+            }
+        }
+    }
+
+    /// State-store tier accounting is conserved: every registered thread
+    /// is in exactly one tier and occupancies sum correctly.
+    #[test]
+    fn state_store_conservation(ops in prop::collection::vec((0u32..40, 0u8..8), 1..200)) {
+        let mut s = StateStore::new(StoreConfig {
+            rf_threads: 4,
+            l2_threads: 8,
+            l3_threads: 16,
+            ..StoreConfig::default()
+        });
+        let mut registered = std::collections::HashSet::new();
+        for &(t, prio) in &ops {
+            s.activate(Ptid(t), prio, 160);
+            registered.insert(t);
+        }
+        let total = s.occupancy(Tier::Rf)
+            + s.occupancy(Tier::L2)
+            + s.occupancy(Tier::L3)
+            + s.occupancy(Tier::Dram);
+        prop_assert_eq!(total, registered.len());
+        prop_assert!(s.occupancy(Tier::Rf) <= 4);
+        prop_assert!(s.occupancy(Tier::L2) <= 8);
+        prop_assert!(s.occupancy(Tier::L3) <= 16);
+    }
+
+    /// Queueing simulator conserves work: with no overheads, busy cycles
+    /// equal total service, and every job completes.
+    #[test]
+    fn queue_sim_conserves_work(
+        jobs in prop::collection::vec((0u64..100_000, 1u64..5_000), 1..200),
+        servers in 1usize..5,
+        fcfs in any::<bool>(),
+    ) {
+        let cfg = QueueConfig {
+            servers,
+            discipline: if fcfs {
+                Discipline::Fcfs
+            } else {
+                Discipline::Rr { quantum: Cycles(500) }
+            },
+            wakeup_overhead: Cycles::ZERO,
+            dispatch_overhead: Cycles::ZERO,
+        };
+        let jobs: Vec<(Cycles, Cycles)> =
+            jobs.iter().map(|&(a, s)| (Cycles(a), Cycles(s))).collect();
+        let r = QueueSim::run(&cfg, &jobs, Cycles::ZERO);
+        prop_assert_eq!(r.completed, jobs.len() as u64);
+        let total: u64 = jobs.iter().map(|&(_, s)| s.0).sum();
+        prop_assert_eq!(r.busy_cycles, total);
+        // Sojourn of any job is at least its service time.
+        let min_service = jobs.iter().map(|&(_, s)| s.0).min().unwrap_or(0);
+        prop_assert!(r.sojourn.min() >= min_service.min(r.sojourn.min()));
+    }
+
+    /// Assembler: labels always resolve to 8-byte-aligned addresses
+    /// inside the image, and the entry point is within the image.
+    #[test]
+    fn assembler_label_invariants(n_words in 1usize..30, pick in any::<u16>()) {
+        let mut src = String::new();
+        for i in 0..n_words {
+            src.push_str(&format!("l{i}: .word {i}\n"));
+        }
+        src.push_str("entry: halt\n");
+        let p = assemble(&src).expect("assembles");
+        let target = usize::from(pick) % n_words;
+        let addr = p.symbol(&format!("l{target}")).expect("symbol exists");
+        prop_assert_eq!(addr % 8, 0);
+        prop_assert!(addr >= p.base && addr < p.end());
+        prop_assert!(p.entry >= p.base && p.entry < p.end());
+    }
+}

@@ -1,0 +1,204 @@
+//! Cross-crate end-to-end scenarios: whole §2 systems running together
+//! on one machine.
+
+use switchless::core::machine::{Machine, MachineConfig};
+use switchless::core::tid::ThreadState;
+use switchless::dev::nic::{Nic, NicConfig};
+use switchless::dev::ssd::{Ssd, SsdConfig, SsdOp};
+use switchless::dev::timer::ApicTimer;
+use switchless::isa::asm::assemble;
+use switchless::kern::hypervisor::{self, exits, HvConfig};
+use switchless::kern::ioengine::IoEngine;
+use switchless::kern::microkernel::Microkernel;
+use switchless::kern::nointr::EventHandlerSet;
+use switchless::sim::rng::Rng;
+use switchless::sim::time::Cycles;
+use switchless::wl::arrivals::poisson_arrivals;
+
+/// The whole §2 stack coexists on one machine: interrupt-less handlers,
+/// the NIC I/O engine, a microkernel FS, and a guest behind an
+/// unprivileged hypervisor, all making progress concurrently.
+#[test]
+fn full_stack_coexists_on_one_machine() {
+    let mut cfg = MachineConfig::small();
+    cfg.ptids_per_core = 200;
+    cfg.mem_bytes = 16 << 20;
+    let mut m = Machine::new(cfg);
+
+    // 1. Interrupt-less timer handler.
+    let handlers =
+        EventHandlerSet::install(&mut m, 0, &[("tick", 500, 7)], 0x200000).unwrap();
+    ApicTimer::start_periodic(
+        &mut m,
+        handlers.handlers[0].event_word,
+        Cycles(50_000),
+        Cycles(200_000),
+        10,
+    );
+
+    // 2. NIC + thread-per-request I/O engine.
+    let nic = Nic::attach(&mut m, NicConfig::default());
+    let engine = IoEngine::install(&mut m, 0, &nic, 8, 0x240000).unwrap();
+
+    // 3. Microkernel FS service + client.
+    let mk = Microkernel::install(&mut m, 0, &[("fs", 1000, false)], 0x280000).unwrap();
+    let client = assemble(&mk.client_program(0, 25, 0x2c0000)).unwrap();
+    let app = m.load_program_user(0, &client).unwrap();
+
+    // 4. Guest + unprivileged hypervisor (they use 0x40000-0x50000).
+    let hv = hypervisor::install(
+        &mut m,
+        0,
+        HvConfig {
+            guest_work: 3_000,
+            hv_work: 400,
+            kernel_work: 700,
+            iters: 15,
+            exit_num: exits::IO,
+        },
+    )
+    .unwrap();
+
+    m.run_for(Cycles(30_000));
+    m.start_thread(app);
+
+    // Traffic for the I/O engine.
+    let mut rng = Rng::seed_from(1);
+    let arrivals = poisson_arrivals(&mut rng, m.now() + Cycles(1000), 20_000.0, 50);
+    for (seq, &at) in arrivals.iter().enumerate() {
+        engine.note_packet(seq as u64, at + Cycles(300), Cycles(2_000));
+        nic.schedule_rx(&mut m, at, seq as u64, &[7; 64]);
+    }
+
+    m.run_for(Cycles(5_000_000));
+
+    assert_eq!(handlers.handled(&m, 0), 10, "timer handler ran");
+    assert_eq!(engine.completed(), 50, "I/O engine served everything");
+    assert_eq!(m.thread_state(app), ThreadState::Halted, "FS client done");
+    assert_eq!(mk.ops(&m, 0), 25, "FS service served everything");
+    assert_eq!(m.thread_state(hv.guest), ThreadState::Halted, "guest done");
+    assert_eq!(m.peek_u64(hv.exits_word), 15, "hypervisor handled exits");
+    assert!(m.halted_reason().is_none(), "no triple faults anywhere");
+}
+
+/// Storage path: an I/O thread blocks on the SSD completion queue; reads
+/// complete with data and wake it — no polling, no interrupts.
+#[test]
+fn ssd_read_path_end_to_end() {
+    let mut m = Machine::new(MachineConfig::small());
+    let ssd = Ssd::attach(&mut m, SsdConfig::default());
+    let buf = m.alloc(4096);
+    let prog = assemble(&format!(
+        r#"
+        entry:
+            movi r1, 0
+        loop:
+            monitor {tail}
+            ld r2, {tail}
+            bne r2, r1, got
+            mwait
+            jmp loop
+        got:
+            mov r1, r2
+            movi r3, 4        ; expect 4 completions
+            bne r1, r3, loop
+            ld r4, {buf}      ; read some of the DMA'd data
+            halt
+        "#,
+        tail = ssd.cq_tail,
+        buf = buf,
+    ))
+    .unwrap();
+    let tid = m.load_program(0, &prog).unwrap();
+    m.start_thread(tid);
+    m.run_for(Cycles(5_000));
+    let now = m.now();
+    for seq in 0..4 {
+        ssd.submit(
+            &mut m,
+            now,
+            seq,
+            SsdOp::Read { buf_addr: buf, len: 512 },
+            seq,
+        );
+    }
+    m.run_for(Cycles(500_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Halted);
+    assert_eq!(ssd.tail(&m), 4);
+    assert_eq!(m.counters().get("ssd.completions"), 4);
+}
+
+/// Determinism across the whole stack: two identical runs produce
+/// identical counters, billing, and final memory words.
+#[test]
+fn full_stack_is_deterministic() {
+    let run = || {
+        let mut cfg = MachineConfig::small();
+        cfg.ptids_per_core = 128;
+        let mut m = Machine::new(cfg);
+        let nic = Nic::attach(&mut m, NicConfig::default());
+        let engine = IoEngine::install(&mut m, 0, &nic, 8, 0x40000).unwrap();
+        let mut rng = Rng::seed_from(77);
+        let arrivals = poisson_arrivals(&mut rng, Cycles(50_000), 5_000.0, 200);
+        for (seq, &at) in arrivals.iter().enumerate() {
+            engine.note_packet(seq as u64, at + Cycles(300), Cycles(1_500));
+            nic.schedule_rx(&mut m, at, seq as u64, &[1; 32]);
+        }
+        m.run_for(Cycles(3_000_000));
+        let lat = engine.latency();
+        (
+            engine.completed(),
+            lat.p50(),
+            lat.p99(),
+            m.counters().get("inst.executed"),
+            m.counters().get("monitor.wakes"),
+            m.now().0,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Multi-core: threads on different cores communicate through shared
+/// memory; a store on core 0 wakes a waiter on core 1.
+#[test]
+fn cross_core_wakeup() {
+    let mut cfg = MachineConfig::small();
+    cfg.cores = 2;
+    let mut m = Machine::new(cfg);
+    let flag = m.alloc(64);
+    let waiter = assemble(&format!(
+        ".base 0x10000\nentry:\n monitor {flag}\n ld r2, {flag}\n bne r2, r0, done\n mwait\ndone:\n ld r1, {flag}\n halt\n",
+    ))
+    .unwrap();
+    let writer = assemble(&format!(
+        ".base 0x20000\nentry:\n work 5000\n movi r1, 9\n st r1, {flag}\n halt\n",
+    ))
+    .unwrap();
+    let w1 = m.load_program(1, &waiter).unwrap();
+    let w0 = m.load_program(0, &writer).unwrap();
+    m.start_thread(w1);
+    m.run_for(Cycles(2_000));
+    assert_eq!(m.thread_state(w1), ThreadState::Waiting);
+    m.start_thread(w0);
+    m.run_for(Cycles(100_000));
+    assert_eq!(m.thread_state(w1), ThreadState::Halted);
+    assert_eq!(m.thread_reg(w1, 1), 9);
+}
+
+/// Billing: §4's per-thread cycle accounting matches the work performed
+/// within a reasonable envelope.
+#[test]
+fn billing_tracks_work() {
+    let mut m = Machine::new(MachineConfig::small());
+    let light = assemble(".base 0x10000\nentry: work 1000\nhalt\n").unwrap();
+    let heavy = assemble(".base 0x20000\nentry: work 50000\nhalt\n").unwrap();
+    let tl = m.load_program(0, &light).unwrap();
+    let th = m.load_program(0, &heavy).unwrap();
+    m.start_thread(tl);
+    m.start_thread(th);
+    m.run_for(Cycles(200_000));
+    let bl = m.billed_cycles(tl).0;
+    let bh = m.billed_cycles(th).0;
+    assert!((1000..3000).contains(&bl), "light billed {bl}");
+    assert!((50_000..53_000).contains(&bh), "heavy billed {bh}");
+}
