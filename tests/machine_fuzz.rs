@@ -1,5 +1,9 @@
 //! Machine soundness under arbitrary programs.
 //!
+//! Gated behind the off-by-default `proptest` feature so the tier-1
+//! build needs no network; see the feature note in Cargo.toml.
+#![cfg(feature = "proptest")]
+//!
 //! Property: feeding the machine *any* sequence of decodable instruction
 //! words — including privileged ops from user mode, stores to arbitrary
 //! addresses, `start`/`stop` through garbage TDTs, huge `work` bursts

@@ -1,4 +1,8 @@
 //! Property-based tests on the core data structures and invariants.
+//!
+//! Gated behind the off-by-default `proptest` feature so the tier-1
+//! build needs no network; see the feature note in Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 
