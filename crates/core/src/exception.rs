@@ -48,6 +48,10 @@ pub enum ExceptionKind {
     VmExit,
     /// `syscall` delivered as a descriptor (exception-less system calls).
     SyscallTrap,
+    /// A parked (`mwait`) thread exceeded its per-thread watchdog
+    /// deadline without being woken — the wedged-thread analog. The
+    /// supervisor decides whether to restart or quarantine it.
+    WatchdogExpired,
 }
 
 impl ExceptionKind {
@@ -63,6 +67,7 @@ impl ExceptionKind {
             ExceptionKind::ThreadNotStopped => 6,
             ExceptionKind::VmExit => 7,
             ExceptionKind::SyscallTrap => 8,
+            ExceptionKind::WatchdogExpired => 9,
         }
     }
 
@@ -78,6 +83,7 @@ impl ExceptionKind {
             6 => ExceptionKind::ThreadNotStopped,
             7 => ExceptionKind::VmExit,
             8 => ExceptionKind::SyscallTrap,
+            9 => ExceptionKind::WatchdogExpired,
             _ => return None,
         })
     }
@@ -94,6 +100,7 @@ impl ExceptionKind {
             ExceptionKind::ThreadNotStopped => "exception.thread_not_stopped",
             ExceptionKind::VmExit => "exception.vm_exit",
             ExceptionKind::SyscallTrap => "exception.syscall_trap",
+            ExceptionKind::WatchdogExpired => "exception.watchdog_expired",
         }
     }
 }
@@ -151,6 +158,7 @@ mod tests {
             ExceptionKind::ThreadNotStopped,
             ExceptionKind::VmExit,
             ExceptionKind::SyscallTrap,
+            ExceptionKind::WatchdogExpired,
         ] {
             assert_eq!(ExceptionKind::from_code(k.code()), Some(k));
         }

@@ -42,6 +42,7 @@ use switchless_mem::monitor::{CamFilter, HashFilter, MonitorFilter, WakeEvent, W
 use switchless_mem::prefetch::WakePrefetcher;
 use switchless_mem::tlb::{Tlb, TlbConfig};
 use switchless_sim::event::EventQueue;
+use switchless_sim::fault::{FaultKind, FaultPlan};
 use switchless_sim::stats::{Counters, Histogram};
 use switchless_sim::time::{Cycles, Freq};
 use switchless_sim::trace::TraceRing;
@@ -210,6 +211,19 @@ struct Thread {
     /// Cache partition this thread's data traffic is tagged with (§4
     /// fine-grain partitioning; default = unmanaged pool).
     partition: switchless_mem::cache::PartitionId,
+    /// Per-thread watchdog: max cycles the thread may stay parked in one
+    /// `mwait` before the hardware disables it with `WatchdogExpired`.
+    watchdog: Option<Cycles>,
+    /// Bumped on every `mwait` park so a stale watchdog callback from an
+    /// earlier park never fires on a later one.
+    park_epoch: u64,
+    /// Quarantined threads refuse every wake until restarted.
+    quarantined: bool,
+    /// First `start` pc; `restart_thread` resets the thread here.
+    restart_pc: Option<u64>,
+    /// When the thread was last disabled by an exception (recovery-latency
+    /// measurement); cleared on wake.
+    disabled_at: Option<Cycles>,
 }
 
 impl Thread {
@@ -227,6 +241,11 @@ impl Thread {
             vector_state: false,
             wake_stats: (0, 0, 0),
             partition: switchless_mem::cache::PartitionId::DEFAULT,
+            watchdog: None,
+            park_epoch: 0,
+            quarantined: false,
+            restart_pc: None,
+            disabled_at: None,
         }
     }
 
@@ -294,6 +313,8 @@ pub struct Machine {
     wake_latency: Histogram,
     /// Most recent wake-latency sample, with the woken thread.
     last_wake: Option<(Ptid, u64)>,
+    /// Installed fault-injection plan; `None` costs one branch per query.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Machine {
@@ -348,6 +369,7 @@ impl Machine {
             pending_charge: Cycles::ZERO,
             wake_latency: Histogram::new(),
             last_wake: None,
+            fault_plan: None,
         }
     }
 
@@ -688,13 +710,111 @@ impl Machine {
     }
 
     /// Host-level `start`: makes the thread runnable.
+    ///
+    /// The first start records the thread's entry pc as its restart point
+    /// for [`Machine::restart_thread`].
     pub fn start_thread(&mut self, tid: ThreadId) {
+        let t = self.thread_mut(tid.ptid);
+        if t.restart_pc.is_none() {
+            t.restart_pc = Some(t.arch.pc);
+        }
         self.enable_thread(tid.ptid);
     }
 
     /// Host-level `stop`: disables the thread.
     pub fn stop_thread(&mut self, tid: ThreadId) {
         self.disable_thread(tid.ptid, ThreadState::Disabled);
+    }
+
+    // ---- fault injection & recovery ----
+
+    /// Installs a fault-injection plan. Devices query it through
+    /// [`Machine::fault_draw`]; with no plan installed every query is a
+    /// single branch, so the injection layer is free when unused.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Asks whether fault `kind` fires for one device operation *now*.
+    ///
+    /// A firing bumps the kind's `fault.*` counter and leaves a trace
+    /// record; the device expresses the failure through its normal
+    /// completion protocol.
+    pub fn fault_draw(&mut self, kind: FaultKind) -> bool {
+        let now = self.now;
+        let Some(plan) = self.fault_plan.as_mut() else {
+            return false;
+        };
+        if !plan.draw(now, kind) {
+            return false;
+        }
+        self.counters.inc(kind.counter_name());
+        self.trace.record(now, "inject", format!("{kind}"));
+        true
+    }
+
+    /// Draws the extra delay for a delay-shaped fault that just fired.
+    pub fn fault_delay(&mut self, kind: FaultKind) -> Cycles {
+        match self.fault_plan.as_mut() {
+            Some(plan) => plan.draw_delay(kind),
+            None => Cycles::ZERO,
+        }
+    }
+
+    /// Arms (or disarms, with `None`) a per-thread watchdog deadline: if
+    /// the thread stays parked in a single `mwait` longer than `timeout`,
+    /// the hardware raises [`ExceptionKind::WatchdogExpired`] on it —
+    /// turning a silently wedged thread into an ordinary descriptor a
+    /// supervisor can act on.
+    pub fn set_thread_watchdog(&mut self, tid: ThreadId, timeout: Option<Cycles>) {
+        self.thread_mut(tid.ptid).watchdog = timeout;
+    }
+
+    /// Quarantines a thread: disables it immediately and refuses every
+    /// wake until [`Machine::restart_thread`] lifts the quarantine. Used
+    /// by supervisors for threads that fault repeatedly.
+    pub fn quarantine_thread(&mut self, tid: ThreadId) {
+        if self.threads[tid.ptid.0 as usize].state != ThreadState::Disabled {
+            self.disable_thread(tid.ptid, ThreadState::Disabled);
+        }
+        self.thread_mut(tid.ptid).quarantined = true;
+        self.counters.inc("thread.quarantines");
+        self.trace
+            .record(self.now, "quarantine", format!("{}", tid.ptid));
+    }
+
+    /// Whether a thread is quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self, tid: ThreadId) -> bool {
+        self.threads[tid.ptid.0 as usize].quarantined
+    }
+
+    /// Restarts a disabled (possibly quarantined) thread from its first
+    /// `start` pc, clearing stale monitor state. Returns `false` if the
+    /// thread is not currently `Disabled` (running, waiting or halted
+    /// threads cannot be restarted).
+    pub fn restart_thread(&mut self, tid: ThreadId) -> bool {
+        let t = self.thread_mut(tid.ptid);
+        if t.state != ThreadState::Disabled {
+            return false;
+        }
+        t.quarantined = false;
+        t.monitor_triggered = false;
+        if let Some(pc) = t.restart_pc {
+            t.arch.pc = pc;
+        }
+        self.counters.inc("thread.restarts");
+        self.trace
+            .record(self.now, "restart", format!("{}", tid.ptid));
+        self.enable_thread(tid.ptid);
+        true
+    }
+
+    /// When `tid` was last disabled by an exception, if it still is.
+    /// Supervisors subtract this from "now" for recovery latency.
+    #[must_use]
+    pub fn thread_fault_time(&self, tid: ThreadId) -> Option<Cycles> {
+        self.threads[tid.ptid.0 as usize].disabled_at
     }
 
     /// Migrates a thread to another core (§4: the OS scheduler "will
@@ -844,9 +964,16 @@ impl Machine {
             ThreadState::Runnable | ThreadState::Halted => return,
             ThreadState::Waiting | ThreadState::Disabled => {}
         }
+        if t.quarantined {
+            // Only restart_thread (which clears the flag first) may wake
+            // a quarantined thread; stray monitor hits are swallowed.
+            self.counters.inc("thread.quarantine_wake_refused");
+            return;
+        }
         t.state = ThreadState::Runnable;
         t.activated = false;
         t.wake_at = Some(self.now);
+        t.disabled_at = None;
         let prio = t.arch.prio;
         if t.monitor_armed {
             t.monitor_armed = false;
@@ -922,6 +1049,14 @@ impl Machine {
 
     /// Raises an exception: writes the descriptor (waking monitors) and
     /// disables the thread. EDP == 0 halts the machine (§3.2).
+    ///
+    /// Descriptor slots carry **backpressure**: a handler acknowledges a
+    /// descriptor by zeroing its kind word (the hypervisor already does).
+    /// If a second fault arrives while the kind word is still nonzero,
+    /// the new descriptor is *dropped* — never silently overwritten — and
+    /// `exception.descriptor_overflow` counts the loss. The faulting
+    /// thread is disabled either way, so supervisors sweep for disabled
+    /// threads whose descriptor was lost.
     fn raise_exception(&mut self, ptid: Ptid, kind: ExceptionKind, info: u64) {
         self.counters.inc(kind.counter_name());
         let (edp, pc) = {
@@ -929,6 +1064,7 @@ impl Machine {
             (t.arch.edp, t.arch.pc)
         };
         self.disable_thread(ptid, ThreadState::Disabled);
+        self.thread_mut(ptid).disabled_at = Some(self.now);
         self.trace
             .record(self.now, "fault", format!("{ptid} {kind} info={info:#x}"));
         if edp == 0 || edp + crate::exception::DESCRIPTOR_BYTES > self.cfg.mem_bytes {
@@ -937,6 +1073,17 @@ impl Machine {
                  pointer installed — triple-fault analog, §3.2)"
             ));
             self.counters.inc("machine.halt");
+            return;
+        }
+        if self.peek_u64(edp) != 0 {
+            // Previous descriptor not yet acknowledged: drop, count, and
+            // leave the slot intact for its handler.
+            self.counters.inc("exception.descriptor_overflow");
+            self.trace.record(
+                self.now,
+                "fault",
+                format!("{ptid} {kind} descriptor dropped (slot busy)"),
+            );
             return;
         }
         let desc = Descriptor {
@@ -1438,8 +1585,26 @@ impl Machine {
                     self.counters.inc("mwait.unarmed");
                 } else {
                     t.arch.pc = next_pc;
+                    t.park_epoch = t.park_epoch.wrapping_add(1);
+                    let epoch = t.park_epoch;
+                    let watchdog = t.watchdog;
                     self.disable_thread(ptid, ThreadState::Waiting);
                     self.counters.inc("mwait.blocked");
+                    if let Some(w) = watchdog {
+                        let at = self.now + w;
+                        // Watchdog: if this exact park outlives its
+                        // deadline, the thread is wedged — disable it
+                        // with a descriptor instead of letting it sleep
+                        // forever. The epoch guard makes a timer from an
+                        // earlier park harmless after a wake/re-park.
+                        self.at(at, move |mach| {
+                            let t = &mach.threads[ptid.0 as usize];
+                            if t.state == ThreadState::Waiting && t.park_epoch == epoch {
+                                mach.counters.inc("watchdog.fired");
+                                mach.raise_exception(ptid, ExceptionKind::WatchdogExpired, at.0);
+                            }
+                        });
+                    }
                     return cost;
                 }
             }

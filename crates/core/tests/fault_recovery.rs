@@ -1,0 +1,212 @@
+//! Core-layer recovery machinery: per-thread watchdogs, exception
+//! descriptor backpressure, and the quarantine/restart API.
+//!
+//! These are the containment primitives supervisors build on (§3): a
+//! wedged thread becomes a descriptor, a flooded descriptor slot drops
+//! (never overwrites), and a restart is an ordinary enable from the
+//! thread's entry point — no context switch anywhere.
+
+use switchless_core::exception::ExceptionKind;
+use switchless_core::machine::{Machine, MachineConfig};
+use switchless_core::tid::ThreadState;
+use switchless_isa::asm::assemble;
+use switchless_sim::fault::{FaultKind, FaultPlan};
+use switchless_sim::time::Cycles;
+
+fn small() -> Machine {
+    Machine::new(MachineConfig::small())
+}
+
+/// A park/serve worker: waits for new values in its mailbox forever.
+fn worker_src(base: u64, mb: u64) -> String {
+    format!(
+        r#"
+        .base {base:#x}
+        entry:
+            movi r1, 0
+        loop:
+            monitor {mb}
+            ld r2, {mb}
+            bne r2, r1, serve
+            mwait
+            jmp loop
+        serve:
+            mov r1, r2
+            jmp loop
+        "#
+    )
+}
+
+/// A thread parked on a mailbox nobody ever writes is wedged; the
+/// watchdog turns it into a `WatchdogExpired` descriptor.
+#[test]
+fn watchdog_fires_on_wedged_mwait() {
+    let mut m = small();
+    let mb = m.alloc(64);
+    let prog =
+        assemble(&format!(".base 0x10000\nentry:\n monitor {mb}\n mwait\n halt\n")).unwrap();
+    let tid = m.load_program(0, &prog).unwrap();
+    let edp = m.alloc(32);
+    m.set_thread_edp(tid, edp);
+    m.set_thread_watchdog(tid, Some(Cycles(10_000)));
+    m.start_thread(tid);
+    m.run_for(Cycles(100_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Disabled);
+    assert_eq!(m.counters().get("watchdog.fired"), 1);
+    assert_eq!(m.peek_u64(edp), ExceptionKind::WatchdogExpired.code());
+    assert_eq!(m.peek_u64(edp + 8), u64::from(tid.ptid.0));
+    assert!(m.thread_fault_time(tid).is_some(), "fault time recorded");
+}
+
+/// A regularly-fed worker never trips its watchdog — every wake/re-park
+/// starts a fresh epoch — but wedging it afterwards still does.
+#[test]
+fn watchdog_quiet_while_fed_then_catches_wedge() {
+    let mut m = small();
+    let mb = m.alloc(64);
+    let tid = m.load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap()).unwrap();
+    let edp = m.alloc(32);
+    m.set_thread_edp(tid, edp);
+    m.set_thread_watchdog(tid, Some(Cycles(50_000)));
+    m.start_thread(tid);
+    m.run_for(Cycles(2_000));
+    for i in 1..=6u64 {
+        m.poke_u64(mb, i);
+        m.run_for(Cycles(5_000));
+    }
+    assert_eq!(m.counters().get("watchdog.fired"), 0, "fed worker is healthy");
+    assert_eq!(m.thread_state(tid), ThreadState::Waiting);
+    // Stop feeding: the last park must expire exactly once.
+    m.run_for(Cycles(200_000));
+    assert_eq!(m.counters().get("watchdog.fired"), 1);
+    assert_eq!(m.thread_state(tid), ThreadState::Disabled);
+    assert_eq!(m.peek_u64(edp), ExceptionKind::WatchdogExpired.code());
+}
+
+/// Two threads share one descriptor slot: the second fault is dropped
+/// with a counter, never silently overwriting the first descriptor.
+#[test]
+fn descriptor_overflow_drops_second_fault() {
+    let mut m = small();
+    let edp = m.alloc(32);
+    let mk = |base: u64| {
+        assemble(&format!(
+            ".base {base:#x}\nentry:\n movi r2, 0\n div r1, r1, r2\n halt\n"
+        ))
+        .unwrap()
+    };
+    let ta = m.load_program_user(0, &mk(0x10000)).unwrap();
+    let tb = m.load_program_user(0, &mk(0x20000)).unwrap();
+    m.set_thread_edp(ta, edp);
+    m.set_thread_edp(tb, edp);
+    m.start_thread(ta);
+    m.run_for(Cycles(10_000));
+    m.start_thread(tb);
+    m.run_for(Cycles(10_000));
+    assert!(m.halted_reason().is_none());
+    assert_eq!(m.counters().get("exception.div_zero"), 2);
+    assert_eq!(m.counters().get("exception.descriptor_overflow"), 1);
+    // The slot still holds the FIRST fault's descriptor.
+    assert_eq!(m.peek_u64(edp), ExceptionKind::DivZero.code());
+    assert_eq!(m.peek_u64(edp + 8), u64::from(ta.ptid.0));
+    // Both offenders are disabled regardless.
+    assert_eq!(m.thread_state(ta), ThreadState::Disabled);
+    assert_eq!(m.thread_state(tb), ThreadState::Disabled);
+    // tb's fault time survives for a supervisor sweep to find.
+    assert!(m.thread_fault_time(tb).is_some());
+}
+
+/// Acknowledging (zeroing) the kind word reopens the slot for the next
+/// descriptor — the zero-to-ack convention handlers already follow.
+#[test]
+fn acked_slot_accepts_next_descriptor() {
+    let mut m = small();
+    let edp = m.alloc(32);
+    let mk = |base: u64| {
+        assemble(&format!(
+            ".base {base:#x}\nentry:\n movi r2, 0\n div r1, r1, r2\n halt\n"
+        ))
+        .unwrap()
+    };
+    let ta = m.load_program_user(0, &mk(0x10000)).unwrap();
+    let tb = m.load_program_user(0, &mk(0x20000)).unwrap();
+    m.set_thread_edp(ta, edp);
+    m.set_thread_edp(tb, edp);
+    m.start_thread(ta);
+    m.run_for(Cycles(10_000));
+    m.poke_u64(edp, 0); // handler acks the first descriptor
+    m.start_thread(tb);
+    m.run_for(Cycles(10_000));
+    assert_eq!(m.counters().get("exception.descriptor_overflow"), 0);
+    assert_eq!(m.peek_u64(edp + 8), u64::from(tb.ptid.0));
+}
+
+/// `restart_thread` re-enters the thread at its first-`start` pc; here
+/// the program bumps a memory counter each life.
+#[test]
+fn restart_thread_resumes_from_entry() {
+    let mut m = small();
+    let ctr = m.alloc(64);
+    let edp = m.alloc(32);
+    let prog = assemble(&format!(
+        r#"
+        .base 0x10000
+        entry:
+            ld r1, {ctr}
+            addi r1, r1, 1
+            st r1, {ctr}
+            movi r2, 0
+            div r3, r3, r2
+            halt
+        "#
+    ))
+    .unwrap();
+    let tid = m.load_program(0, &prog).unwrap();
+    m.set_thread_edp(tid, edp);
+    m.start_thread(tid);
+    m.run_for(Cycles(50_000));
+    assert_eq!(m.peek_u64(ctr), 1);
+    assert_eq!(m.thread_state(tid), ThreadState::Disabled);
+    m.poke_u64(edp, 0); // ack
+    assert!(m.restart_thread(tid));
+    assert!(!m.restart_thread(tid), "already runnable: restart refused");
+    m.run_for(Cycles(50_000));
+    assert_eq!(m.peek_u64(ctr), 2, "second life ran from entry");
+    assert_eq!(m.counters().get("thread.restarts"), 1);
+}
+
+/// A quarantined thread refuses every wake — start, monitor hit — until
+/// restarted.
+#[test]
+fn quarantine_blocks_wakes_until_restart() {
+    let mut m = small();
+    let mb = m.alloc(64);
+    let tid = m.load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap()).unwrap();
+    m.start_thread(tid);
+    m.run_for(Cycles(5_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Waiting);
+    m.quarantine_thread(tid);
+    assert!(m.is_quarantined(tid));
+    assert_eq!(m.thread_state(tid), ThreadState::Disabled);
+    m.start_thread(tid);
+    m.poke_u64(mb, 7);
+    m.run_for(Cycles(50_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Disabled, "wakes refused");
+    assert!(m.counters().get("thread.quarantine_wake_refused") >= 1);
+    assert!(m.restart_thread(tid));
+    assert!(!m.is_quarantined(tid));
+    m.run_for(Cycles(50_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Waiting, "back in service");
+}
+
+/// With no plan installed a fault query is inert; with a plan it fires
+/// and counts.
+#[test]
+fn fault_draw_counts_only_with_plan() {
+    let mut m = small();
+    assert!(!m.fault_draw(FaultKind::NicDrop));
+    assert_eq!(m.counters().get("fault.nic.drop"), 0);
+    m.install_fault_plan(FaultPlan::new(1).with_rate(FaultKind::NicDrop, 1.0));
+    assert!(m.fault_draw(FaultKind::NicDrop));
+    assert_eq!(m.counters().get("fault.nic.drop"), 1);
+}

@@ -8,6 +8,7 @@
 //! inter-node latency — without simulating a second machine.
 
 use switchless_core::machine::Machine;
+use switchless_sim::fault::FaultKind;
 use switchless_sim::time::Cycles;
 
 /// Fabric latency parameters.
@@ -28,6 +29,12 @@ impl Default for Fabric {
 impl Fabric {
     /// Issues an RPC at `at`: after `2 * one_way + remote_service`, the
     /// fabric DMA-writes `response_value` to `response_addr`.
+    ///
+    /// Fault injection (when a plan is installed on the machine):
+    /// [`FaultKind::FabricLoss`] loses the response outright — the caller
+    /// never hears back, which is what makes per-thread watchdogs
+    /// necessary. [`FaultKind::FabricReorder`] delays the response by a
+    /// drawn skew, so it lands after later responses.
     pub fn rpc(
         &self,
         m: &mut Machine,
@@ -36,7 +43,13 @@ impl Fabric {
         response_addr: u64,
         response_value: u64,
     ) {
-        let done = at + self.one_way + remote_service + self.one_way;
+        if m.fault_draw(FaultKind::FabricLoss) {
+            return;
+        }
+        let mut done = at + self.one_way + remote_service + self.one_way;
+        if m.fault_draw(FaultKind::FabricReorder) {
+            done += m.fault_delay(FaultKind::FabricReorder);
+        }
         m.at(done, move |mach| {
             mach.dma_write(response_addr, &response_value.to_le_bytes());
             mach.counters_mut().inc("fabric.rpc.completed");
@@ -56,6 +69,7 @@ mod tests {
     use switchless_core::machine::MachineConfig;
     use switchless_core::tid::ThreadState;
     use switchless_isa::asm::assemble;
+    use switchless_sim::fault::FaultPlan;
 
     #[test]
     fn rpc_completes_after_rtt_plus_service() {
@@ -70,6 +84,37 @@ mod tests {
         m.run_for(Cycles(2));
         assert_eq!(m.peek_u64(resp), 42);
         assert_eq!(m.counters().get("fabric.rpc.completed"), 1);
+    }
+
+    #[test]
+    fn lost_response_never_arrives() {
+        let mut m = Machine::new(MachineConfig::small());
+        m.install_fault_plan(FaultPlan::new(7).with_rate(FaultKind::FabricLoss, 1.0));
+        let f = Fabric::default();
+        let resp = m.alloc(8);
+        f.rpc(&mut m, Cycles(0), Cycles(500), resp, 42);
+        m.run_for(Cycles(1_000_000));
+        assert_eq!(m.peek_u64(resp), 0, "response lost on the wire");
+        assert_eq!(m.counters().get("fabric.rpc.completed"), 0);
+        assert_eq!(m.counters().get("fault.fabric.loss"), 1);
+    }
+
+    #[test]
+    fn reordered_response_arrives_late() {
+        let mut m = Machine::new(MachineConfig::small());
+        m.install_fault_plan(
+            FaultPlan::new(8)
+                .with_rate(FaultKind::FabricReorder, 1.0)
+                .with_delay(FaultKind::FabricReorder, Cycles(20_000), Cycles(20_000)),
+        );
+        let f = Fabric { one_way: Cycles(1_000) };
+        let resp = m.alloc(8);
+        f.rpc(&mut m, Cycles(0), Cycles(500), resp, 42);
+        m.run_for(Cycles(10_000));
+        assert_eq!(m.peek_u64(resp), 0, "still skewed");
+        m.run_for(Cycles(15_000));
+        assert_eq!(m.peek_u64(resp), 42);
+        assert_eq!(m.counters().get("fault.fabric.reorder"), 1);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use switchless_core::machine::Machine;
+use switchless_sim::fault::FaultKind;
 
 /// Vector → memory-write translation table.
 #[derive(Clone, Debug, Default)]
@@ -37,9 +38,18 @@ impl MsixBridge {
     /// Raises a legacy interrupt: translated to an increment of the
     /// routed word (waking any monitoring thread). Unrouted vectors are
     /// counted and dropped — exactly what masked interrupts do.
+    ///
+    /// Fault injection (when a plan is installed on the machine):
+    /// [`FaultKind::MsixLostInterrupt`] loses a *routed* interrupt — the
+    /// classic legacy failure a driver only survives via a periodic
+    /// software timeout, which is exactly the recovery gap the f16
+    /// experiment measures against the switchless watchdog.
     pub fn raise(&self, m: &mut Machine, vector: u32) {
         match self.table.get(&vector) {
             Some(&addr) => {
+                if m.fault_draw(FaultKind::MsixLostInterrupt) {
+                    return;
+                }
                 let v = m.peek_u64(addr).wrapping_add(1);
                 m.dma_write(addr, &v.to_le_bytes());
                 m.counters_mut().inc("msix.translated");
@@ -94,6 +104,26 @@ mod tests {
         assert!(!bridge.is_empty());
         assert!(bridge.unroute(1));
         assert!(!bridge.unroute(1));
+    }
+
+    #[test]
+    fn lost_interrupt_skips_routed_write() {
+        let mut m = Machine::new(MachineConfig::small());
+        m.install_fault_plan(
+            switchless_sim::fault::FaultPlan::new(10)
+                .with_rate(FaultKind::MsixLostInterrupt, 1.0),
+        );
+        let addr = m.alloc(8);
+        let mut bridge = MsixBridge::new();
+        bridge.route(33, addr);
+        bridge.raise(&mut m, 33);
+        assert_eq!(m.peek_u64(addr), 0, "interrupt lost before translation");
+        assert_eq!(m.counters().get("msix.translated"), 0);
+        assert_eq!(m.counters().get("fault.msix.lost"), 1);
+        // Unrouted vectors are a config condition, not an injected fault.
+        bridge.raise(&mut m, 99);
+        assert_eq!(m.counters().get("fault.msix.lost"), 1);
+        assert_eq!(m.counters().get("msix.dropped"), 1);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! observes a complete descriptor.
 
 use switchless_core::machine::Machine;
+use switchless_sim::fault::FaultKind;
 use switchless_sim::time::Cycles;
 
 /// Bytes per RX descriptor slot.
@@ -96,11 +97,33 @@ impl Nic {
     /// monotone sequence) with `payload` at absolute time `at`.
     ///
     /// The DMA completes (and the tail bumps) at `at + dma_latency`.
+    ///
+    /// Fault injection (when a plan is installed on the machine):
+    /// [`FaultKind::NicDrop`] eats the packet on the wire — no DMA, no
+    /// descriptor, no tail bump, only a sequence gap the driver can
+    /// detect. [`FaultKind::NicCorrupt`] flips the first payload byte, so
+    /// a checksumming driver sees the damage. [`FaultKind::NicStall`]
+    /// delays delivery; because a stalled packet may land after its
+    /// successors, the tail bump is monotone (never rewound), and the
+    /// stalled slot briefly holds a stale descriptor — exactly the
+    /// mismatch a seq-validating driver retries on.
     pub fn schedule_rx(&self, m: &mut Machine, at: Cycles, seq: u64, payload: &[u8]) {
         let nic = *self;
         let len = payload.len().min(nic.config.buf_bytes as usize);
-        let payload: Vec<u8> = payload[..len].to_vec();
-        m.at(at + nic.config.dma_latency, move |mach| {
+        let mut payload: Vec<u8> = payload[..len].to_vec();
+        if m.fault_draw(FaultKind::NicDrop) {
+            return;
+        }
+        if m.fault_draw(FaultKind::NicCorrupt) {
+            if let Some(b) = payload.first_mut() {
+                *b ^= 0xff;
+            }
+        }
+        let mut deliver_at = at + nic.config.dma_latency;
+        if m.fault_draw(FaultKind::NicStall) {
+            deliver_at += m.fault_delay(FaultKind::NicStall);
+        }
+        m.at(deliver_at, move |mach| {
             // 1. payload
             mach.dma_write(nic.buf_addr(seq), &payload);
             // 2. descriptor: [buf addr][len<<32 | seq low bits]
@@ -110,8 +133,10 @@ impl Nic {
                 &(((payload.len() as u64) << 32) | (seq & 0xffff_ffff)).to_le_bytes(),
             );
             mach.dma_write(nic.desc_addr(seq), &desc);
-            // 3. tail bump — the consumer's wakeup.
-            mach.dma_write(nic.rx_tail, &(seq + 1).to_le_bytes());
+            // 3. tail bump — the consumer's wakeup. Monotone so a stalled
+            // straggler never rewinds the tail past delivered successors.
+            let tail = (seq + 1).max(mach.peek_u64(nic.rx_tail));
+            mach.dma_write(nic.rx_tail, &tail.to_le_bytes());
             // Stats.
             mach.counters_mut().inc("nic.rx.packets");
         });
@@ -130,6 +155,7 @@ mod tests {
     use switchless_core::machine::MachineConfig;
     use switchless_core::tid::ThreadState;
     use switchless_isa::asm::assemble;
+    use switchless_sim::fault::FaultPlan;
 
     #[test]
     fn rx_bumps_tail_and_writes_descriptor() {
@@ -170,6 +196,77 @@ mod tests {
         m.run_for(Cycles(10_000));
         assert_eq!(m.thread_state(tid), ThreadState::Halted);
         assert_eq!(m.thread_reg(tid, 1), 1, "saw tail = 1");
+    }
+
+    #[test]
+    fn drop_fault_leaves_no_trace_but_a_gap() {
+        let mut m = Machine::new(MachineConfig::small());
+        m.install_fault_plan(FaultPlan::new(1).with_rate(FaultKind::NicDrop, 1.0));
+        let nic = Nic::attach(&mut m, NicConfig::default());
+        for seq in 0..3 {
+            nic.schedule_rx(&mut m, Cycles(100 * (seq + 1)), seq, b"gone");
+        }
+        m.run_for(Cycles(10_000));
+        assert_eq!(nic.tail(&m), 0, "dropped packets never bump the tail");
+        assert_eq!(m.counters().get("nic.rx.packets"), 0);
+        assert_eq!(m.counters().get("fault.nic.drop"), 3);
+    }
+
+    #[test]
+    fn corrupt_fault_flips_first_payload_byte() {
+        let mut m = Machine::new(MachineConfig::small());
+        m.install_fault_plan(FaultPlan::new(2).with_rate(FaultKind::NicCorrupt, 1.0));
+        let nic = Nic::attach(&mut m, NicConfig::default());
+        nic.schedule_rx(&mut m, Cycles(100), 0, &[0x11, 0x22, 0x33]);
+        m.run_for(Cycles(10_000));
+        assert_eq!(nic.tail(&m), 1, "corrupt packets still deliver");
+        let word = m.peek_u64(nic.buf_addr(0));
+        assert_eq!(word & 0xff, 0x11 ^ 0xff, "first byte flipped");
+        assert_eq!((word >> 8) & 0xff, 0x22, "rest untouched");
+        assert_eq!(m.counters().get("fault.nic.corrupt"), 1);
+    }
+
+    #[test]
+    fn stalled_straggler_cannot_rewind_tail() {
+        let mut m = Machine::new(MachineConfig::small());
+        // Stall only draws in cycle [0,1): packet 0 stalls, packet 1 is
+        // scheduled at cycle 1 and sails through.
+        m.install_fault_plan(
+            FaultPlan::new(3)
+                .with_rate(FaultKind::NicStall, 1.0)
+                .with_window(FaultKind::NicStall, Cycles(0), Cycles(1))
+                .with_delay(FaultKind::NicStall, Cycles(10_000), Cycles(10_000)),
+        );
+        let nic = Nic::attach(&mut m, NicConfig::default());
+        nic.schedule_rx(&mut m, Cycles(0), 0, b"late");
+        m.run_for(Cycles(1));
+        let now = m.now();
+        nic.schedule_rx(&mut m, now, 1, b"ontime");
+        m.run_for(Cycles(2_000));
+        assert_eq!(nic.tail(&m), 2, "on-time successor delivered");
+        assert_eq!(m.counters().get("nic.rx.packets"), 1);
+        m.run_for(Cycles(20_000));
+        assert_eq!(nic.tail(&m), 2, "straggler did not rewind the tail");
+        assert_eq!(m.counters().get("nic.rx.packets"), 2, "straggler landed");
+        assert_eq!(m.counters().get("fault.nic.stall"), 1);
+    }
+
+    #[test]
+    fn zero_rate_plan_is_invisible() {
+        // An installed plan with rate 0 must be byte-identical to no plan.
+        let run = |plan: bool| -> (u64, u64, u64) {
+            let mut m = Machine::new(MachineConfig::small());
+            if plan {
+                m.install_fault_plan(FaultPlan::new(9));
+            }
+            let nic = Nic::attach(&mut m, NicConfig::default());
+            for seq in 0..16 {
+                nic.schedule_rx(&mut m, Cycles(500 * seq), seq, &[seq as u8; 32]);
+            }
+            m.run_for(Cycles(100_000));
+            (nic.tail(&m), m.counters().get("nic.rx.packets"), m.peek_u64(nic.buf_addr(7)))
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

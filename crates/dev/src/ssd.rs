@@ -9,10 +9,16 @@
 //! `[40]` motivate the paper's argument).
 
 use switchless_core::machine::Machine;
+use switchless_sim::fault::FaultKind;
 use switchless_sim::time::Cycles;
 
 /// Bytes per completion-queue entry.
 pub const CQ_ENTRY_BYTES: u64 = 16;
+
+/// Status bit set in a completion entry's sequence word when the command
+/// failed on the device (media error on a read). The low bits still hold
+/// the sequence number.
+pub const CQ_STATUS_ERROR: u64 = 1 << 63;
 
 /// SSD parameters.
 #[derive(Clone, Copy, Debug)]
@@ -85,23 +91,63 @@ impl Ssd {
 
     /// Submits command number `seq` with user cookie `cookie` at time
     /// `at`; the completion lands after the op's device latency.
+    ///
+    /// Fault injection (when a plan is installed on the machine):
+    /// [`FaultKind::SsdLatencySpike`] adds a drawn pause (GC/error
+    /// recovery) to the device latency. [`FaultKind::SsdReadError`] fails
+    /// a read on the media: no data DMA, and the completion's sequence
+    /// word carries [`CQ_STATUS_ERROR`]. [`FaultKind::SsdTornCompletion`]
+    /// tears the completion entry: cookie and tail bump land on time but
+    /// the sequence word lands late, so a consumer woken by the tail
+    /// briefly reads a stale sequence word — which is why drivers
+    /// validate it and re-read. The tail bump is monotone so delayed
+    /// completions never rewind it.
     pub fn submit(&self, m: &mut Machine, at: Cycles, seq: u64, op: SsdOp, cookie: u64) {
         let dev = *self;
-        let latency = match op {
+        let mut latency = match op {
             SsdOp::Read { .. } => dev.config.read_latency,
             SsdOp::Write => dev.config.write_latency,
         };
+        if m.fault_draw(FaultKind::SsdLatencySpike) {
+            latency += m.fault_delay(FaultKind::SsdLatencySpike);
+        }
+        let read_error =
+            matches!(op, SsdOp::Read { .. }) && m.fault_draw(FaultKind::SsdReadError);
+        let torn_delay = if m.fault_draw(FaultKind::SsdTornCompletion) {
+            Some(m.fault_delay(FaultKind::SsdTornCompletion))
+        } else {
+            None
+        };
         m.at(at + latency, move |mach| {
             if let SsdOp::Read { buf_addr, len } = op {
-                // Synthetic data: a repeating pattern derived from seq.
-                let data: Vec<u8> = (0..len).map(|i| ((seq + i) & 0xff) as u8).collect();
-                mach.dma_write(buf_addr, &data);
+                if read_error {
+                    mach.counters_mut().inc("ssd.read_errors");
+                } else {
+                    // Synthetic data: a repeating pattern derived from seq.
+                    let data: Vec<u8> =
+                        (0..len).map(|i| ((seq + i) & 0xff) as u8).collect();
+                    mach.dma_write(buf_addr, &data);
+                }
             }
-            let mut entry = [0u8; CQ_ENTRY_BYTES as usize];
-            entry[..8].copy_from_slice(&cookie.to_le_bytes());
-            entry[8..].copy_from_slice(&seq.to_le_bytes());
-            mach.dma_write(dev.cq_addr(seq), &entry);
-            mach.dma_write(dev.cq_tail, &(seq + 1).to_le_bytes());
+            let status_seq = if read_error { seq | CQ_STATUS_ERROR } else { seq };
+            match torn_delay {
+                None => {
+                    let mut entry = [0u8; CQ_ENTRY_BYTES as usize];
+                    entry[..8].copy_from_slice(&cookie.to_le_bytes());
+                    entry[8..].copy_from_slice(&status_seq.to_le_bytes());
+                    mach.dma_write(dev.cq_addr(seq), &entry);
+                }
+                Some(d) => {
+                    // Torn: cookie now, sequence word after the tear gap.
+                    mach.dma_write(dev.cq_addr(seq), &cookie.to_le_bytes());
+                    let heal_at = mach.now() + d;
+                    mach.at(heal_at, move |inner| {
+                        inner.dma_write(dev.cq_addr(seq) + 8, &status_seq.to_le_bytes());
+                    });
+                }
+            }
+            let tail = (seq + 1).max(mach.peek_u64(dev.cq_tail));
+            mach.dma_write(dev.cq_tail, &tail.to_le_bytes());
             mach.counters_mut().inc("ssd.completions");
         });
     }
@@ -119,6 +165,7 @@ mod tests {
     use switchless_core::machine::MachineConfig;
     use switchless_core::tid::ThreadState;
     use switchless_isa::asm::assemble;
+    use switchless_sim::fault::FaultPlan;
 
     #[test]
     fn read_completes_with_data_and_cookie() {
@@ -157,6 +204,64 @@ mod tests {
         assert_eq!(ssd.tail(&m), 0, "not yet complete");
         m.run_for(Cycles(2));
         assert_eq!(ssd.tail(&m), 1);
+    }
+
+    #[test]
+    fn read_error_sets_status_bit_and_skips_data() {
+        let mut m = Machine::new(MachineConfig::small());
+        m.install_fault_plan(FaultPlan::new(4).with_rate(FaultKind::SsdReadError, 1.0));
+        let ssd = Ssd::attach(&mut m, SsdConfig::default());
+        let buf = m.alloc(512);
+        ssd.submit(&mut m, Cycles(0), 0, SsdOp::Read { buf_addr: buf, len: 64 }, 0xc0de);
+        m.run_for(Cycles(100_000));
+        assert_eq!(ssd.tail(&m), 1, "errored command still completes");
+        assert_eq!(m.peek_u64(buf), 0, "no data DMA on a media error");
+        let seq_word = m.peek_u64(ssd.cq_addr(0) + 8);
+        assert_ne!(seq_word & CQ_STATUS_ERROR, 0, "error bit set");
+        assert_eq!(seq_word & !CQ_STATUS_ERROR, 0, "sequence preserved");
+        assert_eq!(m.counters().get("fault.ssd.read_error"), 1);
+        assert_eq!(m.counters().get("ssd.read_errors"), 1);
+    }
+
+    #[test]
+    fn latency_spike_delays_completion() {
+        let mut m = Machine::new(MachineConfig::small());
+        m.install_fault_plan(
+            FaultPlan::new(5)
+                .with_rate(FaultKind::SsdLatencySpike, 1.0)
+                .with_delay(FaultKind::SsdLatencySpike, Cycles(100_000), Cycles(100_000)),
+        );
+        let ssd = Ssd::attach(
+            &mut m,
+            SsdConfig { read_latency: Cycles(5_000), ..SsdConfig::default() },
+        );
+        let buf = m.alloc(512);
+        ssd.submit(&mut m, Cycles(0), 0, SsdOp::Read { buf_addr: buf, len: 8 }, 1);
+        m.run_for(Cycles(104_000));
+        assert_eq!(ssd.tail(&m), 0, "still inside the spike");
+        m.run_for(Cycles(2_000));
+        assert_eq!(ssd.tail(&m), 1, "completed after base + spike");
+        assert_eq!(m.counters().get("fault.ssd.latency_spike"), 1);
+    }
+
+    #[test]
+    fn torn_completion_heals_after_the_gap() {
+        let mut m = Machine::new(MachineConfig::small());
+        m.install_fault_plan(
+            FaultPlan::new(6)
+                .with_rate(FaultKind::SsdTornCompletion, 1.0)
+                .with_delay(FaultKind::SsdTornCompletion, Cycles(5_000), Cycles(5_000)),
+        );
+        let ssd = Ssd::attach(&mut m, SsdConfig::default());
+        // A nonzero seq so the stale (zero) word is distinguishable.
+        ssd.submit(&mut m, Cycles(0), 5, SsdOp::Write, 0xfeed);
+        m.run_for(Cycles(61_000));
+        assert_eq!(ssd.tail(&m), 6, "tail bumped on time");
+        assert_eq!(m.peek_u64(ssd.cq_addr(5)), 0xfeed, "cookie on time");
+        assert_eq!(m.peek_u64(ssd.cq_addr(5) + 8), 0, "sequence word torn");
+        m.run_for(Cycles(6_000));
+        assert_eq!(m.peek_u64(ssd.cq_addr(5) + 8), 5, "re-read sees it healed");
+        assert_eq!(m.counters().get("fault.ssd.torn_completion"), 1);
     }
 
     #[test]

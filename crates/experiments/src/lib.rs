@@ -30,6 +30,7 @@ pub mod f12_monitor_filter;
 pub mod f13_store_ablation;
 pub mod f14_security;
 pub mod f15_multicore;
+pub mod f16_fault_recovery;
 pub mod t1_tdt;
 pub mod t2_capacity;
 
@@ -121,6 +122,11 @@ pub fn registry() -> Vec<Experiment> {
             id: "f15",
             title: "F15: multi-core scaling and thread migration",
             run: f15_multicore::run,
+        },
+        Experiment {
+            id: "f16",
+            title: "F16: fault recovery - switchless supervisor vs legacy interrupts",
+            run: f16_fault_recovery::run,
         },
     ]
 }

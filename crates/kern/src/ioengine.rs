@@ -34,14 +34,92 @@ pub const HCALL_DISPATCH: u16 = 100;
 /// Default hcall number for the worker's request service.
 pub const HCALL_WORK: u16 = 101;
 
+/// Capped-exponential retry schedule shared by the engine's descriptor
+/// revalidation and the [`crate::nointr`] supervisor.
+///
+/// `backoff(n)` is the delay before retry number `n` (0-based):
+/// `initial_backoff << n`, saturating, capped at `max_backoff`; `None`
+/// once `max_retries` have been spent.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub initial_backoff: Cycles,
+    /// Ceiling on any single delay.
+    pub max_backoff: Cycles,
+    /// Retries allowed before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            initial_backoff: Cycles(1_000), // ~333 ns
+            max_backoff: Cycles(30_000),    // 10 us
+            max_retries: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry `retries_done` (0-based), or `None` if the
+    /// budget is exhausted.
+    #[must_use]
+    pub fn backoff(&self, retries_done: u32) -> Option<Cycles> {
+        if retries_done >= self.max_retries {
+            return None;
+        }
+        let mult = 1u64.checked_shl(retries_done).unwrap_or(u64::MAX);
+        Some(Cycles(
+            self.initial_backoff.0.saturating_mul(mult).min(self.max_backoff.0),
+        ))
+    }
+}
+
+/// Seals `payload` for [`IoEngine`] checksum validation: the last byte
+/// becomes the wrapping sum of all preceding bytes.
+///
+/// # Panics
+///
+/// Panics if `payload` is shorter than 2 bytes.
+pub fn checksum_seal(payload: &mut [u8]) {
+    let n = payload.len();
+    assert!(n >= 2, "checksummed payloads need >= 2 bytes");
+    payload[n - 1] = payload[..n - 1]
+        .iter()
+        .fold(0u8, |a, &b| a.wrapping_add(b));
+}
+
+/// Whether a sealed payload still checks out. Payloads under 2 bytes
+/// are vacuously valid.
+#[must_use]
+pub fn checksum_ok(payload: &[u8]) -> bool {
+    let n = payload.len();
+    if n < 2 {
+        return true;
+    }
+    payload[..n - 1]
+        .iter()
+        .fold(0u8, |a, &b| a.wrapping_add(b))
+        == payload[n - 1]
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Packet {
     seq: u64,
     arrival: Cycles,
     service: Cycles,
+    /// Descriptor-revalidation retries spent on this packet so far.
+    attempt: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FaultHandling {
+    policy: RetryPolicy,
+    checksum: bool,
 }
 
 struct EngineState {
+    nic: Nic,
     nic_tail: u64,
     seen: u64,
     /// Packet metadata registered by the harness, by sequence number.
@@ -58,6 +136,9 @@ struct EngineState {
     dispatch_cost: Cycles,
     latency: Histogram,
     completed: u64,
+    /// Descriptor revalidation + payload checksumming, off by default
+    /// (and then the engine behaves bit-identically to before).
+    fault: Option<FaultHandling>,
 }
 
 impl EngineState {
@@ -68,6 +149,25 @@ impl EngineState {
         let v = m.peek_u64(mb).wrapping_add(1);
         m.poke_u64(mb, v);
     }
+}
+
+/// Charges the service time and records the completion.
+fn complete(m: &mut Machine, s: &mut EngineState, pkt: Packet) {
+    m.charge(pkt.service);
+    let done = m.now() + pkt.service;
+    s.latency.record((done - pkt.arrival).0);
+    s.completed += 1;
+}
+
+/// Byte-granular read on top of the word-granular host peek.
+fn peek_bytes(m: &Machine, addr: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len as u64 {
+        let a = addr + i;
+        let w = m.peek_u64(a & !7);
+        out.push((w >> ((a & 7) * 8)) as u8);
+    }
+    out
 }
 
 /// The installed I/O engine.
@@ -152,6 +252,7 @@ impl IoEngine {
         m.start_thread(dispatcher);
 
         let state = Rc::new(RefCell::new(EngineState {
+            nic: *nic,
             nic_tail: nic.rx_tail,
             seen: 0,
             meta: HashMap::new(),
@@ -162,6 +263,7 @@ impl IoEngine {
             dispatch_cost: Cycles(30),
             latency: Histogram::new(),
             completed: 0,
+            fault: None,
         }));
 
         // Dispatcher drain service.
@@ -178,7 +280,7 @@ impl IoEngine {
                     .get(&seq)
                     .copied()
                     .unwrap_or((mach.now(), Cycles(1000)));
-                let pkt = Packet { seq, arrival, service };
+                let pkt = Packet { seq, arrival, service, attempt: 0 };
                 charged += s.dispatch_cost;
                 if let Some(w) = s.idle.pop() {
                     s.assign_to(mach, w, pkt);
@@ -201,11 +303,42 @@ impl IoEngine {
             let Some(pkt) = s.assigned[w].pop_front() else {
                 return; // spurious mailbox bump
             };
-            mach.charge(pkt.service);
-            let done = mach.now() + pkt.service;
-            s.latency.record((done - pkt.arrival).0);
-            s.completed += 1;
-            let _ = pkt.seq;
+            if let Some(fh) = s.fault {
+                // Revalidate the descriptor before trusting it: a
+                // dropped or stalled packet leaves its ring slot stale
+                // (zeroed, or holding an older wrap's sequence).
+                let meta = mach.peek_u64(s.nic.desc_addr(pkt.seq) + 8);
+                let valid =
+                    (meta >> 32) != 0 && (meta & 0xffff_ffff) == (pkt.seq & 0xffff_ffff);
+                if !valid {
+                    if let Some(d) = fh.policy.backoff(pkt.attempt) {
+                        // Re-check after a capped backoff; the worker
+                        // stays reserved for the retry (it parks, and
+                        // the reassignment's mailbox bump rewakes it).
+                        mach.counters_mut().inc("engine.rx.retries");
+                        let retry = Packet { attempt: pkt.attempt + 1, ..pkt };
+                        let st2 = Rc::clone(&st);
+                        let at = mach.now() + d;
+                        mach.at(at, move |inner| {
+                            st2.borrow_mut().assign_to(inner, w, retry);
+                        });
+                        return;
+                    }
+                    mach.counters_mut().inc("engine.rx.lost");
+                } else if fh.checksum && {
+                    let len = (meta >> 32) as usize;
+                    let buf = s.nic.buf_addr(pkt.seq);
+                    !checksum_ok(&peek_bytes(mach, buf, len))
+                } {
+                    // Damaged on the wire: count and drop; recovery is
+                    // the sender's end-to-end concern, not the ring's.
+                    mach.counters_mut().inc("engine.rx.corrupt");
+                } else {
+                    complete(mach, &mut s, pkt);
+                }
+            } else {
+                complete(mach, &mut s, pkt);
+            }
             // Immediately feed the next backlogged packet to this worker
             // (its post-hcall check loop picks it up without parking).
             if let Some(next) = s.backlog.pop_front() {
@@ -220,6 +353,19 @@ impl IoEngine {
             workers,
             state,
         })
+    }
+
+    /// Turns on descriptor revalidation (and optionally payload
+    /// checksumming) for every packet served from here on.
+    ///
+    /// Off by default — the no-fault fast path is untouched. With it
+    /// on, a worker whose ring slot is stale (dropped or still-stalled
+    /// packet) re-checks after `policy` backoffs and finally counts
+    /// `engine.rx.lost`; with `checksum` also on, payloads sealed via
+    /// [`checksum_seal`] that arrive damaged count `engine.rx.corrupt`
+    /// and are not completed.
+    pub fn set_fault_handling(&self, policy: RetryPolicy, checksum: bool) {
+        self.state.borrow_mut().fault = Some(FaultHandling { policy, checksum });
     }
 
     /// Registers a packet's arrival time (tail-bump time) and service
@@ -342,6 +488,119 @@ mod tests {
             wide * 3 < narrow * 2,
             "8 workers {wide} should beat 1 worker {narrow} by >=1.5x"
         );
+    }
+
+    #[test]
+    fn retry_policy_backoff_caps_and_exhausts() {
+        let p = RetryPolicy {
+            initial_backoff: Cycles(1_000),
+            max_backoff: Cycles(5_000),
+            max_retries: 4,
+        };
+        assert_eq!(p.backoff(0), Some(Cycles(1_000)));
+        assert_eq!(p.backoff(1), Some(Cycles(2_000)));
+        assert_eq!(p.backoff(2), Some(Cycles(4_000)));
+        assert_eq!(p.backoff(3), Some(Cycles(5_000)), "capped");
+        assert_eq!(p.backoff(4), None, "budget spent");
+        // Huge retry counts must not overflow the shift.
+        let wide = RetryPolicy { max_retries: u32::MAX, ..p };
+        assert_eq!(wide.backoff(200), Some(Cycles(5_000)));
+    }
+
+    #[test]
+    fn checksum_seal_roundtrip() {
+        let mut p = [0x11u8, 0x22, 0x33, 0x00];
+        checksum_seal(&mut p);
+        assert!(checksum_ok(&p));
+        p[0] ^= 0xff;
+        assert!(!checksum_ok(&p));
+    }
+
+    #[test]
+    fn dropped_packet_retries_then_counts_lost() {
+        use switchless_sim::fault::{FaultKind, FaultPlan};
+        let (mut m, nic, eng) = setup(2);
+        eng.set_fault_handling(
+            RetryPolicy {
+                initial_backoff: Cycles(1_000),
+                max_backoff: Cycles(4_000),
+                max_retries: 3,
+            },
+            false,
+        );
+        let t0 = m.now();
+        // Only the first packet (scheduled inside the 1-cycle window)
+        // is eaten on the wire.
+        m.install_fault_plan(
+            FaultPlan::new(5)
+                .with_rate(FaultKind::NicDrop, 1.0)
+                .with_window(FaultKind::NicDrop, t0, t0 + Cycles(1)),
+        );
+        eng.note_packet(0, t0 + Cycles(300), Cycles(2_000));
+        nic.schedule_rx(&mut m, t0, 0, &[1; 32]);
+        m.run_for(Cycles(1));
+        let t1 = m.now();
+        eng.note_packet(1, t1 + Cycles(300), Cycles(2_000));
+        nic.schedule_rx(&mut m, t1, 1, &[2; 32]);
+        m.run_for(Cycles(100_000));
+        // Packet 1's tail bump exposes slot 0's stale (zeroed)
+        // descriptor; revalidation retries it to exhaustion.
+        assert_eq!(eng.completed(), 1, "only the delivered packet completes");
+        assert_eq!(m.counters().get("engine.rx.retries"), 3);
+        assert_eq!(m.counters().get("engine.rx.lost"), 1);
+        assert_eq!(m.thread_state(eng.dispatcher), ThreadState::Waiting);
+    }
+
+    #[test]
+    fn stalled_packet_recovers_via_retry() {
+        use switchless_sim::fault::{FaultKind, FaultPlan};
+        let (mut m, nic, eng) = setup(2);
+        eng.set_fault_handling(RetryPolicy::default(), false);
+        let t0 = m.now();
+        m.install_fault_plan(
+            FaultPlan::new(6)
+                .with_rate(FaultKind::NicStall, 1.0)
+                .with_window(FaultKind::NicStall, t0, t0 + Cycles(1))
+                .with_delay(FaultKind::NicStall, Cycles(20_000), Cycles(20_000)),
+        );
+        eng.note_packet(0, t0 + Cycles(300), Cycles(2_000));
+        nic.schedule_rx(&mut m, t0, 0, &[1; 32]);
+        m.run_for(Cycles(1));
+        let t1 = m.now();
+        eng.note_packet(1, t1 + Cycles(300), Cycles(2_000));
+        nic.schedule_rx(&mut m, t1, 1, &[2; 32]);
+        m.run_for(Cycles(200_000));
+        // The straggler's descriptor lands mid-backoff; a later retry
+        // finds it valid and the packet completes — nothing is lost.
+        assert_eq!(eng.completed(), 2, "straggler served after it lands");
+        assert!(m.counters().get("engine.rx.retries") >= 1);
+        assert_eq!(m.counters().get("engine.rx.lost"), 0);
+    }
+
+    #[test]
+    fn corrupt_payload_detected_by_checksum() {
+        use switchless_sim::fault::{FaultKind, FaultPlan};
+        let (mut m, nic, eng) = setup(2);
+        eng.set_fault_handling(RetryPolicy::default(), true);
+        let t0 = m.now();
+        m.install_fault_plan(
+            FaultPlan::new(7)
+                .with_rate(FaultKind::NicCorrupt, 1.0)
+                .with_window(FaultKind::NicCorrupt, t0, t0 + Cycles(1)),
+        );
+        let mut payload = [0x5au8; 32];
+        checksum_seal(&mut payload);
+        eng.note_packet(0, t0 + Cycles(300), Cycles(2_000));
+        nic.schedule_rx(&mut m, t0, 0, &payload); // first byte flipped
+        m.run_for(Cycles(1));
+        let t1 = m.now();
+        eng.note_packet(1, t1 + Cycles(300), Cycles(2_000));
+        nic.schedule_rx(&mut m, t1, 1, &payload); // clean
+        m.run_for(Cycles(100_000));
+        assert_eq!(eng.completed(), 1, "damaged payload not completed");
+        assert_eq!(m.counters().get("engine.rx.corrupt"), 1);
+        assert_eq!(m.counters().get("fault.nic.corrupt"), 1);
+        assert_eq!(m.counters().get("engine.rx.lost"), 0);
     }
 
     #[test]

@@ -7,10 +7,17 @@
 //! handler body — no IRQ context, no vectoring, no preemption of
 //! whatever else was running.
 
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
 use switchless_core::machine::{Machine, MachineError, ThreadId};
+use switchless_core::tid::ThreadState;
 use switchless_isa::asm::assemble;
-#[cfg(test)]
+use switchless_sim::stats::Histogram;
 use switchless_sim::time::Cycles;
+
+use crate::ioengine::RetryPolicy;
 
 /// One installed event-handler thread.
 #[derive(Clone, Copy, Debug)]
@@ -105,11 +112,201 @@ impl EventHandlerSet {
     }
 }
 
+/// Default hcall number for the supervisor's triage service.
+pub const HCALL_SUPERVISE: u16 = 120;
+
+struct SupState {
+    /// The shared exception-descriptor slot all wards point at.
+    edp: u64,
+    /// Supervised threads, in registration order.
+    wards: Vec<ThreadId>,
+    /// Ptids with a restart already scheduled.
+    pending: HashSet<u32>,
+    /// Per-ward fault count, drives the backoff schedule.
+    attempts: HashMap<u32, u32>,
+    policy: RetryPolicy,
+    /// Fault (thread disable) → restart latency, in cycles.
+    recovery: Histogram,
+    restarts: u64,
+}
+
+/// A recovery supervisor: one hardware thread that parks on a shared
+/// exception-descriptor slot and restarts faulted wards (§3 taken to
+/// its conclusion — *recovery* without a context switch either).
+///
+/// Wards [`Supervisor::supervise`]d get their EDP pointed at the shared
+/// slot. When one faults (watchdog expiry, div-zero, ...), the
+/// descriptor write wakes the supervisor out of `mwait`; it acks the
+/// slot (zero-to-ack, reopening it under backpressure) and schedules a
+/// [`Machine::restart_thread`] after a capped [`RetryPolicy`] backoff.
+/// Every triage and every restart also sweeps the ward list for
+/// casualties whose descriptors were overflow-dropped, so simultaneous
+/// faults are never lost — only their descriptors are.
+pub struct Supervisor {
+    /// The supervisor's hardware thread.
+    pub tid: ThreadId,
+    /// The shared exception-descriptor slot (32 bytes).
+    pub edp: u64,
+    state: Rc<RefCell<SupState>>,
+}
+
+/// Schedules a restart of `tid` after the policy backoff, or
+/// quarantines it when the retry budget is spent.
+fn schedule_restart(
+    s: &mut SupState,
+    mach: &mut Machine,
+    st: &Rc<RefCell<SupState>>,
+    tid: ThreadId,
+) {
+    if s.pending.contains(&tid.ptid.0) || mach.is_quarantined(tid) {
+        return;
+    }
+    let n = s.attempts.entry(tid.ptid.0).or_insert(0);
+    let attempt = *n;
+    *n += 1;
+    match s.policy.backoff(attempt) {
+        Some(d) => {
+            s.pending.insert(tid.ptid.0);
+            let st2 = Rc::clone(st);
+            let at = mach.now() + d;
+            mach.at(at, move |inner| {
+                let mut s = st2.borrow_mut();
+                s.pending.remove(&tid.ptid.0);
+                if let Some(fault_at) = inner.thread_fault_time(tid) {
+                    s.recovery.record((inner.now() - fault_at).0);
+                }
+                if inner.restart_thread(tid) {
+                    s.restarts += 1;
+                }
+                // The slot was busy while this restart was pending; a
+                // second casualty may have had its descriptor dropped.
+                sweep(&mut s, inner, &st2);
+            });
+        }
+        None => {
+            mach.counters_mut().inc("supervisor.gave_up");
+            mach.quarantine_thread(tid);
+        }
+    }
+}
+
+/// Finds descriptor-less casualties: wards sitting disabled with a
+/// fault time but no scheduled restart (their descriptor hit
+/// backpressure and was dropped).
+fn sweep(s: &mut SupState, mach: &mut Machine, st: &Rc<RefCell<SupState>>) {
+    let wards = s.wards.clone();
+    for tid in wards {
+        if mach.thread_state(tid) == ThreadState::Disabled
+            && mach.thread_fault_time(tid).is_some()
+        {
+            schedule_restart(s, mach, st, tid);
+        }
+    }
+}
+
+impl Supervisor {
+    /// Installs the supervisor thread on `core` (program image at
+    /// `image_base`, one 4 KiB page).
+    pub fn install(
+        m: &mut Machine,
+        core: usize,
+        policy: RetryPolicy,
+        image_base: u64,
+    ) -> Result<Supervisor, MachineError> {
+        let edp = m.alloc(64); // 32-byte descriptor, own cache line
+        let prog = assemble(&format!(
+            r#"
+            .base {base:#x}
+            ; Arm-check-wait on the descriptor KIND word: nonzero means
+            ; a ward faulted. The hcall acks (zeroes) it, so the re-check
+            ; after serving catches a descriptor that landed meanwhile.
+            entry:
+                movi r1, 0
+            loop:
+                monitor {edp}
+                ld r2, {edp}
+                bne r2, r1, serve
+                mwait
+                jmp loop
+            serve:
+                hcall {sup}
+                jmp loop
+            "#,
+            base = image_base,
+            edp = edp,
+            sup = HCALL_SUPERVISE,
+        ))
+        .expect("supervisor template is valid assembly");
+        let tid = m.load_program(core, &prog)?;
+        // A private slot so a supervisor fault can't halt the machine.
+        let own_edp = m.alloc(64);
+        m.set_thread_edp(tid, own_edp);
+        m.set_thread_prio(tid, 7);
+        m.start_thread(tid);
+
+        let state = Rc::new(RefCell::new(SupState {
+            edp,
+            wards: Vec::new(),
+            pending: HashSet::new(),
+            attempts: HashMap::new(),
+            policy,
+            recovery: Histogram::new(),
+            restarts: 0,
+        }));
+
+        let st = Rc::clone(&state);
+        m.register_hcall(HCALL_SUPERVISE, move |mach, _tid| {
+            let mut s = st.borrow_mut();
+            let kind = mach.peek_u64(s.edp);
+            if kind != 0 {
+                let ptid = mach.peek_u64(s.edp + 8);
+                mach.poke_u64(s.edp, 0); // ack: reopen the slot
+                mach.charge(Cycles(50)); // triage bookkeeping
+                if let Some(tid) =
+                    s.wards.iter().copied().find(|t| u64::from(t.ptid.0) == ptid)
+                {
+                    schedule_restart(&mut s, mach, &st, tid);
+                }
+            }
+            sweep(&mut s, mach, &st);
+        });
+
+        Ok(Supervisor { tid, edp, state })
+    }
+
+    /// Registers `tid` as a ward: its exceptions now land in the shared
+    /// slot and earn it a restart. Set a watchdog separately
+    /// ([`Machine::set_thread_watchdog`]) to catch wedged parks too.
+    pub fn supervise(&self, m: &mut Machine, tid: ThreadId) {
+        m.set_thread_edp(tid, self.edp);
+        self.state.borrow_mut().wards.push(tid);
+    }
+
+    /// Fault → restart latency histogram.
+    #[must_use]
+    pub fn recovery_latency(&self) -> Histogram {
+        self.state.borrow().recovery.clone()
+    }
+
+    /// Restarts performed.
+    #[must_use]
+    pub fn restarts(&self) -> u64 {
+        self.state.borrow().restarts
+    }
+
+    /// Clears measurement state (end of warmup). Retry bookkeeping is
+    /// kept — backoff schedules survive a measurement reset.
+    pub fn reset_measurements(&self) {
+        let mut s = self.state.borrow_mut();
+        s.recovery.reset();
+        s.restarts = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use switchless_core::machine::MachineConfig;
-    use switchless_core::tid::ThreadState;
     use switchless_dev::timer::ApicTimer;
 
     #[test]
@@ -182,5 +379,141 @@ mod tests {
         );
         m.run_for(Cycles(300_000));
         assert_eq!(set.handled(&m, 0), 5);
+    }
+
+    /// A park/serve worker waiting on `mb` forever.
+    fn ward_src(base: u64, mb: u64) -> String {
+        format!(
+            r#"
+            .base {base:#x}
+            entry:
+                movi r1, 0
+            loop:
+                monitor {mb}
+                ld r2, {mb}
+                bne r2, r1, serve
+                mwait
+                jmp loop
+            serve:
+                mov r1, r2
+                jmp loop
+            "#
+        )
+    }
+
+    #[test]
+    fn supervisor_restarts_wedged_ward() {
+        let mut m = Machine::new(MachineConfig::small());
+        let sup = Supervisor::install(&mut m, 0, RetryPolicy::default(), 0x40000).unwrap();
+        let mb = m.alloc(64);
+        let ward = m
+            .load_program(0, &assemble(&ward_src(0x50000, mb)).unwrap())
+            .unwrap();
+        sup.supervise(&mut m, ward);
+        m.set_thread_watchdog(ward, Some(Cycles(10_000)));
+        m.start_thread(ward);
+        // Nobody ever writes the mailbox: the ward wedges, the watchdog
+        // turns it into a descriptor, the supervisor restarts it (and it
+        // wedges again — the cycle is the point).
+        m.run_for(Cycles(100_000));
+        assert!(sup.restarts() >= 2, "restart cycle running: {}", sup.restarts());
+        assert_eq!(
+            sup.recovery_latency().count() as u64,
+            sup.restarts(),
+            "one latency sample per restart"
+        );
+        assert!(m.halted_reason().is_none(), "machine survives the wedging");
+    }
+
+    #[test]
+    fn overflow_dropped_casualty_is_swept() {
+        // Two wards crash near-simultaneously into ONE descriptor slot:
+        // the second descriptor is dropped by backpressure, but the
+        // supervisor's sweep still finds and restarts the second ward.
+        let mut m = Machine::new(MachineConfig::small());
+        let sup = Supervisor::install(
+            &mut m,
+            0,
+            RetryPolicy {
+                initial_backoff: Cycles(2_000),
+                max_backoff: Cycles(2_000),
+                max_retries: 4,
+            },
+            0x40000,
+        )
+        .unwrap();
+        // Crash on the first life only; halt cleanly on the second.
+        let mk = |base: u64, ctr: u64| {
+            assemble(&format!(
+                r#"
+                .base {base:#x}
+                entry:
+                    ld r1, {ctr}
+                    addi r1, r1, 1
+                    st r1, {ctr}
+                    movi r2, 1
+                    beq r1, r2, crash
+                    halt
+                crash:
+                    movi r3, 0
+                    div r4, r4, r3
+                    halt
+                "#
+            ))
+            .unwrap()
+        };
+        let ctr_a = m.alloc(64);
+        let ctr_b = m.alloc(64);
+        let ta = m.load_program(0, &mk(0x50000, ctr_a)).unwrap();
+        let tb = m.load_program(0, &mk(0x60000, ctr_b)).unwrap();
+        sup.supervise(&mut m, ta);
+        sup.supervise(&mut m, tb);
+        m.start_thread(ta);
+        m.start_thread(tb);
+        m.run_for(Cycles(100_000));
+        assert_eq!(m.peek_u64(ctr_a), 2, "ward A got its second life");
+        assert_eq!(m.peek_u64(ctr_b), 2, "ward B recovered despite no descriptor");
+        assert_eq!(m.thread_state(ta), ThreadState::Halted);
+        assert_eq!(m.thread_state(tb), ThreadState::Halted);
+        assert_eq!(sup.restarts(), 2);
+        assert!(
+            m.counters().get("exception.descriptor_overflow") >= 1,
+            "the second descriptor did hit backpressure"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_the_ward() {
+        let mut m = Machine::new(MachineConfig::small());
+        let sup = Supervisor::install(
+            &mut m,
+            0,
+            RetryPolicy {
+                initial_backoff: Cycles(5_000),
+                max_backoff: Cycles(5_000),
+                max_retries: 1,
+            },
+            0x40000,
+        )
+        .unwrap();
+        let mb = m.alloc(64);
+        let ward = m
+            .load_program(0, &assemble(&ward_src(0x50000, mb)).unwrap())
+            .unwrap();
+        sup.supervise(&mut m, ward);
+        m.set_thread_watchdog(ward, Some(Cycles(10_000)));
+        m.start_thread(ward);
+        m.run_for(Cycles(200_000));
+        // One restart (fault -> 5k backoff -> restart), then the second
+        // wedge exhausts the budget: quarantined, no restart churn.
+        assert_eq!(sup.restarts(), 1);
+        assert!(m.is_quarantined(ward));
+        assert_eq!(m.counters().get("supervisor.gave_up"), 1);
+        // Recovery latency = watchdog descriptor -> restart: the 5k
+        // backoff plus the supervisor's wake+triage overhead.
+        let lat = sup.recovery_latency();
+        assert!(lat.min() >= 5_000, "min {}", lat.min());
+        assert!(lat.max() < 8_000, "max {}", lat.max());
+        assert_eq!(m.thread_state(ward), ThreadState::Disabled);
     }
 }

@@ -1,0 +1,411 @@
+//! Deterministic fault-injection plans.
+//!
+//! The paper's §3 claim is not just that switchless I/O is fast, but that
+//! fault *containment and recovery* work without context switches. To
+//! measure that, device models must be able to fail — on demand, and
+//! reproducibly. A [`FaultPlan`] schedules faults by component, kind, rate
+//! and cycle window, drawing from per-component [`Rng`] streams forked from
+//! one seed so that:
+//!
+//! * two runs with the same seed inject the byte-identical fault sequence;
+//! * adding draws for one component never perturbs another component's
+//!   sequence (streams are decorrelated);
+//! * a kind with rate 0 consumes **no** randomness, so an installed plan
+//!   with all rates at zero is behaviourally identical to no plan at all.
+//!
+//! Device models ask the machine (which owns the plan) a single question
+//! per operation — "does fault K fire now?" — and express the failure
+//! through their existing completion-queue/doorbell protocol, never as a
+//! Rust error.
+//!
+//! # Examples
+//!
+//! ```
+//! use switchless_sim::fault::{FaultKind, FaultPlan};
+//! use switchless_sim::time::Cycles;
+//!
+//! let mut plan = FaultPlan::new(42).with_rate(FaultKind::NicDrop, 0.5);
+//! let fired: u32 = (0..1000)
+//!     .map(|i| u32::from(plan.draw(Cycles(i), FaultKind::NicDrop)))
+//!     .sum();
+//! assert!((400..600).contains(&fired)); // ~half the packets drop
+//! ```
+
+use crate::rng::Rng;
+use crate::time::Cycles;
+
+/// The component a fault kind belongs to; each gets its own RNG stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultComponent {
+    /// Network interface (RX path).
+    Nic,
+    /// Storage device (submission/completion path).
+    Ssd,
+    /// Inter-node fabric (RPC path).
+    Fabric,
+    /// Legacy MSI-X interrupt bridge.
+    Msix,
+}
+
+impl FaultComponent {
+    const COUNT: usize = 4;
+
+    fn index(self) -> usize {
+        match self {
+            FaultComponent::Nic => 0,
+            FaultComponent::Ssd => 1,
+            FaultComponent::Fabric => 2,
+            FaultComponent::Msix => 3,
+        }
+    }
+}
+
+/// A specific way a device operation can fail.
+///
+/// Kinds are deliberately concrete — each maps to one injection point in
+/// one device model, surfaced through that device's normal completion
+/// protocol (a skipped descriptor write, a flipped payload byte, a status
+/// bit in the completion word, a delayed tail bump, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// NIC silently drops an RX packet: no DMA, no descriptor, no tail.
+    NicDrop,
+    /// NIC delivers the packet with a corrupted payload byte.
+    NicCorrupt,
+    /// NIC delivers the packet late by a drawn stall delay.
+    NicStall,
+    /// SSD read completes with the error bit set and no data DMA.
+    SsdReadError,
+    /// SSD operation completes after an extra drawn latency spike.
+    SsdLatencySpike,
+    /// SSD completion-queue entry is torn: the tail bump and cookie land
+    /// on time, the sequence word lands later.
+    SsdTornCompletion,
+    /// Fabric loses an RPC response outright; the caller never hears back.
+    FabricLoss,
+    /// Fabric delays an RPC response by a drawn reorder gap.
+    FabricReorder,
+    /// MSI-X bridge loses a routed interrupt (legacy baseline only).
+    MsixLostInterrupt,
+}
+
+impl FaultKind {
+    /// Every kind, in stable declaration order.
+    pub const ALL: [FaultKind; 9] = [
+        FaultKind::NicDrop,
+        FaultKind::NicCorrupt,
+        FaultKind::NicStall,
+        FaultKind::SsdReadError,
+        FaultKind::SsdLatencySpike,
+        FaultKind::SsdTornCompletion,
+        FaultKind::FabricLoss,
+        FaultKind::FabricReorder,
+        FaultKind::MsixLostInterrupt,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            FaultKind::NicDrop => 0,
+            FaultKind::NicCorrupt => 1,
+            FaultKind::NicStall => 2,
+            FaultKind::SsdReadError => 3,
+            FaultKind::SsdLatencySpike => 4,
+            FaultKind::SsdTornCompletion => 5,
+            FaultKind::FabricLoss => 6,
+            FaultKind::FabricReorder => 7,
+            FaultKind::MsixLostInterrupt => 8,
+        }
+    }
+
+    /// The component whose RNG stream this kind draws from.
+    #[must_use]
+    pub fn component(self) -> FaultComponent {
+        match self {
+            FaultKind::NicDrop | FaultKind::NicCorrupt | FaultKind::NicStall => {
+                FaultComponent::Nic
+            }
+            FaultKind::SsdReadError
+            | FaultKind::SsdLatencySpike
+            | FaultKind::SsdTornCompletion => FaultComponent::Ssd,
+            FaultKind::FabricLoss | FaultKind::FabricReorder => FaultComponent::Fabric,
+            FaultKind::MsixLostInterrupt => FaultComponent::Msix,
+        }
+    }
+
+    /// The machine counter incremented when this kind fires.
+    #[must_use]
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            FaultKind::NicDrop => "fault.nic.drop",
+            FaultKind::NicCorrupt => "fault.nic.corrupt",
+            FaultKind::NicStall => "fault.nic.stall",
+            FaultKind::SsdReadError => "fault.ssd.read_error",
+            FaultKind::SsdLatencySpike => "fault.ssd.latency_spike",
+            FaultKind::SsdTornCompletion => "fault.ssd.torn_completion",
+            FaultKind::FabricLoss => "fault.fabric.loss",
+            FaultKind::FabricReorder => "fault.fabric.reorder",
+            FaultKind::MsixLostInterrupt => "fault.msix.lost",
+        }
+    }
+
+    /// Default extra-delay range (cycles) for delay-shaped kinds.
+    ///
+    /// Only meaningful for kinds whose failure mode is "late, not lost":
+    /// stalls, spikes, torn completions and reorders. On a 3 GHz clock,
+    /// 3000 cycles = 1 µs.
+    fn default_delay(self) -> (Cycles, Cycles) {
+        match self {
+            // NIC RX stall: 1–10 µs, a PCIe replay / pause-frame hiccup.
+            FaultKind::NicStall => (Cycles(3_000), Cycles(30_000)),
+            // SSD latency spike: 100 µs – 1 ms, GC or error-recovery pause.
+            FaultKind::SsdLatencySpike => (Cycles(300_000), Cycles(3_000_000)),
+            // Torn completion: the seq word lags the cookie by 1–10 µs.
+            FaultKind::SsdTornCompletion => (Cycles(3_000), Cycles(30_000)),
+            // Fabric reorder: one extra RTT-ish of skew.
+            FaultKind::FabricReorder => (Cycles(6_000), Cycles(60_000)),
+            // Loss-shaped kinds never ask for a delay; keep it degenerate.
+            _ => (Cycles(0), Cycles(0)),
+        }
+    }
+}
+
+impl core::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // "fault.nic.drop" -> "nic.drop"
+        let name = self
+            .counter_name()
+            .strip_prefix("fault.")
+            .unwrap_or_else(|| self.counter_name());
+        f.write_str(name)
+    }
+}
+
+/// Per-kind injection settings.
+#[derive(Clone, Copy, Debug)]
+struct KindSetting {
+    /// Probability a single eligible operation faults, in `[0, 1]`.
+    rate: f64,
+    /// Faults fire only in `[from, to)` simulated cycles.
+    from: Cycles,
+    to: Cycles,
+    /// Extra-delay range for delay-shaped kinds.
+    delay: (Cycles, Cycles),
+}
+
+/// A seeded, deterministic schedule of device faults.
+///
+/// Construct with [`FaultPlan::new`], configure with the builder methods,
+/// then install on the machine. Devices never hold the plan directly; they
+/// query it through the machine so counters and tracing stay centralised.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    /// One decorrelated stream per component, forked from the seed.
+    streams: [Rng; FaultComponent::COUNT],
+    settings: [KindSetting; FaultKind::ALL.len()],
+}
+
+impl FaultPlan {
+    /// Creates a plan with every rate at zero (injects nothing).
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        let mut root = Rng::seed_from(seed);
+        let streams = [root.fork(1), root.fork(2), root.fork(3), root.fork(4)];
+        let settings = FaultKind::ALL.map(|k| KindSetting {
+            rate: 0.0,
+            from: Cycles(0),
+            to: Cycles(u64::MAX),
+            delay: k.default_delay(),
+        });
+        FaultPlan {
+            seed,
+            streams,
+            settings,
+        }
+    }
+
+    /// Sets the per-operation fault probability for one kind.
+    #[must_use]
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> FaultPlan {
+        self.settings[kind.index()].rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the same per-operation fault probability for every kind.
+    #[must_use]
+    pub fn with_all_rates(mut self, rate: f64) -> FaultPlan {
+        for s in &mut self.settings {
+            s.rate = rate.clamp(0.0, 1.0);
+        }
+        self
+    }
+
+    /// Restricts one kind to the cycle window `[from, to)`.
+    #[must_use]
+    pub fn with_window(mut self, kind: FaultKind, from: Cycles, to: Cycles) -> FaultPlan {
+        let s = &mut self.settings[kind.index()];
+        s.from = from;
+        s.to = to;
+        self
+    }
+
+    /// Overrides the extra-delay range for a delay-shaped kind.
+    #[must_use]
+    pub fn with_delay(mut self, kind: FaultKind, lo: Cycles, hi: Cycles) -> FaultPlan {
+        assert!(lo <= hi, "delay range requires lo <= hi");
+        self.settings[kind.index()].delay = (lo, hi);
+        self
+    }
+
+    /// The seed this plan was built from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Configured rate for a kind.
+    #[must_use]
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        self.settings[kind.index()].rate
+    }
+
+    /// Decides whether `kind` fires for one operation at time `now`.
+    ///
+    /// Randomness is consumed **only** when the kind's rate is positive
+    /// and `now` is inside its window, so disabled kinds (and windows)
+    /// leave every stream untouched — determinism of the active kinds is
+    /// unaffected by how often inactive ones are queried.
+    pub fn draw(&mut self, now: Cycles, kind: FaultKind) -> bool {
+        let s = self.settings[kind.index()];
+        if s.rate <= 0.0 || now < s.from || now >= s.to {
+            return false;
+        }
+        self.streams[kind.component().index()].chance(s.rate)
+    }
+
+    /// Draws the extra delay for a delay-shaped kind that just fired.
+    ///
+    /// Returns [`Cycles::ZERO`]-ish degenerate values for loss-shaped
+    /// kinds (their default range is `0..=0`).
+    pub fn draw_delay(&mut self, kind: FaultKind) -> Cycles {
+        let (lo, hi) = self.settings[kind.index()].delay;
+        if lo == hi {
+            return lo;
+        }
+        Cycles(self.streams[kind.component().index()].next_range(lo.0, hi.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire_seq(plan: &mut FaultPlan, kind: FaultKind, n: u64) -> Vec<bool> {
+        (0..n).map(|i| plan.draw(Cycles(i), kind)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = FaultPlan::new(7).with_rate(FaultKind::NicDrop, 0.01);
+        let mut b = FaultPlan::new(7).with_rate(FaultKind::NicDrop, 0.01);
+        assert_eq!(
+            fire_seq(&mut a, FaultKind::NicDrop, 10_000),
+            fire_seq(&mut b, FaultKind::NicDrop, 10_000)
+        );
+    }
+
+    #[test]
+    fn zero_rate_consumes_no_randomness() {
+        // Interleaving draws of a zero-rate kind must not perturb the
+        // active kind's sequence, even within the same component stream.
+        let mut plain = FaultPlan::new(9).with_rate(FaultKind::NicDrop, 0.05);
+        let expect = fire_seq(&mut plain, FaultKind::NicDrop, 2_000);
+
+        let mut mixed = FaultPlan::new(9).with_rate(FaultKind::NicDrop, 0.05);
+        let got: Vec<bool> = (0..2_000)
+            .map(|i| {
+                // NicCorrupt shares the Nic stream but has rate 0.
+                assert!(!mixed.draw(Cycles(i), FaultKind::NicCorrupt));
+                mixed.draw(Cycles(i), FaultKind::NicDrop)
+            })
+            .collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn window_gates_firing() {
+        let mut p = FaultPlan::new(3)
+            .with_rate(FaultKind::FabricLoss, 1.0)
+            .with_window(FaultKind::FabricLoss, Cycles(100), Cycles(200));
+        assert!(!p.draw(Cycles(99), FaultKind::FabricLoss));
+        assert!(p.draw(Cycles(100), FaultKind::FabricLoss));
+        assert!(p.draw(Cycles(199), FaultKind::FabricLoss));
+        assert!(!p.draw(Cycles(200), FaultKind::FabricLoss));
+    }
+
+    #[test]
+    fn component_streams_are_independent() {
+        // Drawing lots of SSD faults must not change the NIC sequence.
+        let mut a = FaultPlan::new(11)
+            .with_rate(FaultKind::NicDrop, 0.02)
+            .with_rate(FaultKind::SsdReadError, 0.5);
+        let mut b = FaultPlan::new(11)
+            .with_rate(FaultKind::NicDrop, 0.02)
+            .with_rate(FaultKind::SsdReadError, 0.5);
+        let nic_a = fire_seq(&mut a, FaultKind::NicDrop, 1_000);
+        let nic_b: Vec<bool> = (0..1_000)
+            .map(|i| {
+                b.draw(Cycles(i), FaultKind::SsdReadError);
+                b.draw(Cycles(i), FaultKind::NicDrop)
+            })
+            .collect();
+        assert_eq!(nic_a, nic_b);
+    }
+
+    #[test]
+    fn empirical_rate_matches() {
+        let mut p = FaultPlan::new(21).with_rate(FaultKind::SsdLatencySpike, 0.1);
+        let n = 100_000;
+        let fired = fire_seq(&mut p, FaultKind::SsdLatencySpike, n)
+            .iter()
+            .filter(|&&f| f)
+            .count();
+        let rate = fired as f64 / n as f64;
+        assert!((0.09..0.11).contains(&rate), "empirical rate {rate}");
+    }
+
+    #[test]
+    fn delay_in_configured_range() {
+        let mut p = FaultPlan::new(5).with_delay(
+            FaultKind::FabricReorder,
+            Cycles(10),
+            Cycles(20),
+        );
+        for _ in 0..1_000 {
+            let d = p.draw_delay(FaultKind::FabricReorder);
+            assert!((10..=20).contains(&d.0), "delay {d:?}");
+        }
+        // Loss-shaped kinds have a degenerate range and draw nothing.
+        assert_eq!(p.draw_delay(FaultKind::NicDrop), Cycles(0));
+    }
+
+    #[test]
+    fn counter_names_unique_and_prefixed() {
+        let mut seen = std::collections::HashSet::new();
+        for k in FaultKind::ALL {
+            let name = k.counter_name();
+            assert!(name.starts_with("fault."), "{name}");
+            assert!(seen.insert(name), "duplicate counter {name}");
+            assert_eq!(format!("{k}"), name.strip_prefix("fault.").unwrap());
+        }
+    }
+
+    #[test]
+    fn all_rates_builder_covers_every_kind() {
+        let mut p = FaultPlan::new(1).with_all_rates(1.0);
+        for k in FaultKind::ALL {
+            assert!((p.rate(k) - 1.0).abs() < f64::EPSILON);
+            assert!(p.draw(Cycles(0), k), "{k} should fire at rate 1");
+        }
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`rng`] — a small, fully deterministic xoshiro256\*\* random number
 //!   generator ([`rng::Rng`]) so that every simulation is reproducible from
 //!   a seed, independent of external crates.
+//! * [`fault`] — seeded, deterministic fault-injection plans
+//!   ([`fault::FaultPlan`]) that schedule device faults by component, kind,
+//!   rate and cycle window.
 //! * [`stats`] — streaming summaries, log-bucketed latency histograms with
 //!   percentile queries, and named counter registries.
 //! * [`report`] — plain-text/CSV table rendering used by the experiment
@@ -44,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod report;
 pub mod rng;
 pub mod stats;
@@ -51,6 +55,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use fault::{FaultComponent, FaultKind, FaultPlan};
 pub use rng::Rng;
 pub use stats::{Counters, Histogram, Summary};
 pub use time::{Cycles, Freq};

@@ -181,6 +181,22 @@ impl Table {
     }
 }
 
+/// Builds a two-column table from every counter whose name starts with
+/// `prefix`, in name order.
+///
+/// Used by fault-injection experiments to report per-fault-kind totals
+/// (e.g. every `fault.*` counter) without hand-listing the names.
+#[must_use]
+pub fn counters_table(title: &str, counters: &crate::stats::Counters, prefix: &str) -> Table {
+    let mut t = Table::new(title, &["counter", "count"]);
+    for (name, value) in counters.iter() {
+        if name.starts_with(prefix) {
+            t.row_owned(vec![name.to_owned(), value.to_string()]);
+        }
+    }
+    t
+}
+
 /// Formats a float with engineering-friendly precision.
 ///
 /// Values ≥ 100 get no decimals, ≥ 10 one decimal, otherwise two.
@@ -250,6 +266,19 @@ mod tests {
         assert_eq!(fnum(42.25), "42.2");
         assert_eq!(fnum(3.21987), "3.22");
         assert_eq!(fnum(0.5), "0.50");
+    }
+
+    #[test]
+    fn counters_table_filters_by_prefix() {
+        let mut c = crate::stats::Counters::default();
+        c.add("fault.nic.drop", 3);
+        c.add("fault.ssd.read_error", 1);
+        c.add("nic.rx.packets", 500);
+        let t = counters_table("faults", &c, "fault.");
+        assert_eq!(t.len(), 2);
+        let csv = t.to_csv();
+        assert!(csv.contains("fault.nic.drop,3"));
+        assert!(!csv.contains("nic.rx.packets"));
     }
 
     #[test]

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here runs fully offline.
+#
+#   build    release build of the whole workspace
+#   test     the ~450 unit/integration/property tests
+#   clippy   workspace lints, warnings are errors
+#   replay   deterministic-replay check: two same-seed runs of the
+#            fault-injected f16 experiment must render byte-identical
+#            reports (timing and absolute-path lines stripped)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test"
+cargo test -q --workspace
+
+step "cargo clippy -D warnings"
+cargo clippy --workspace -- -D warnings
+
+step "deterministic replay (f16 twice, same seed)"
+strip_volatile() { grep -v -e '^  ([0-9]' -e '^  csv:'; }
+a="$(cargo run -q --release -p switchless-experiments -- f16 --quick | strip_volatile)"
+b="$(cargo run -q --release -p switchless-experiments -- f16 --quick | strip_volatile)"
+if [ "$a" != "$b" ]; then
+    echo "FAIL: same-seed fault-injection runs diverged" >&2
+    diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+    exit 1
+fi
+echo "replay: byte-identical"
+
+printf '\nCI green.\n'

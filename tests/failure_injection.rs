@@ -7,11 +7,21 @@ use switchless::core::exception::ExceptionKind;
 use switchless::core::machine::{Machine, MachineConfig, MonitorKind};
 use switchless::core::perm::{Perms, TdtEntry};
 use switchless::core::tid::{ThreadState, Vtid};
+use switchless::dev::nic::{Nic, NicConfig};
+use switchless::dev::ssd::{Ssd, SsdConfig, SsdOp};
 use switchless::isa::asm::assemble;
+use switchless::kern::ioengine::{checksum_seal, IoEngine, RetryPolicy};
+use switchless::sim::fault::{FaultKind, FaultPlan};
 use switchless::sim::time::Cycles;
 
 fn small() -> Machine {
     Machine::new(MachineConfig::small())
+}
+
+/// Every counter on the machine, name-ordered — the "report" whose
+/// byte-identity across same-seed runs the determinism tests assert.
+fn counter_dump(m: &Machine) -> Vec<(String, u64)> {
+    m.counters().iter().map(|(k, v)| (k.to_owned(), v)).collect()
 }
 
 /// A fault storm: 20 user threads all divide by zero; every one is
@@ -198,6 +208,167 @@ fn double_fault_without_handler_halts_once() {
     let reason = m.halted_reason().expect("must halt");
     assert!(reason.contains("triple-fault"), "{reason}");
     assert_eq!(m.counters().get("machine.halt"), 1);
+}
+
+/// Wire corruption end-to-end: a fault plan flips payload bytes, the
+/// I/O engine's checksum validation catches every damaged packet, and
+/// two same-seed runs are bit-identical.
+#[test]
+fn nic_corruption_detected_by_checksum() {
+    let run = || {
+        let mut m = small();
+        m.install_fault_plan(
+            FaultPlan::new(21).with_rate(FaultKind::NicCorrupt, 0.25),
+        );
+        let nic = Nic::attach(&mut m, NicConfig::default());
+        let eng = IoEngine::install(&mut m, 0, &nic, 4, 0x40000).unwrap();
+        eng.set_fault_handling(RetryPolicy::default(), true);
+        m.run_for(Cycles(20_000));
+        let mut payload = [0x42u8; 32];
+        checksum_seal(&mut payload);
+        let t0 = m.now();
+        for seq in 0..20u64 {
+            let at = t0 + Cycles(seq * 2_000);
+            eng.note_packet(seq, at + Cycles(300), Cycles(1_500));
+            nic.schedule_rx(&mut m, at, seq, &payload);
+        }
+        m.run_for(Cycles(500_000));
+        (eng.completed(), counter_dump(&m))
+    };
+    let (completed, counters) = run();
+    let corrupt = counters
+        .iter()
+        .find(|(k, _)| k == "engine.rx.corrupt")
+        .map_or(0, |&(_, v)| v);
+    assert!(corrupt >= 1, "the storm actually corrupted something");
+    assert_eq!(
+        corrupt,
+        counters.iter().find(|(k, _)| k == "fault.nic.corrupt").unwrap().1,
+        "every injected corruption was caught, no false positives"
+    );
+    assert_eq!(completed + corrupt, 20, "nothing lost, nothing double-counted");
+    assert_eq!((completed, counters), run(), "same seed, same bytes");
+}
+
+/// A torn SSD completion observed from assembly: the tail bump wakes the
+/// driver thread, its sequence-word validation sees the stale word, and
+/// the re-read (an mwait on the word itself) sees it heal.
+#[test]
+fn ssd_torn_completion_reread() {
+    let run = || {
+        let mut m = small();
+        m.install_fault_plan(
+            FaultPlan::new(22)
+                .with_rate(FaultKind::SsdTornCompletion, 1.0)
+                .with_delay(FaultKind::SsdTornCompletion, Cycles(5_000), Cycles(5_000)),
+        );
+        let ssd = Ssd::attach(&mut m, SsdConfig::default());
+        let prog = assemble(&format!(
+            r#"
+            .base 0x10000
+            ; r5 counts validation passes: 2 means the first read saw the
+            ; torn (stale) word and the re-read saw it healed.
+            entry:
+                movi r1, 6          ; expected CQ tail after seq 5
+            wait:
+                monitor {tail}
+                ld r2, {tail}
+                beq r2, r1, check
+                mwait
+                jmp wait
+            check:
+                movi r3, 5          ; expected sequence word
+            reread:
+                addi r5, r5, 1
+                monitor {seqw}
+                ld r4, {seqw}
+                beq r4, r3, done
+                mwait
+                jmp reread
+            done:
+                halt
+            "#,
+            tail = ssd.cq_tail,
+            seqw = ssd.cq_addr(5) + 8,
+        ))
+        .unwrap();
+        let tid = m.load_program(0, &prog).unwrap();
+        m.start_thread(tid);
+        m.run_for(Cycles(2_000));
+        let now = m.now();
+        ssd.submit(&mut m, now, 5, SsdOp::Write, 0xfeed);
+        m.run_for(Cycles(200_000));
+        assert_eq!(m.thread_state(tid), ThreadState::Halted);
+        (m.thread_reg(tid, 5), counter_dump(&m))
+    };
+    let (rereads, counters) = run();
+    assert_eq!(rereads, 2, "exactly one stale read then one healed read");
+    assert!(counters.iter().any(|(k, v)| k == "fault.ssd.torn_completion" && *v == 1));
+    assert_eq!((rereads, counters), run(), "same seed, same bytes");
+}
+
+/// Exception-descriptor backpressure at the integration level: a flooded
+/// shared slot drops the second descriptor with a counter, both
+/// offenders disable cleanly, and the machine never halts.
+#[test]
+fn descriptor_ring_overflow_sets_counter_and_disables() {
+    let run = || {
+        let mut m = small();
+        let edp = m.alloc(32);
+        let mut tids = Vec::new();
+        for i in 0..4u64 {
+            let prog = assemble(&format!(
+                ".base {:#x}\nentry:\n movi r2, 0\n div r1, r1, r2\n halt\n",
+                0x10000 + i * 0x1000
+            ))
+            .unwrap();
+            let tid = m.load_program_user(0, &prog).unwrap();
+            m.set_thread_edp(tid, edp);
+            m.start_thread(tid);
+            tids.push(tid);
+        }
+        m.run_for(Cycles(100_000));
+        assert!(m.halted_reason().is_none(), "overflow is not a halt");
+        for &t in &tids {
+            assert_eq!(m.thread_state(t), ThreadState::Disabled, "clean disable");
+        }
+        (m.peek_u64(edp), m.peek_u64(edp + 8), counter_dump(&m))
+    };
+    let (kind, ptid, counters) = run();
+    assert_eq!(kind, ExceptionKind::DivZero.code(), "first descriptor intact");
+    let overflow = counters
+        .iter()
+        .find(|(k, _)| k == "exception.descriptor_overflow")
+        .unwrap()
+        .1;
+    assert_eq!(overflow, 3, "all but the first descriptor dropped");
+    assert_eq!((kind, ptid, counters), run(), "same seed, same bytes");
+}
+
+/// The per-thread watchdog at the integration level: a wedged mwait
+/// becomes a WatchdogExpired descriptor, deterministically.
+#[test]
+fn watchdog_expires_wedged_mwait() {
+    let run = || {
+        let mut m = small();
+        let mb = m.alloc(64);
+        let prog = assemble(&format!(
+            ".base 0x10000\nentry:\n monitor {mb}\n mwait\n halt\n"
+        ))
+        .unwrap();
+        let tid = m.load_program(0, &prog).unwrap();
+        let edp = m.alloc(32);
+        m.set_thread_edp(tid, edp);
+        m.set_thread_watchdog(tid, Some(Cycles(25_000)));
+        m.start_thread(tid);
+        m.run_for(Cycles(200_000));
+        assert_eq!(m.thread_state(tid), ThreadState::Disabled);
+        (m.peek_u64(edp), counter_dump(&m))
+    };
+    let (kind, counters) = run();
+    assert_eq!(kind, ExceptionKind::WatchdogExpired.code());
+    assert!(counters.iter().any(|(k, v)| k == "watchdog.fired" && *v == 1));
+    assert_eq!((kind, counters), run(), "same seed, same bytes");
 }
 
 /// After a machine halt, the world is frozen: no further instructions
