@@ -61,7 +61,8 @@ fn measure_legacy_irq(n_events: usize, mean_gap: f64) -> Histogram {
 }
 
 /// Runs F1.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let n = if quick { 1_000 } else { 10_000 };
     let mean_gap = 30_000.0; // 10 µs between events: uncontended.
 

@@ -48,8 +48,12 @@ fn point_from(h: &Histogram, completed: u64, elapsed: Cycles, busy: u64) -> Poin
     }
 }
 
+/// Base seed for the F2/F3 load sweep; each point derives its own stream
+/// with `mix_seed(SEED, point_index)`.
+const SEED: u64 = 7;
+
 /// Measured hwt engine at utilization `rho`.
-fn measure_hwt(rho: f64, n: usize) -> Point {
+fn measure_hwt(seed: u64, rho: f64, n: usize) -> Point {
     let mut cfg = MachineConfig::small();
     cfg.ptids_per_core = 128;
     let mut m = Machine::new(cfg);
@@ -58,7 +62,7 @@ fn measure_hwt(rho: f64, n: usize) -> Point {
     m.run_for(Cycles(30_000));
 
     let gap = SERVICE as f64 / (SERVERS as f64 * rho);
-    let mut rng = Rng::seed_from(7);
+    let mut rng = Rng::seed_from(seed);
     let start = m.now() + Cycles(1000);
     let arrivals = poisson_arrivals(&mut rng, start, gap, n);
     let dma = Cycles(300);
@@ -104,8 +108,14 @@ fn measure_hwt(rho: f64, n: usize) -> Point {
 }
 
 /// Legacy designs through the queueing simulator.
-fn measure_queue(cfg: &switchless_wl::queue::QueueConfig, rho: f64, n: usize, burn_cores: Option<f64>) -> Point {
-    let mut rng = Rng::seed_from(7);
+fn measure_queue(
+    seed: u64,
+    cfg: &switchless_wl::queue::QueueConfig,
+    rho: f64,
+    n: usize,
+    burn_cores: Option<f64>,
+) -> Point {
+    let mut rng = Rng::seed_from(seed);
     let gap = SERVICE as f64 / (SERVERS as f64 * rho);
     let jobs: Vec<(Cycles, Cycles)> = poisson_arrivals(&mut rng, Cycles(0), gap, n)
         .into_iter()
@@ -121,8 +131,13 @@ fn measure_queue(cfg: &switchless_wl::queue::QueueConfig, rho: f64, n: usize, bu
 }
 
 /// Runs F2 (throughput/cores) and F3 (latency).
-pub fn run(quick: bool) -> Vec<Table> {
-    let n = if quick { 2_000 } else { 20_000 };
+///
+/// Load points run on up to `ctx.jobs` workers. Each point's seed is
+/// `mix_seed(SEED, index)`, shared by the three designs at that point
+/// (common random numbers for fair comparison) and decorrelated from the
+/// other points; the tables are bit-identical for any worker count.
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let n = if ctx.quick { 2_000 } else { 20_000 };
     let rhos = [0.1, 0.3, 0.5, 0.7, 0.9];
 
     let sw = SwScheduler::default();
@@ -149,10 +164,14 @@ pub fn run(quick: bool) -> Vec<Table> {
         ],
     );
 
-    for &rho in &rhos {
-        let pi = measure_queue(&interrupt_cfg, rho, n, None);
-        let pp = measure_queue(&polling_cfg, rho, n, Some(SERVERS as f64));
-        let ph = measure_hwt(rho, n);
+    let points = switchless_sim::par::par_map(ctx.jobs, &rhos, |i, &rho| {
+        let seed = switchless_sim::rng::mix_seed(SEED, i as u64);
+        let pi = measure_queue(seed, &interrupt_cfg, rho, n, None);
+        let pp = measure_queue(seed, &polling_cfg, rho, n, Some(SERVERS as f64));
+        let ph = measure_hwt(seed, rho, n);
+        (rho, pi, pp, ph)
+    });
+    for (rho, pi, pp, ph) in points {
         f2.row_owned(vec![
             format!("{rho:.1}"),
             fnum(pi.throughput_mrps),
@@ -192,15 +211,15 @@ mod tests {
 
     #[test]
     fn hwt_latency_near_service_time_at_low_load() {
-        let p = measure_hwt(0.2, 1_000);
+        let p = measure_hwt(SEED, 0.2, 1_000);
         // 1 µs service: p50 should be within ~35% of it.
         assert!(p.p50_ns < 1_350.0, "p50 {}ns", p.p50_ns);
     }
 
     #[test]
     fn hwt_cores_scale_with_load_unlike_polling() {
-        let lo = measure_hwt(0.1, 800);
-        let hi = measure_hwt(0.7, 800);
+        let lo = measure_hwt(SEED, 0.1, 800);
+        let hi = measure_hwt(SEED, 0.7, 800);
         assert!(lo.cores_used < 0.4, "low load burned {} cores", lo.cores_used);
         assert!(hi.cores_used > lo.cores_used * 3.0);
     }
@@ -209,8 +228,18 @@ mod tests {
     fn interrupt_design_pays_wakeup_at_low_load() {
         let sw = SwScheduler::default();
         let cfg = sw.to_queue_config(SERVERS, 16 * 1024);
-        let p = measure_queue(&cfg, 0.2, 2_000, None);
+        let p = measure_queue(SEED, &cfg, 0.2, 2_000, None);
         // ~1 µs service + ~5-6 µs of wakeup+switch overheads.
         assert!(p.p50_ns > 3_000.0, "p50 {}ns", p.p50_ns);
+    }
+
+    #[test]
+    fn f2_tables_identical_for_any_job_count() {
+        let serial = run(&crate::RunCtx::serial(true));
+        let par = run(&crate::RunCtx { quick: true, jobs: 4 });
+        assert_eq!(serial.len(), par.len());
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.to_csv(), p.to_csv());
+        }
     }
 }

@@ -73,7 +73,8 @@ fn measure_hwt_service(kernel_work: u32, iters: u32) -> u64 {
 }
 
 /// Runs F4.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let iters = if quick { 200 } else { 2_000 };
     let classes: [(&str, u32); 3] = [("null", 1), ("getpid-class", 1500), ("read-class", 4000)];
     let costs = LegacyCosts::default();

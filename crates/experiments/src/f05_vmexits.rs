@@ -81,7 +81,8 @@ fn measure_hwt(exit_num: u16, hv_work: u32, iters: u32) -> u64 {
 }
 
 /// Runs F5.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let iters = if quick { 200 } else { 2_000 };
     let costs = LegacyCosts::default();
     let hv_work = 500u32;

@@ -71,7 +71,8 @@ fn measure_hwt(svc_work: u32, iters: u32) -> u64 {
 }
 
 /// Runs F6.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let iters = if quick { 200 } else { 2_000 };
     let costs = LegacyCosts::default();
     let services: [(&str, u32); 3] = [

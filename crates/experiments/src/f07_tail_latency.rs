@@ -11,7 +11,9 @@
 //! * **hwt-ps**: thread-per-request on hardware fine-grain RR
 //!   (processor sharing), wake cost calibrated from the machine.
 
+use switchless_sim::par::par_map;
 use switchless_sim::report::{fnum, Table};
+use switchless_sim::rng::mix_seed;
 use switchless_sim::time::Cycles;
 use switchless_legacy::swsched::SwScheduler;
 use switchless_wl::dist::ServiceDist;
@@ -21,10 +23,18 @@ use switchless_wl::sweep::{make_jobs, run_point};
 use crate::common::calibrate_hwt_wake;
 
 const SERVERS: usize = 2;
+const SEED: u64 = 99;
+const RHOS: [f64; 4] = [0.3, 0.5, 0.7, 0.8];
 
 /// Runs F7.
-pub fn run(quick: bool) -> Vec<Table> {
-    let n = if quick { 10_000 } else { 60_000 };
+///
+/// Sweep points are sharded across `ctx.jobs` workers; each (dist, rho)
+/// point gets a `mix_seed(SEED, grid_index)` stream, so the three designs
+/// at one point share an identical job trace (common random numbers)
+/// while distinct points are decorrelated — and the tables are
+/// bit-identical for any worker count.
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let n = if ctx.quick { 10_000 } else { 60_000 };
     let hwt_wake = calibrate_hwt_wake();
 
     let fcfs = QueueConfig {
@@ -61,7 +71,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     ];
 
     let mut tables = Vec::new();
-    for (dname, dist) in dists {
+    for (di, (dname, dist)) in dists.into_iter().enumerate() {
         let mut t = Table::new(
             &format!("F7: p99 slowdown vs load, {dname}"),
             &[
@@ -74,12 +84,17 @@ pub fn run(quick: bool) -> Vec<Table> {
                 "hwt p50",
             ],
         );
-        for rho in [0.3, 0.5, 0.7, 0.8] {
-            let mut rng = switchless_sim::rng::Rng::seed_from(99);
+        let points = par_map(ctx.jobs, &RHOS, |i, &rho| {
+            let grid_index = (di * RHOS.len() + i) as u64;
+            let mut rng =
+                switchless_sim::rng::Rng::seed_from(mix_seed(SEED, grid_index));
             let jobs = make_jobs(&mut rng, &dist, SERVERS, rho, n);
             let pf = run_point(&fcfs, &jobs, 0.1, rho);
             let po = run_point(&os_threads, &jobs, 0.1, rho);
             let ph = run_point(&hwt_ps, &jobs, 0.1, rho);
+            (rho, pf, po, ph)
+        });
+        for (rho, pf, po, ph) in points {
             t.row_owned(vec![
                 format!("{rho:.1}"),
                 fnum(pf.p99 as f64 / 1000.0),

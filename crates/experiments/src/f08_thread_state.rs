@@ -75,7 +75,8 @@ fn measure_round_robin_wakes(n_threads: usize, rounds: usize) -> (Histogram, (u6
 }
 
 /// Runs F8.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let rounds = if quick { 2 } else { 6 };
     let mut t = Table::new(
         "F8: measured wake-to-dispatch latency vs parked threads per core",

@@ -67,7 +67,8 @@ fn measure(policy: SchedPolicy, background: usize, events: usize) -> Histogram {
 }
 
 /// Runs F9.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let events = if quick { 40 } else { 200 };
     let mut t = Table::new(
         "F9: time-critical handler wake latency vs background threads",

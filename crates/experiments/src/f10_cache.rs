@@ -132,7 +132,8 @@ fn measure(rate_lines_per_kcy: u64, partition: bool, window: u64) -> Outcome {
 }
 
 /// Runs F10.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let window = if quick { 6_000_000 } else { 12_000_000 };
     let rates: &[u64] = if quick { &[0, 64] } else { &[0, 16, 64, 256] };
     let mut t = Table::new(

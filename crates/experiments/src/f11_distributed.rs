@@ -56,7 +56,7 @@ fn measure(threads: usize) -> Outcome {
 }
 
 /// Runs F11.
-pub fn run(_quick: bool) -> Vec<Table> {
+pub fn run(_ctx: &crate::RunCtx) -> Vec<Table> {
     let costs = LegacyCosts::default();
     // Software thread-per-request CPU cost per RPC: issue + local work +
     // blocked wakeup on response + a context switch per block.

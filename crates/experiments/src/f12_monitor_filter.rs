@@ -95,7 +95,8 @@ fn false_wake_on_machine() -> (u64, u64) {
 }
 
 /// Runs F12.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let stores = if quick { 20_000 } else { 100_000 };
     let mut t = Table::new(
         "F12: monitor-filter designs vs armed watch count",

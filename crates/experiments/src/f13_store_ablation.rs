@@ -94,7 +94,8 @@ fn measure(dirty: bool, criticality: bool, prefetch: bool, rounds: usize) -> (Hi
 }
 
 /// Runs F13.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let rounds = if quick { 2 } else { 6 };
     let mut t = Table::new(
         "F13: state-store policy ablation (RF=8, 32 workers)",

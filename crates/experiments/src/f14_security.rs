@@ -126,7 +126,8 @@ fn run_chain(depth: usize, last_has_handler: bool) -> (bool, u64) {
 }
 
 /// Runs F14.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let iters = if quick { 200 } else { 2_000 };
 
     let cached = measure_start_loop(false, iters);

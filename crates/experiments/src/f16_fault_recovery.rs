@@ -210,7 +210,8 @@ fn pcts(h: &Histogram) -> (String, String) {
 }
 
 /// Runs F16.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
+    let quick = ctx.quick;
     let duration = Cycles(if quick { 10_000_000 } else { 60_000_000 });
     let rates: &[f64] = if quick {
         &[1e-4, 1e-3, 1e-2]

@@ -3,17 +3,28 @@
 //! [`run_cli`].
 //!
 //! ```text
-//! experiments all [--quick]      # run everything
-//! experiments f1 f7 [--quick]    # run selected experiments
-//! experiments list               # list experiment ids
+//! experiments all [--quick] [--jobs N] [--out DIR]   # run everything
+//! experiments f1 f7 [--quick]                        # run selected experiments
+//! experiments list                                   # list experiment ids
 //! ```
 //!
 //! Each experiment prints its table(s) and writes CSV files under
-//! `results/`.
+//! `results/` (or `--out DIR`).
+//!
+//! **Parallelism and determinism.** `--jobs N` (or `SWITCHLESS_JOBS`;
+//! default: host parallelism) runs independent experiments — and the load
+//! sweeps inside them — on a scoped worker pool. Output is captured per
+//! experiment and flushed in registry order, and per-point RNG seeds are
+//! derived from point *indices* (`switchless_sim::rng::mix_seed`), never
+//! from which worker ran a point, so stdout tables and the `results/`
+//! CSV tree are bit-identical for every `--jobs` value. A wall-clock
+//! timing table is appended to the run log so speedups are measured, not
+//! asserted; it is deliberately never written to `results/`.
 
 use std::path::PathBuf;
 
-use switchless_sim::report::Table;
+use switchless_sim::par;
+use switchless_sim::report::{fnum, CsvSink, Table};
 
 pub mod common;
 pub mod f01_wakeup;
@@ -34,11 +45,29 @@ pub mod f16_fault_recovery;
 pub mod t1_tdt;
 pub mod t2_capacity;
 
+/// Per-run settings threaded through every experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct RunCtx {
+    /// Shrink sample counts for a fast smoke run.
+    pub quick: bool,
+    /// Worker-thread budget for in-experiment parallelism (load sweeps).
+    /// Results are bit-identical for any value; 1 means fully serial.
+    pub jobs: usize,
+}
+
+impl RunCtx {
+    /// A serial context, the default for unit tests.
+    #[must_use]
+    pub fn serial(quick: bool) -> RunCtx {
+        RunCtx { quick, jobs: 1 }
+    }
+}
+
 /// One runnable experiment.
 pub struct Experiment {
     pub id: &'static str,
     pub title: &'static str,
-    pub run: fn(quick: bool) -> Vec<Table>,
+    pub run: fn(ctx: &RunCtx) -> Vec<Table>,
 }
 
 pub fn registry() -> Vec<Experiment> {
@@ -135,44 +164,188 @@ pub fn results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
 }
 
+/// Parsed command line for [`run_cli`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cli {
+    /// Shrink sample counts for a fast smoke run.
+    pub quick: bool,
+    /// Explicit `--jobs N`; `None` defers to `SWITCHLESS_JOBS`/host.
+    pub jobs: Option<usize>,
+    /// Explicit `--out DIR` for the CSV tree; `None` means `results/`.
+    pub out: Option<PathBuf>,
+    /// Experiment ids (or `all` / `list`) in the order given.
+    pub selected: Vec<String>,
+}
+
+/// Parses harness arguments (everything after the binary name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for an unknown flag or a malformed
+/// flag value.
+pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut flag_value = |name: &str| -> Result<String, String> {
+            if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+                Ok(v.to_owned())
+            } else {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            }
+        };
+        if a == "--quick" {
+            cli.quick = true;
+        } else if a == "--jobs" || a.starts_with("--jobs=") {
+            let v = flag_value("--jobs")?;
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--jobs expects a positive integer, got {v:?}"))?;
+            if n == 0 {
+                return Err("--jobs must be at least 1".to_owned());
+            }
+            cli.jobs = Some(n);
+        } else if a == "--out" || a.starts_with("--out=") {
+            cli.out = Some(PathBuf::from(flag_value("--out")?));
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag {a:?}"));
+        } else {
+            cli.selected.push(a.clone());
+        }
+    }
+    Ok(cli)
+}
+
+/// Entry point of the `experiments` binary.
+///
+/// Runs the selected experiments on up to `--jobs` worker threads while
+/// keeping stdout and the CSV tree in registry order: each experiment's
+/// tables are computed in a worker, then printed/written from the main
+/// thread as soon as every earlier experiment has been flushed. CSV
+/// writes go through one [`CsvSink`], so slug collisions are uniquified
+/// deterministically. Ends with a per-experiment wall-clock timing table
+/// (stdout only, never a CSV — timings are volatile by nature).
 pub fn run_cli() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
+    let cli = match parse_cli(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}; try `experiments list`");
+            std::process::exit(2);
+        }
+    };
 
     let registry = registry();
-    if selected.iter().any(|s| s == "list") {
+    if cli.selected.iter().any(|s| s == "list") {
         for e in &registry {
             println!("{:4}  {}", e.id, e.title);
         }
         return;
     }
 
-    let run_all = selected.is_empty() || selected.iter().any(|s| s == "all");
-    let dir = results_dir();
-    let mut ran = 0;
-    for e in &registry {
-        if !run_all && !selected.iter().any(|s| s == e.id) {
-            continue;
-        }
-        ran += 1;
-        println!("\n##### {} #####", e.title);
-        let t0 = std::time::Instant::now();
-        for table in (e.run)(quick) {
-            print!("{}", table.render());
-            match table.write_csv(&dir) {
-                Ok(path) => println!("  csv: {}", path.display()),
-                Err(err) => eprintln!("  csv write failed: {err}"),
+    let run_all = cli.selected.is_empty() || cli.selected.iter().any(|s| s == "all");
+    if !run_all {
+        for s in &cli.selected {
+            if !registry.iter().any(|e| e.id == *s) {
+                eprintln!("unknown experiment id {s:?}; try `experiments list`");
+                std::process::exit(2);
             }
         }
-        println!("  ({:.1}s)", t0.elapsed().as_secs_f64());
     }
-    if ran == 0 {
-        eprintln!("unknown experiment id(s): {selected:?}; try `experiments list`");
-        std::process::exit(2);
+    let to_run: Vec<&Experiment> = registry
+        .iter()
+        .filter(|e| run_all || cli.selected.iter().any(|s| s == e.id))
+        .collect();
+
+    let jobs = par::resolve_jobs(cli.jobs);
+    let ctx = RunCtx { quick: cli.quick, jobs };
+    let dir = cli.out.clone().unwrap_or_else(results_dir);
+    let mut sink = CsvSink::new(&dir);
+    let mut timings: Vec<(&'static str, f64)> = Vec::new();
+    let wall0 = std::time::Instant::now();
+
+    par::for_each_ordered(
+        jobs,
+        &to_run,
+        |_, e| {
+            let t0 = std::time::Instant::now();
+            let tables = (e.run)(&ctx);
+            (tables, t0.elapsed().as_secs_f64())
+        },
+        |i, (tables, secs)| {
+            let e = to_run[i];
+            println!("\n##### {} #####", e.title);
+            for table in &tables {
+                print!("{}", table.render());
+                match sink.write(table) {
+                    Ok(path) => println!("  csv: {}", path.display()),
+                    Err(err) => eprintln!("  csv write failed: {err}"),
+                }
+            }
+            println!("  ({secs:.1}s)");
+            timings.push((e.id, secs));
+        },
+    );
+
+    let wall = wall0.elapsed().as_secs_f64();
+    let mut t = Table::new(
+        "Run timing: wall-clock per experiment",
+        &["experiment", "wall (s)"],
+    );
+    for (id, secs) in &timings {
+        t.row_owned(vec![(*id).to_owned(), fnum(*secs)]);
+    }
+    let serial_sum: f64 = timings.iter().map(|(_, s)| s).sum();
+    t.row_owned(vec!["sum of experiments".to_owned(), fnum(serial_sum)]);
+    t.row_owned(vec!["whole run (wall)".to_owned(), fnum(wall)]);
+    t.caption(&format!(
+        "--jobs {jobs}; the gap between the sum and the wall line is the \
+         measured parallel speedup (not written to results/: timings are \
+         volatile, the CSV tree stays bit-identical across runs)"
+    ));
+    println!();
+    print!("{}", t.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        let owned: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        parse_cli(&owned)
+    }
+
+    #[test]
+    fn parse_cli_flags_and_ids() {
+        let cli = parse(&["f1", "--quick", "f7", "--jobs", "4", "--out=/tmp/x"]).unwrap();
+        assert!(cli.quick);
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.out, Some(PathBuf::from("/tmp/x")));
+        assert_eq!(cli.selected, vec!["f1", "f7"]);
+    }
+
+    #[test]
+    fn parse_cli_jobs_equals_form() {
+        assert_eq!(parse(&["--jobs=9"]).unwrap().jobs, Some(9));
+    }
+
+    #[test]
+    fn parse_cli_rejects_bad_input() {
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "zero"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let reg = registry();
+        let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), reg.len());
     }
 }

@@ -65,7 +65,7 @@ fn probe(vtid: u16, op_asm: &str, perms_for: &dyn Fn(u16) -> Option<Perms>) -> b
 }
 
 /// Runs T1.
-pub fn run(_quick: bool) -> Vec<Table> {
+pub fn run(_ctx: &crate::RunCtx) -> Vec<Table> {
     // The paper's Table 1 rows: vtid -> (ptid label, perms).
     let perms_for = |v: u16| -> Option<Perms> {
         match v {
@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn table_matches_paper_semantics() {
-        let tables = run(true);
+        let tables = run(&crate::RunCtx::serial(true));
         let rendered = tables[0].render();
         // vtid 0: start only.
         let line0: &str = rendered.lines().nth(3).unwrap();

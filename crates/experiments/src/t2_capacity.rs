@@ -14,7 +14,7 @@ use switchless_sim::time::Cycles;
 use crate::common::{cy_ns, FREQ};
 
 /// Runs T2.
-pub fn run(_quick: bool) -> Vec<Table> {
+pub fn run(_ctx: &crate::RunCtx) -> Vec<Table> {
     let mut t = Table::new(
         "T2a: architectural-state bytes and storage capacity",
         &["quantity", "paper", "model"],
@@ -108,7 +108,7 @@ mod tests {
 
     #[test]
     fn paper_numbers_reproduced() {
-        let tables = run(true);
+        let tables = run(&crate::RunCtx::serial(true));
         let a = tables[0].render();
         assert!(a.contains("272"));
         assert!(a.contains("784"));

@@ -13,6 +13,10 @@
 //! * [`fault`] — seeded, deterministic fault-injection plans
 //!   ([`fault::FaultPlan`]) that schedule device faults by component, kind,
 //!   rate and cycle window.
+//! * [`par`] — a dependency-free scoped-thread work pool
+//!   ([`par::par_map`], [`par::for_each_ordered`]) whose results are
+//!   collected in input order, so parallel runs are bit-identical to
+//!   serial ones.
 //! * [`stats`] — streaming summaries, log-bucketed latency histograms with
 //!   percentile queries, and named counter registries.
 //! * [`report`] — plain-text/CSV table rendering used by the experiment
@@ -48,6 +52,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod par;
 pub mod report;
 pub mod rng;
 pub mod stats;

@@ -135,6 +135,10 @@ impl Table {
     }
 
     /// Renders the CSV form (RFC-4180 quoting for cells that need it).
+    ///
+    /// The output is always rectangular: every line is padded with empty
+    /// cells to the widest of the header and any data row, matching the
+    /// padding promise [`Table::row`] makes for the rendered form.
     #[must_use]
     pub fn to_csv(&self) -> String {
         fn esc(cell: &str) -> String {
@@ -144,9 +148,19 @@ impl Table {
                 cell.to_owned()
             }
         }
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
         let mut out = String::new();
-        let line =
-            |cells: &[String]| cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
+        let line = |cells: &[String]| {
+            let mut csv: Vec<String> = cells.iter().map(|c| esc(c)).collect();
+            csv.resize(ncols, String::new());
+            csv.join(",")
+        };
         let _ = writeln!(out, "{}", line(&self.headers));
         for r in &self.rows {
             let _ = writeln!(out, "{}", line(r));
@@ -154,14 +168,15 @@ impl Table {
         out
     }
 
-    /// Writes the CSV form to `dir/<slug>.csv`, creating the directory.
+    /// The file-name slug derived from the title: lowercased, runs of
+    /// non-alphanumerics collapsed to `_`.
     ///
-    /// The slug is derived from the title (lowercased, non-alphanumerics
-    /// collapsed to `_`). Returns the written path.
-    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
-        std::fs::create_dir_all(dir)?;
-        let slug: String = self
-            .title
+    /// Distinct titles can share a slug (they may differ only in
+    /// punctuation); [`CsvSink`] detects and uniquifies such collisions
+    /// within a run.
+    #[must_use]
+    pub fn slug(&self) -> String {
+        self.title
             .chars()
             .map(|c| {
                 if c.is_ascii_alphanumeric() {
@@ -174,9 +189,63 @@ impl Table {
             .split('_')
             .filter(|s| !s.is_empty())
             .collect::<Vec<_>>()
-            .join("_");
-        let path = dir.join(format!("{slug}.csv"));
+            .join("_")
+    }
+
+    /// Writes the CSV form to `dir/<slug>.csv`, creating the directory.
+    ///
+    /// Returns the written path. Note this overwrites whatever is at that
+    /// path; when emitting many tables in one run, prefer [`CsvSink`],
+    /// which detects slug collisions between distinct titles.
+    pub fn write_csv(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.slug()));
         std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Writes a run's tables into one directory, uniquifying slug collisions.
+///
+/// Two titles differing only in punctuation (`"F9: x!"` vs `"F9; x?"`)
+/// map to the same [`Table::slug`]; writing both through
+/// [`Table::write_csv`] would silently clobber the first. A sink tracks
+/// every file name it has produced and gives later colliders a `_2`,
+/// `_3`, ... suffix, so each table in a run lands in its own file.
+///
+/// File-name assignment depends only on the order of [`CsvSink::write`]
+/// calls, so a harness that writes tables in a fixed (registry) order
+/// produces identical trees regardless of how the tables were computed.
+#[derive(Clone, Debug)]
+pub struct CsvSink {
+    dir: std::path::PathBuf,
+    used: std::collections::BTreeSet<String>,
+}
+
+impl CsvSink {
+    /// Creates a sink writing into `dir` (created on first write).
+    #[must_use]
+    pub fn new(dir: &std::path::Path) -> CsvSink {
+        CsvSink {
+            dir: dir.to_owned(),
+            used: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Writes `table` to `<dir>/<slug>.csv`, appending `_2`, `_3`, ... to
+    /// the slug if a previous write in this run already took it. Returns
+    /// the written path.
+    pub fn write(&mut self, table: &Table) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let base = table.slug();
+        let mut slug = base.clone();
+        let mut n = 1u32;
+        while !self.used.insert(slug.clone()) {
+            n += 1;
+            slug = format!("{base}_{n}");
+        }
+        let path = self.dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, table.to_csv())?;
         Ok(path)
     }
 }
@@ -258,6 +327,59 @@ mod tests {
         t.row(&["only-one"]);
         let s = t.render();
         assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn csv_is_rectangular_with_short_and_long_rows() {
+        let mut t = Table::new("p", &["a", "b", "c"]);
+        t.row(&["only-one"]);
+        t.row(&["1", "2", "3", "4"]); // longer than the header
+        let csv = t.to_csv();
+        let widths: Vec<usize> = csv
+            .lines()
+            .map(|l| l.split(',').count())
+            .collect();
+        assert_eq!(widths, vec![4, 4, 4], "every line padded to the widest");
+        assert!(csv.contains("only-one,,,"));
+        assert!(csv.starts_with("a,b,c,\n"));
+    }
+
+    #[test]
+    fn csv_sink_uniquifies_colliding_slugs() {
+        let dir = std::env::temp_dir().join("switchless_csv_sink_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = CsvSink::new(&dir);
+        let mut a = Table::new("F9: priority, vs RR!", &["n"]);
+        a.row(&["1"]);
+        let mut b = Table::new("F9; priority vs RR?", &["n"]);
+        b.row(&["2"]);
+        let pa = sink.write(&a).unwrap();
+        let pb = sink.write(&b).unwrap();
+        assert_eq!(a.slug(), b.slug(), "titles collide by construction");
+        assert_ne!(pa, pb);
+        assert!(pa.ends_with("f9_priority_vs_rr.csv"));
+        assert!(pb.ends_with("f9_priority_vs_rr_2.csv"));
+        assert_eq!(std::fs::read_to_string(&pa).unwrap(), "n\n1\n");
+        assert_eq!(std::fs::read_to_string(&pb).unwrap(), "n\n2\n");
+    }
+
+    #[test]
+    fn csv_sink_suffix_skips_taken_names() {
+        let dir = std::env::temp_dir().join("switchless_csv_sink_suffix_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut sink = CsvSink::new(&dir);
+        // "x 2" claims the slug "x_2" before "x" ever collides.
+        for title in ["x 2", "x", "x!"] {
+            let mut t = Table::new(title, &["h"]);
+            t.row(&["v"]);
+            sink.write(&t).unwrap();
+        }
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["x.csv", "x_2.csv", "x_3.csv"]);
     }
 
     #[test]

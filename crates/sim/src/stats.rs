@@ -484,6 +484,54 @@ mod tests {
     }
 
     #[test]
+    fn quantile_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0, -1.0, 2.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+    }
+
+    #[test]
+    fn quantile_single_sample_every_q() {
+        let mut h = Histogram::new();
+        h.record(777);
+        for q in [0.0, 0.25, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 777);
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max_exactly() {
+        // Values below SUBS have exact buckets, so q=0 / q=1 are exact.
+        let mut h = Histogram::new();
+        for v in 5..=60u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 5);
+        assert_eq!(h.quantile(1.0), 60);
+        // Out-of-range q clamps to the same extremes.
+        assert_eq!(h.quantile(-3.5), 5);
+        assert_eq!(h.quantile(7.0), 60);
+    }
+
+    #[test]
+    fn quantile_at_saturation_boundary() {
+        // Everything at or above 2^62 saturates into one exact point.
+        let mut h = Histogram::new();
+        h.record(1 << 62);
+        h.record(u64::MAX);
+        h.record((1 << 62) + 1);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 1 << 62);
+        }
+        assert_eq!(h.min(), 1 << 62);
+        // A mixed histogram still reports the saturated value at the tail.
+        h.record(10);
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(1.0), 1 << 62);
+    }
+
+    #[test]
     fn bucket_roundtrip_error_bounded() {
         for v in [1u64, 63, 64, 65, 100, 1000, 123_456, 1 << 30, 1 << 45] {
             let idx = bucket_index(v);

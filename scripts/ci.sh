@@ -7,6 +7,9 @@
 #   replay   deterministic-replay check: two same-seed runs of the
 #            fault-injected f16 experiment must render byte-identical
 #            reports (timing and absolute-path lines stripped)
+#   jobs     parallel-determinism check: the full --quick suite at
+#            --jobs 1 and --jobs 4 must write bit-identical results/
+#            trees (the harness's core invariant)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +25,9 @@ step "cargo clippy -D warnings"
 cargo clippy --workspace -- -D warnings
 
 step "deterministic replay (f16 twice, same seed)"
-strip_volatile() { grep -v -e '^  ([0-9]' -e '^  csv:'; }
+# Strip wall-clock noise: per-experiment "(N.Ns)" lines, csv paths, and
+# the trailing "Run timing" table (always the last block of the log).
+strip_volatile() { sed '/^== Run timing/,$d' | grep -v -e '^  ([0-9]' -e '^  csv:'; }
 a="$(cargo run -q --release -p switchless-experiments -- f16 --quick | strip_volatile)"
 b="$(cargo run -q --release -p switchless-experiments -- f16 --quick | strip_volatile)"
 if [ "$a" != "$b" ]; then
@@ -31,5 +36,24 @@ if [ "$a" != "$b" ]; then
     exit 1
 fi
 echo "replay: byte-identical"
+
+step "parallel determinism (full --quick suite, --jobs 1 vs --jobs 4)"
+j1=target/ci-results-j1
+j4=target/ci-results-j4
+rm -rf "$j1" "$j4"
+log1="$(cargo run -q --release -p switchless-experiments -- all --quick --jobs 1 --out "$j1")"
+log4="$(cargo run -q --release -p switchless-experiments -- all --quick --jobs 4 --out "$j4")"
+if ! diff -r "$j1" "$j4"; then
+    echo "FAIL: results/ trees differ between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+s1="$(printf '%s\n' "$log1" | strip_volatile | sed "s|$j1|RESULTS|g")"
+s4="$(printf '%s\n' "$log4" | strip_volatile | sed "s|$j4|RESULTS|g")"
+if [ "$s1" != "$s4" ]; then
+    echo "FAIL: run logs differ between --jobs 1 and --jobs 4" >&2
+    diff <(printf '%s\n' "$s1") <(printf '%s\n' "$s4") >&2 || true
+    exit 1
+fi
+echo "parallel determinism: identical results/ trees and logs"
 
 printf '\nCI green.\n'
