@@ -1,0 +1,258 @@
+//! `switchless-bench` — dependency-free host-throughput benchmark.
+//!
+//! Criterion (behind the `criterion` feature) is for local deep-dives;
+//! this binary is the tier-1-buildable complement: it measures how fast
+//! the *host* executes the simulator's hot paths and writes the numbers
+//! to a `BENCH_<n>.json` at the repo root so the perf trajectory across
+//! PRs has data points. Simulated-cycle results are untouched by
+//! anything measured here — see "results/ bit-identical" in
+//! EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! switchless-bench [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks each measurement window (CI smoke); `--out` defaults
+//! to `BENCH_4.json` in the current directory.
+
+use std::time::Instant;
+
+use switchless_core::machine::{Machine, MachineConfig, MonitorKind};
+use switchless_isa::asm::assemble;
+use switchless_mem::monitor::{CamFilter, HashFilter, MonitorFilter, WatchId};
+use switchless_mem::PAddr;
+use switchless_sim::event::EventQueue;
+use switchless_sim::rng::Rng;
+use switchless_sim::time::Cycles;
+
+/// Pre-PR-4 seed numbers (commit 9cca8cd), measured on this container
+/// with the same binary and windows. They stay in the JSON so the
+/// speedup of the hot-path overhaul is auditable from the artifact
+/// alone.
+mod baseline {
+    /// Spin-loop microbench, host instructions/sec.
+    pub const SPIN_INSTS_PER_SEC: f64 = 4_531_240.0;
+    /// Machine-level store loop (full `after_store` path), insts/sec.
+    pub const STORE_LOOP_INSTS_PER_SEC: f64 = 3_819_142.0;
+    /// Raw `CamFilter::on_store`, stores/sec (64 armed entries).
+    pub const CAM_STORES_PER_SEC: f64 = 16_998_913.0;
+    /// Raw `HashFilter::on_store`, stores/sec (64 armed lines).
+    pub const HASH_STORES_PER_SEC: f64 = 50_595_413.0;
+    /// `EventQueue` schedule/pop/cancel churn, events/sec.
+    pub const EVENTS_PER_SEC: f64 = 9_588_564.0;
+    /// Where the numbers came from.
+    pub const NOTE: &str = "pre-PR-4 seed (commit 9cca8cd), full windows";
+}
+
+struct Opts {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        out: "BENCH_4.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => {
+                opts.out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                if let Some(p) = other.strip_prefix("--out=") {
+                    opts.out = p.to_owned();
+                } else {
+                    eprintln!("usage: switchless-bench [--quick] [--out PATH]");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    opts
+}
+
+/// Runs `step` (which reports how many operations it performed) until
+/// `window_ms` of host time has elapsed, and returns operations/sec.
+fn measure(window_ms: u64, mut step: impl FnMut() -> u64) -> f64 {
+    // Warmup: one step, unmeasured.
+    step();
+    let start = Instant::now();
+    let mut ops = 0u64;
+    loop {
+        ops += step();
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() as u64 >= window_ms {
+            return ops as f64 / elapsed.as_secs_f64();
+        }
+    }
+}
+
+/// Host instructions/sec executing a pure ALU spin loop — the
+/// decoded-instruction-cache + dispatch-path microbench.
+fn bench_spin(window_ms: u64) -> f64 {
+    let mut m = Machine::new(MachineConfig::small());
+    let prog = assemble(
+        ".base 0x10000\n\
+         entry: movi r1, 0\n\
+         loop:  addi r1, r1, 1\n\
+         addi r2, r1, 3\n\
+         xor r3, r2, r1\n\
+         jmp loop\n",
+    )
+    .expect("spin program");
+    let t = m.load_program(0, &prog).expect("load");
+    m.start_thread(t);
+    measure(window_ms, || {
+        let before = m.counters().get("inst.executed");
+        m.run_for(Cycles(200_000));
+        m.counters().get("inst.executed") - before
+    })
+}
+
+/// Host instructions/sec for a store loop: every iteration goes through
+/// `data_access`, the monitor filter, and the mmio-hook scan — the
+/// allocation-free store-path microbench. 32 parked waiters keep the
+/// filter populated (their watches never match the stored address).
+fn bench_store_loop(window_ms: u64, kind: MonitorKind) -> f64 {
+    let mut cfg = MachineConfig::small();
+    cfg.monitor = kind;
+    let mut m = Machine::new(cfg);
+    let waiter = assemble(
+        ".base 0x30000\n\
+         entry: monitor r1\n\
+         mwait\n\
+         halt\n",
+    )
+    .expect("waiter program");
+    m.load_image(&waiter).expect("load waiter");
+    for i in 0..32u64 {
+        let w = m.spawn_at(0, 0x30000, true).expect("spawn waiter");
+        m.set_thread_reg(w, 1, 0x8000 + i * 64);
+        m.start_thread(w);
+    }
+    let prog = assemble(
+        ".base 0x10000\n\
+         entry: movi r1, 0x20000\n\
+         loop:  st r1, r1, 0\n\
+         st r1, r1, 8\n\
+         jmp loop\n",
+    )
+    .expect("store program");
+    let t = m.load_program(0, &prog).expect("load");
+    m.start_thread(t);
+    // Park the waiters before timing.
+    m.run_for(Cycles(10_000));
+    measure(window_ms, || {
+        let before = m.counters().get("inst.executed");
+        m.run_for(Cycles(200_000));
+        m.counters().get("inst.executed") - before
+    })
+}
+
+/// Raw filter throughput: stores/sec against 64 armed entries, with a
+/// mix of hitting and missing addresses (1 hit per 64 stores).
+fn bench_filter(window_ms: u64, mut filter: impl MonitorFilter) -> f64 {
+    for i in 0..64u64 {
+        filter
+            .arm(WatchId(i), PAddr(0x1000 + i * 64), 8)
+            .expect("arm");
+    }
+    let mut out = Vec::new();
+    let mut rng = Rng::seed_from(0xb0a7_10ad);
+    measure(window_ms, || {
+        let mut n = 0u64;
+        for _ in 0..1024 {
+            // Mostly-miss address pattern: the common case on real
+            // store streams (doorbells and mailboxes are rare).
+            let addr = 0x100_000 + (rng.next_u64() & 0xffff8);
+            out.clear();
+            filter.on_store(PAddr(addr), 8, &mut out);
+            let hit = 0x1000 + (rng.next_u64() & 63) * 64;
+            out.clear();
+            filter.on_store(PAddr(hit - 8), 8, &mut out);
+            n += 2;
+        }
+        n
+    })
+}
+
+/// EventQueue churn: schedule/pop with a 1-in-8 cancel mix.
+fn bench_events(window_ms: u64) -> f64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = Rng::seed_from(0x5eed);
+    let mut now = Cycles::ZERO;
+    for i in 0..1024 {
+        q.schedule(Cycles(i), i);
+    }
+    measure(window_ms, || {
+        let mut n = 0u64;
+        for _ in 0..1024 {
+            let (at, v) = q.pop().expect("queue never drains");
+            now = now.max(at);
+            let tok = q.schedule(now + Cycles(1 + (rng.next_u64() & 255)), v);
+            if rng.next_u64() & 7 == 0 {
+                q.cancel(tok);
+                q.schedule(now + Cycles(1 + (rng.next_u64() & 255)), v);
+            }
+            n += 1;
+        }
+        n
+    })
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.0}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let window_ms: u64 = if opts.quick { 40 } else { 400 };
+
+    eprintln!("switchless-bench: window {window_ms} ms/bench");
+    let spin = bench_spin(window_ms);
+    eprintln!("  spin loop:        {spin:>14.0} insts/sec");
+    let store_loop = bench_store_loop(window_ms, MonitorKind::Cam { capacity: 1024 });
+    eprintln!("  store loop (cam): {store_loop:>14.0} insts/sec");
+    let cam = bench_filter(window_ms, CamFilter::new(1024));
+    eprintln!("  cam filter:       {cam:>14.0} stores/sec");
+    let hash = bench_filter(window_ms, HashFilter::new());
+    eprintln!("  hash filter:      {hash:>14.0} stores/sec");
+    let events = bench_events(window_ms);
+    eprintln!("  event queue:      {events:>14.0} events/sec");
+
+    let json = format!(
+        "{{\n  \"schema\": \"switchless-bench/v1\",\n  \"pr\": 4,\n  \"quick\": {},\n  \"window_ms\": {},\n  \"benches\": {{\n    \"spin_insts_per_sec\": {},\n    \"store_loop_insts_per_sec\": {},\n    \"cam_stores_per_sec\": {},\n    \"hash_stores_per_sec\": {},\n    \"event_queue_events_per_sec\": {}\n  }},\n  \"baseline\": {{\n    \"note\": \"{}\",\n    \"spin_insts_per_sec\": {},\n    \"store_loop_insts_per_sec\": {},\n    \"cam_stores_per_sec\": {},\n    \"hash_stores_per_sec\": {},\n    \"event_queue_events_per_sec\": {}\n  }},\n  \"speedup\": {{\n    \"spin\": {:.2},\n    \"store_loop\": {:.2},\n    \"cam\": {:.2},\n    \"hash\": {:.2},\n    \"events\": {:.2}\n  }}\n}}\n",
+        opts.quick,
+        window_ms,
+        json_num(spin),
+        json_num(store_loop),
+        json_num(cam),
+        json_num(hash),
+        json_num(events),
+        baseline::NOTE,
+        json_num(baseline::SPIN_INSTS_PER_SEC),
+        json_num(baseline::STORE_LOOP_INSTS_PER_SEC),
+        json_num(baseline::CAM_STORES_PER_SEC),
+        json_num(baseline::HASH_STORES_PER_SEC),
+        json_num(baseline::EVENTS_PER_SEC),
+        spin / baseline::SPIN_INSTS_PER_SEC,
+        store_loop / baseline::STORE_LOOP_INSTS_PER_SEC,
+        cam / baseline::CAM_STORES_PER_SEC,
+        hash / baseline::HASH_STORES_PER_SEC,
+        events / baseline::EVENTS_PER_SEC,
+    );
+    std::fs::write(&opts.out, json).expect("write BENCH json");
+    eprintln!("wrote {}", opts.out);
+}

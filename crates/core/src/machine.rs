@@ -31,8 +31,6 @@
 //!   for bulk kernel logic (see DESIGN.md); handlers charge explicit
 //!   cycle costs via [`Machine::charge`].
 
-use std::collections::HashMap;
-
 use switchless_isa::arch::{ArchState, Mode, RegSel};
 use switchless_isa::asm::Program;
 use switchless_isa::inst::Inst;
@@ -43,7 +41,8 @@ use switchless_mem::prefetch::WakePrefetcher;
 use switchless_mem::tlb::{Tlb, TlbConfig};
 use switchless_sim::event::EventQueue;
 use switchless_sim::fault::{FaultKind, FaultPlan};
-use switchless_sim::stats::{Counters, Histogram};
+use switchless_sim::hash::FxHashMap;
+use switchless_sim::stats::{CounterId, Counters, Histogram};
 use switchless_sim::time::{Cycles, Freq};
 use switchless_sim::trace::TraceRing;
 
@@ -273,13 +272,60 @@ struct CoreState {
 }
 
 enum Ev {
-    SlotFree { core: usize, slot: usize },
+    // u32 fields keep the event (and thus every queue entry) small:
+    // events are copied through the scheduler's wheel on every simulated
+    // instruction.
+    SlotFree { core: u32, slot: u32 },
     Call(u64),
 }
 
 type HostCall = Box<dyn FnMut(&mut Machine, ThreadId)>;
 type MmioHook = Box<dyn FnMut(&mut Machine, u64)>;
 type HostEvent = Box<dyn FnOnce(&mut Machine)>;
+
+/// Pre-decoded instructions for one loaded image.
+///
+/// `insts[i]` caches `Inst::decode` of the word at `base + 8*i`; `None`
+/// marks words that do not decode (the slow path re-raises the precise
+/// `BadInstruction` with the actual word). Stores that land inside
+/// `[base, end)` re-decode the covered words, so self-modifying code
+/// observes its writes exactly as it would with a per-fetch decode.
+struct CodeRange {
+    base: u64,
+    end: u64,
+    insts: Vec<Option<Inst>>,
+}
+
+/// Pre-resolved [`CounterId`]s for counters bumped on (nearly) every
+/// dispatched instruction or store — skips the per-call string hash.
+struct HotCounters {
+    inst_executed: CounterId,
+    sched_dispatches: CounterId,
+    store_external: CounterId,
+    monitor_wakes: CounterId,
+    monitor_false_wakes: CounterId,
+    thread_wakes: CounterId,
+    activate: [CounterId; 4],
+}
+
+impl HotCounters {
+    fn new(counters: &mut Counters) -> HotCounters {
+        HotCounters {
+            inst_executed: counters.id("inst.executed"),
+            sched_dispatches: counters.id("sched.dispatches"),
+            store_external: counters.id("store.external"),
+            monitor_wakes: counters.id("monitor.wakes"),
+            monitor_false_wakes: counters.id("monitor.false_wakes"),
+            thread_wakes: counters.id("thread.wakes"),
+            activate: [
+                counters.id("store.activate.rf"),
+                counters.id("store.activate.l2"),
+                counters.id("store.activate.l3"),
+                counters.id("store.activate.dram"),
+            ],
+        }
+    }
+}
 
 /// The simulated machine.
 pub struct Machine {
@@ -293,18 +339,30 @@ pub struct Machine {
     filter: Box<dyn MonitorFilter>,
     prefetcher: WakePrefetcher,
     events: EventQueue<Ev>,
-    callbacks: HashMap<u64, HostEvent>,
+    callbacks: FxHashMap<u64, HostEvent>,
     next_cb: u64,
-    hcalls: HashMap<u16, HostCall>,
+    hcalls: FxHashMap<u16, HostCall>,
     /// Device doorbells: store hooks keyed by exact 8-byte-aligned
     /// address; fired after the monitor filter on any covering store.
-    mmio_hooks: HashMap<u64, MmioHook>,
+    mmio_hooks: FxHashMap<u64, MmioHook>,
     counters: Counters,
+    hot: HotCounters,
     trace: TraceRing,
     halted: Option<String>,
     /// Host allocator: grows down from the top of memory.
     alloc_top: u64,
     loaded: Vec<(u64, u64)>,
+    /// Decoded-instruction cache, one entry per loaded image.
+    code: Vec<CodeRange>,
+    /// Cheap store-time reject bounds: min base / max end over `code`.
+    code_lo: u64,
+    code_hi: u64,
+    /// Index into `code` of the range that served the last fetch.
+    last_code: usize,
+    /// Reusable buffers for `after_store` (taken/restored around the
+    /// loop bodies so reentrant stores fall back to a fresh `Vec`).
+    scratch_wakes: Vec<WakeEvent>,
+    scratch_mmio: Vec<u64>,
     syscall_vector: u64,
     vm_vector: u64,
     /// Extra cost injected by hcall handlers for the current instruction.
@@ -334,6 +392,8 @@ impl Machine {
             MonitorKind::Cam { capacity } => Box::new(CamFilter::new(capacity)),
             MonitorKind::Hash => Box::new(HashFilter::new()),
         };
+        let mut counters = Counters::new();
+        let hot = HotCounters::new(&mut counters);
         Machine {
             cfg,
             now: Cycles::ZERO,
@@ -355,15 +415,22 @@ impl Machine {
             filter,
             prefetcher: WakePrefetcher::new(64),
             events: EventQueue::new(),
-            callbacks: HashMap::new(),
+            callbacks: FxHashMap::default(),
             next_cb: 0,
-            hcalls: HashMap::new(),
-            mmio_hooks: HashMap::new(),
-            counters: Counters::new(),
+            hcalls: FxHashMap::default(),
+            mmio_hooks: FxHashMap::default(),
+            counters,
+            hot,
             trace: TraceRing::new(4096),
             halted: None,
             alloc_top: cfg.mem_bytes,
             loaded: Vec::new(),
+            code: Vec::new(),
+            code_lo: u64::MAX,
+            code_hi: 0,
+            last_code: 0,
+            scratch_wakes: Vec::new(),
+            scratch_mmio: Vec::new(),
             syscall_vector: 0,
             vm_vector: 0,
             pending_charge: Cycles::ZERO,
@@ -548,7 +615,57 @@ impl Machine {
             self.mem[at..at + 8].copy_from_slice(&w.to_le_bytes());
         }
         self.loaded.push((base, end));
+        self.code.push(CodeRange {
+            base,
+            end,
+            insts: prog.words.iter().map(|&w| Inst::decode(w).ok()).collect(),
+        });
+        self.code_lo = self.code_lo.min(base);
+        self.code_hi = self.code_hi.max(end);
         Ok(())
+    }
+
+    /// Cached decode of the word at `pc`, if `pc` is an aligned slot of a
+    /// loaded image. `None` means "use the slow fetch-and-decode path"
+    /// (unaligned pc, pc outside every image, or a non-decoding word).
+    #[inline]
+    fn cached_inst(&mut self, pc: u64) -> Option<Inst> {
+        let hint = self.last_code;
+        let idx = match self.code.get(hint) {
+            Some(r) if r.base <= pc && pc < r.end => hint,
+            _ => {
+                let idx = self.code.iter().position(|r| r.base <= pc && pc < r.end)?;
+                self.last_code = idx;
+                idx
+            }
+        };
+        let off = pc - self.code[idx].base;
+        if off & 7 != 0 {
+            return None;
+        }
+        self.code[idx].insts[(off >> 3) as usize]
+    }
+
+    /// Re-decodes cached instruction slots covered by a store of `len`
+    /// bytes at `addr`. Callers pre-filter with the `code_lo`/`code_hi`
+    /// bounds so steady-state data stores pay one compare, not a scan.
+    fn invalidate_code(&mut self, addr: u64, len: u64) {
+        let end = addr.saturating_add(len.max(1));
+        for r in &mut self.code {
+            if addr >= r.end || end <= r.base {
+                continue;
+            }
+            // Word slots live at base + 8*i; work in offsets from base.
+            let lo = (addr.max(r.base) - r.base) & !7;
+            let hi = end.min(r.end) - r.base;
+            let mut off = lo;
+            while off < hi {
+                let a = (r.base + off) as usize;
+                let word = u64::from_le_bytes(self.mem[a..a + 8].try_into().expect("8 bytes"));
+                r.insts[(off >> 3) as usize] = Inst::decode(word).ok();
+                off += 8;
+            }
+        }
     }
 
     /// Host store of a u64 — passes through the monitor filter, so it can
@@ -888,16 +1005,13 @@ impl Machine {
     /// Runs until simulated time `t` (or the machine halts).
     pub fn run_until(&mut self, t: Cycles) {
         while self.halted.is_none() {
-            let Some(ts) = self.events.peek_time() else { break };
-            if ts > t {
-                break;
-            }
-            let (ts, ev) = self.events.pop().expect("peeked event");
+            // pop_due folds peek+pop into one heap traversal (hot loop).
+            let Some((ts, ev)) = self.events.pop_due(t) else { break };
             if ts > self.now {
                 self.now = ts;
             }
             match ev {
-                Ev::SlotFree { core, slot } => self.dispatch(core, slot),
+                Ev::SlotFree { core, slot } => self.dispatch(core as usize, slot as usize),
                 Ev::Call(key) => {
                     if let Some(cb) = self.callbacks.remove(&key) {
                         cb(self);
@@ -924,16 +1038,12 @@ impl Machine {
             if self.thread_state(tid) == state {
                 return true;
             }
-            let Some(ts) = self.events.peek_time() else { break };
-            if ts > deadline {
-                break;
-            }
-            let (ts, ev) = self.events.pop().expect("peeked event");
+            let Some((ts, ev)) = self.events.pop_due(deadline) else { break };
             if ts > self.now {
                 self.now = ts;
             }
             match ev {
-                Ev::SlotFree { core, slot } => self.dispatch(core, slot),
+                Ev::SlotFree { core, slot } => self.dispatch(core as usize, slot as usize),
                 Ev::Call(key) => {
                     if let Some(cb) = self.callbacks.remove(&key) {
                         cb(self);
@@ -979,7 +1089,7 @@ impl Machine {
             t.monitor_armed = false;
             self.filter.disarm_all(WatchId(u64::from(ptid.0)));
         }
-        self.counters.inc("thread.wakes");
+        self.counters.bump(self.hot.thread_wakes, 1);
         // Wake-prefetch (§4): begin the state transfer and cache warming
         // now, so the first dispatch pays only the pipeline refill.
         if self.cfg.store.prefetch_on_wake {
@@ -1008,13 +1118,13 @@ impl Machine {
                 let t = self.thread_mut(ptid);
                 t.busy_until = t.busy_until.max(done);
                 let part = self.threads[ptid.0 as usize].partition;
-                for line in self.prefetcher.wake_set(WatchId(u64::from(ptid.0))) {
+                for &line in self.prefetcher.wake_set(WatchId(u64::from(ptid.0))) {
                     self.hier.warm(core, line, part);
                 }
             }
         }
         self.trace
-            .record(self.now, "wake", format!("{ptid} runnable"));
+            .record_with(self.now, "wake", || format!("{ptid} runnable"));
         self.cores[core].sched.enqueue(ptid, prio);
         self.kick_core(core);
     }
@@ -1034,7 +1144,7 @@ impl Machine {
         }
         self.cores[core].sched.dequeue(ptid);
         self.trace
-            .record(self.now, "block", format!("{ptid} -> {into}"));
+            .record_with(self.now, "block", || format!("{ptid} -> {into}"));
     }
 
     /// Re-kicks idle slots on a core after a wakeup.
@@ -1042,7 +1152,13 @@ impl Machine {
         for slot in 0..self.cfg.smt_slots {
             if self.cores[core].idle_slot[slot] {
                 self.cores[core].idle_slot[slot] = false;
-                self.events.schedule(self.now, Ev::SlotFree { core, slot });
+                self.events.schedule(
+                    self.now,
+                    Ev::SlotFree {
+                        core: core as u32,
+                        slot: slot as u32,
+                    },
+                );
             }
         }
     }
@@ -1111,14 +1227,24 @@ impl Machine {
 
     /// Post-store hook: consult the monitor filter and wake waiters.
     fn after_store(&mut self, addr: u64, len: u64, external: bool) {
-        let mut wakes: Vec<WakeEvent> = Vec::new();
+        // Keep the decoded-instruction cache coherent. The two compares
+        // reject every store outside the hull of loaded images, so data
+        // stores never scan `code`.
+        if addr < self.code_hi && addr.saturating_add(len.max(1)) > self.code_lo {
+            self.invalidate_code(addr, len);
+        }
+        // Reuse the wake buffer across stores; `take` leaves an empty
+        // `Vec` behind so a reentrant store (from `enable_thread`-driven
+        // host logic or an mmio hook) just allocates its own.
+        let mut wakes = core::mem::take(&mut self.scratch_wakes);
+        wakes.clear();
         let _cost = self.filter.on_store(PAddr(addr), len, &mut wakes);
-        for w in wakes {
+        for w in &wakes {
             let ptid = Ptid(w.watcher.0 as u32);
             if !w.exact {
-                self.counters.inc("monitor.false_wakes");
+                self.counters.bump(self.hot.monitor_false_wakes, 1);
             }
-            self.counters.inc("monitor.wakes");
+            self.counters.bump(self.hot.monitor_wakes, 1);
             let t = &mut self.threads[ptid.0 as usize];
             match t.state {
                 ThreadState::Waiting => self.enable_thread(ptid),
@@ -1126,25 +1252,35 @@ impl Machine {
                 _ => t.monitor_triggered = true,
             }
         }
+        self.scratch_wakes = wakes;
         if external {
-            self.counters.inc("store.external");
+            self.counters.bump(self.hot.store_external, 1);
         }
         // Device doorbells: fire hooks whose address the store covered.
         if !self.mmio_hooks.is_empty() {
             let end = addr.saturating_add(len.max(1));
-            let hit: Vec<u64> = self
-                .mmio_hooks
-                .keys()
-                .copied()
-                .filter(|&a| a >= addr.saturating_sub(7) && a < end)
-                .collect();
-            for a in hit {
+            let mut hit = core::mem::take(&mut self.scratch_mmio);
+            hit.clear();
+            hit.extend(
+                self.mmio_hooks
+                    .keys()
+                    .copied()
+                    .filter(|&a| a >= addr.saturating_sub(7) && a < end),
+            );
+            // Map iteration order is arbitrary; fire in address order so
+            // multi-hook stores behave identically run to run.
+            hit.sort_unstable();
+            let mut i = 0;
+            while i < hit.len() {
+                let a = hit[i];
+                i += 1;
                 if let Some(mut h) = self.mmio_hooks.remove(&a) {
                     let value = self.peek_u64(a);
                     h(self, value);
                     self.mmio_hooks.entry(a).or_insert(h);
                 }
             }
+            self.scratch_mmio = hit;
         }
     }
 
@@ -1236,21 +1372,26 @@ impl Machine {
             // Runnable threads may exist but be busy (state transfer or an
             // in-flight instruction on the other slot): retry when the
             // earliest becomes free. Otherwise idle until a wake re-kicks.
-            let next = self.cores[core]
-                .sched
-                .iter_enrolled()
-                .map(|p| self.threads[p.0 as usize].busy_until)
-                .filter(|&b| b > now)
-                .min();
+            let threads = &self.threads;
+            let next = self.cores[core].sched.min_over_enrolled(|p| {
+                let b = threads[p.0 as usize].busy_until;
+                (b > now).then_some(b)
+            });
             match next {
                 Some(at) => {
-                    self.events.schedule(at, Ev::SlotFree { core, slot });
+                    self.events.schedule(
+                        at,
+                        Ev::SlotFree {
+                            core: core as u32,
+                            slot: slot as u32,
+                        },
+                    );
                 }
                 None => self.cores[core].idle_slot[slot] = true,
             }
             return;
         };
-        self.counters.inc("sched.dispatches");
+        self.counters.bump(self.hot.sched_dispatches, 1);
 
         // Activation cost: pipeline refill (plus state transfer when the
         // thread's state is not RF-resident and wasn't prefetched).
@@ -1268,12 +1409,7 @@ impl Machine {
                 (bytes, t.arch.prio)
             };
             let (act, from) = self.cores[core].store.activate(ptid, prio, bytes);
-            self.counters.inc(match from {
-                Tier::Rf => "store.activate.rf",
-                Tier::L2 => "store.activate.l2",
-                Tier::L3 => "store.activate.l3",
-                Tier::Dram => "store.activate.dram",
-            });
+            self.counters.bump(self.hot.activate[from as usize], 1);
             cost += act;
             let t = self.thread_mut(ptid);
             t.activated = true;
@@ -1307,8 +1443,14 @@ impl Machine {
             let t = self.thread_mut(ptid);
             t.busy_until = t.busy_until.max(done);
         }
-        self.counters.inc("inst.executed");
-        self.events.schedule(done, Ev::SlotFree { core, slot });
+        self.counters.bump(self.hot.inst_executed, 1);
+        self.events.schedule(
+            done,
+            Ev::SlotFree {
+                core: core as u32,
+                slot: slot as u32,
+            },
+        );
     }
 
     /// Executes one instruction for `ptid`; returns its cost. All state
@@ -1334,18 +1476,30 @@ impl Machine {
         } else {
             ifetch.latency
         };
-        let word = self.peek_u64(pc);
-        let inst = match Inst::decode(word) {
-            Ok(i) => i,
-            Err(_) => {
-                self.raise_exception(ptid, ExceptionKind::BadInstruction, word);
-                return ifetch_cost + Cycles(1);
+        // Decoded-instruction cache: loaded images are pre-decoded, so the
+        // steady state skips both the byte fetch and `Inst::decode`. Pcs
+        // outside every image (or unaligned, or over a non-decoding word)
+        // fall back to fetch-and-decode, preserving the exception payload.
+        let inst = match self.cached_inst(pc) {
+            Some(i) => i,
+            None => {
+                let word = self.peek_u64(pc);
+                match Inst::decode(word) {
+                    Ok(i) => i,
+                    Err(_) => {
+                        self.raise_exception(ptid, ExceptionKind::BadInstruction, word);
+                        return ifetch_cost + Cycles(1);
+                    }
+                }
             }
         };
 
         // Privilege check (§3.2: privileged ops from user mode disable the
         // thread and write a descriptor, enabling emulation).
         if inst.is_privileged() && self.threads[ptid.0 as usize].arch.mode == Mode::User {
+            // Cold path: fetch the raw encoding for the descriptor's info
+            // word (the cache only holds the decoded form).
+            let word = self.peek_u64(pc);
             self.raise_exception(ptid, ExceptionKind::PrivilegedOp, word);
             return ifetch_cost + Cycles(1);
         }

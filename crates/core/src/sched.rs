@@ -20,7 +20,7 @@
 //! The scheduler also keeps per-thread cycle accounting — §4's "fine-grain
 //! tracking of threads' resource consumption for cloud billing".
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use switchless_sim::time::Cycles;
 
@@ -47,10 +47,14 @@ pub struct HwScheduler {
     policy: SchedPolicy,
     /// One queue per priority class; RoundRobin uses only class 0.
     queues: [VecDeque<Ptid>; PRIO_CLASSES],
-    /// Which queue each enqueued thread is in (for removal).
-    enrolled: HashMap<Ptid, u8>,
-    /// Cycles consumed per thread (billing).
-    usage: HashMap<Ptid, Cycles>,
+    /// Which queue each enqueued thread is in (for removal), indexed by
+    /// ptid; `None` when not enqueued. Grows to the highest ptid seen.
+    enrolled: Vec<Option<u8>>,
+    /// Number of `Some` entries in `enrolled`.
+    enrolled_len: usize,
+    /// Cycles consumed per thread (billing), indexed by ptid. A plain
+    /// vector because this is bumped on every dispatched instruction.
+    usage: Vec<Cycles>,
     dispatches: u64,
 }
 
@@ -61,8 +65,9 @@ impl HwScheduler {
         HwScheduler {
             policy,
             queues: Default::default(),
-            enrolled: HashMap::new(),
-            usage: HashMap::new(),
+            enrolled: Vec::new(),
+            enrolled_len: 0,
+            usage: Vec::new(),
             dispatches: 0,
         }
     }
@@ -80,19 +85,30 @@ impl HwScheduler {
         }
     }
 
+    fn enrolled_slot(&mut self, ptid: Ptid) -> &mut Option<u8> {
+        let i = ptid.0 as usize;
+        if i >= self.enrolled.len() {
+            self.enrolled.resize(i + 1, None);
+        }
+        &mut self.enrolled[i]
+    }
+
     /// Adds a thread that became runnable. Idempotent.
     pub fn enqueue(&mut self, ptid: Ptid, prio: u8) {
-        if self.enrolled.contains_key(&ptid) {
+        let class = self.class_of(prio);
+        let slot = self.enrolled_slot(ptid);
+        if slot.is_some() {
             return;
         }
-        let class = self.class_of(prio);
+        *slot = Some(class);
+        self.enrolled_len += 1;
         self.queues[class as usize].push_back(ptid);
-        self.enrolled.insert(ptid, class);
     }
 
     /// Removes a thread that blocked, was stopped, or halted.
     pub fn dequeue(&mut self, ptid: Ptid) {
-        if let Some(class) = self.enrolled.remove(&ptid) {
+        if let Some(class) = self.enrolled_slot(ptid).take() {
+            self.enrolled_len -= 1;
             let q = &mut self.queues[class as usize];
             if let Some(pos) = q.iter().position(|&p| p == ptid) {
                 q.remove(pos);
@@ -103,13 +119,13 @@ impl HwScheduler {
     /// Whether any thread is enqueued.
     #[must_use]
     pub fn has_runnable(&self) -> bool {
-        !self.enrolled.is_empty()
+        self.enrolled_len != 0
     }
 
     /// Number of enqueued threads.
     #[must_use]
     pub fn runnable_len(&self) -> usize {
-        self.enrolled.len()
+        self.enrolled_len
     }
 
     /// Picks the next thread to dispatch, skipping threads for which
@@ -135,18 +151,47 @@ impl HwScheduler {
 
     /// Iterates every enqueued (runnable) thread, in no particular order.
     pub fn iter_enrolled(&self) -> impl Iterator<Item = Ptid> + '_ {
-        self.enrolled.keys().copied()
+        self.queues.iter().flatten().copied()
+    }
+
+    /// Minimum of `f` over every enqueued thread. Equivalent to
+    /// `iter_enrolled().map(f).filter(Option::is_some).min()` but a plain
+    /// loop: this runs on the all-slots-busy dispatch path, once per
+    /// simulated instruction.
+    pub fn min_over_enrolled<T: Ord + Copy>(
+        &self,
+        mut f: impl FnMut(Ptid) -> Option<T>,
+    ) -> Option<T> {
+        let mut best: Option<T> = None;
+        for q in &self.queues {
+            for &p in q {
+                if let Some(v) = f(p) {
+                    best = Some(match best {
+                        Some(b) if b <= v => b,
+                        _ => v,
+                    });
+                }
+            }
+        }
+        best
     }
 
     /// Charges `cycles` of pipeline time to `ptid` (billing).
     pub fn account(&mut self, ptid: Ptid, cycles: Cycles) {
-        *self.usage.entry(ptid).or_insert(Cycles::ZERO) += cycles;
+        let i = ptid.0 as usize;
+        if i >= self.usage.len() {
+            self.usage.resize(i + 1, Cycles::ZERO);
+        }
+        self.usage[i] += cycles;
     }
 
     /// Total cycles billed to `ptid`.
     #[must_use]
     pub fn usage_of(&self, ptid: Ptid) -> Cycles {
-        self.usage.get(&ptid).copied().unwrap_or(Cycles::ZERO)
+        self.usage
+            .get(ptid.0 as usize)
+            .copied()
+            .unwrap_or(Cycles::ZERO)
     }
 
     /// Total dispatches performed.
@@ -227,7 +272,7 @@ mod tests {
         for i in 0..10 {
             s.enqueue(Ptid(i), 0);
         }
-        let mut last_seen = HashMap::new();
+        let mut last_seen = switchless_sim::hash::FxHashMap::default();
         for step in 0u64..100 {
             let p = s.pick(|_| false).unwrap();
             if let Some(prev) = last_seen.insert(p, step) {

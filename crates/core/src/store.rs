@@ -13,8 +13,6 @@
 //! * *wake-prefetch* — start the transfer when a thread becomes runnable
 //!   rather than when it is first scheduled (driven by the machine).
 
-use std::collections::HashMap;
-
 use switchless_sim::time::Cycles;
 
 use crate::tid::Ptid;
@@ -99,13 +97,22 @@ struct Entry {
 }
 
 /// Per-core thread-state placement and activation-cost model.
+///
+/// Placement state is ptid-indexed vectors and per-tier arrays rather
+/// than hash maps: [`StateStore::tier_of`]/[`StateStore::touch`] run on
+/// every dispatch, so lookups must be bare indexing. Victim selection
+/// scans `entries` in ptid order, but stamps are unique and compared
+/// strictly, so the chosen minimum never depends on scan order.
 #[derive(Clone, Debug)]
 pub struct StateStore {
     config: StoreConfig,
-    entries: HashMap<Ptid, Entry>,
-    counts: HashMap<Tier, usize>,
+    /// Placement per ptid; `None` for threads never activated here.
+    entries: Vec<Option<Entry>>,
+    /// Resident-thread counts, indexed by `Tier as usize`.
+    counts: [usize; 4],
     tick: u64,
-    activations: HashMap<Tier, u64>,
+    /// Lifetime activations served, indexed by `Tier as usize`.
+    activations: [u64; 4],
 }
 
 impl StateStore {
@@ -114,10 +121,10 @@ impl StateStore {
     pub fn new(config: StoreConfig) -> StateStore {
         StateStore {
             config,
-            entries: HashMap::new(),
-            counts: HashMap::new(),
+            entries: Vec::new(),
+            counts: [0; 4],
             tick: 0,
-            activations: HashMap::new(),
+            activations: [0; 4],
         }
     }
 
@@ -131,7 +138,18 @@ impl StateStore {
     /// considered DRAM-resident — never yet loaded).
     #[must_use]
     pub fn tier_of(&self, ptid: Ptid) -> Tier {
-        self.entries.get(&ptid).map_or(Tier::Dram, |e| e.tier)
+        match self.entries.get(ptid.0 as usize) {
+            Some(&Some(e)) => e.tier,
+            _ => Tier::Dram,
+        }
+    }
+
+    fn slot(&mut self, ptid: Ptid) -> &mut Option<Entry> {
+        let i = ptid.0 as usize;
+        if i >= self.entries.len() {
+            self.entries.resize(i + 1, None);
+        }
+        &mut self.entries[i]
     }
 
     /// Cost to begin executing a thread whose state is in `tier`, given
@@ -157,13 +175,11 @@ impl StateStore {
     pub fn activate(&mut self, ptid: Ptid, prio: u8, bytes: u64) -> (Cycles, Tier) {
         let from = self.tier_of(ptid);
         let cost = self.activation_cost(from, bytes);
-        *self.activations.entry(from).or_insert(0) += 1;
+        self.activations[from as usize] += 1;
         self.tick += 1;
         // Remove from current tier.
-        if let Some(e) = self.entries.remove(&ptid) {
-            if let Some(c) = self.counts.get_mut(&e.tier) {
-                *c = c.saturating_sub(1);
-            }
+        if let Some(e) = self.slot(ptid).take() {
+            self.counts[e.tier as usize] = self.counts[e.tier as usize].saturating_sub(1);
         }
         self.place(ptid, Tier::Rf, prio);
         (cost, from)
@@ -173,16 +189,17 @@ impl StateStore {
     pub fn touch(&mut self, ptid: Ptid) {
         self.tick += 1;
         let tick = self.tick;
-        if let Some(e) = self.entries.get_mut(&ptid) {
+        if let Some(Some(e)) = self.entries.get_mut(ptid.0 as usize) {
             e.stamp = tick;
         }
     }
 
     /// Removes a thread entirely (destroyed / reset).
     pub fn remove(&mut self, ptid: Ptid) {
-        if let Some(e) = self.entries.remove(&ptid) {
-            if let Some(c) = self.counts.get_mut(&e.tier) {
-                *c = c.saturating_sub(1);
+        let i = ptid.0 as usize;
+        if i < self.entries.len() {
+            if let Some(e) = self.entries[i].take() {
+                self.counts[e.tier as usize] = self.counts[e.tier as usize].saturating_sub(1);
             }
         }
     }
@@ -190,14 +207,14 @@ impl StateStore {
     /// Number of threads resident in `tier`.
     #[must_use]
     pub fn occupancy(&self, tier: Tier) -> usize {
-        self.counts.get(&tier).copied().unwrap_or(0)
+        self.counts[tier as usize]
     }
 
     /// Lifetime activations served from each tier `(rf, l2, l3, dram)`.
     #[must_use]
     pub fn activation_stats(&self) -> (u64, u64, u64, u64) {
-        let g = |t| self.activations.get(&t).copied().unwrap_or(0);
-        (g(Tier::Rf), g(Tier::L2), g(Tier::L3), g(Tier::Dram))
+        let a = &self.activations;
+        (a[0], a[1], a[2], a[3])
     }
 
     fn capacity(&self, tier: Tier) -> usize {
@@ -222,28 +239,23 @@ impl StateStore {
     /// path; the cost is paid by whoever re-activates the victim later).
     fn place(&mut self, ptid: Ptid, tier: Tier, prio: u8) {
         self.tick += 1;
-        self.entries.insert(
-            ptid,
-            Entry {
-                tier,
-                stamp: self.tick,
-                prio,
-            },
-        );
-        *self.counts.entry(tier).or_insert(0) += 1;
+        *self.slot(ptid) = Some(Entry {
+            tier,
+            stamp: self.tick,
+            prio,
+        });
+        self.counts[tier as usize] += 1;
         // Cascade demotions while any tier is over capacity.
         let mut t = tier;
         while t != Tier::Dram && self.occupancy(t) > self.capacity(t) {
             let victim = self.pick_victim(t, ptid);
             let Some(victim) = victim else { break };
             let down = StateStore::next_down(t);
-            if let Some(e) = self.entries.get_mut(&victim) {
+            if let Some(Some(e)) = self.entries.get_mut(victim.0 as usize) {
                 e.tier = down;
             }
-            if let Some(c) = self.counts.get_mut(&t) {
-                *c -= 1;
-            }
-            *self.counts.entry(down).or_insert(0) += 1;
+            self.counts[t as usize] -= 1;
+            self.counts[down as usize] += 1;
             t = down;
         }
     }
@@ -253,7 +265,9 @@ impl StateStore {
     /// thread).
     fn pick_victim(&self, tier: Tier, protect: Ptid) -> Option<Ptid> {
         let mut best: Option<(u8, u64, Ptid)> = None;
-        for (&p, e) in &self.entries {
+        for (i, slot) in self.entries.iter().enumerate() {
+            let Some(e) = slot else { continue };
+            let p = Ptid(i as u32);
             if e.tier != tier || p == protect {
                 continue;
             }

@@ -7,8 +7,7 @@
 //! — software that forgets `invtid` observes stale translations, and our
 //! tests assert it.
 
-use std::collections::HashMap;
-
+use switchless_sim::hash::{fx_map_with_capacity, FxHashMap};
 use switchless_sim::time::Cycles;
 
 use crate::perm::TdtEntry;
@@ -21,7 +20,10 @@ use crate::tid::Vtid;
 /// PCID-tagged TLB.
 #[derive(Clone, Debug)]
 pub struct TdtCache {
-    entries: HashMap<(u64, u16), TdtEntry>,
+    /// Fx-hashed: the "random" eviction victim in [`TdtCache::install`]
+    /// is now the same on every run, instead of varying with SipHash's
+    /// per-process seed.
+    entries: FxHashMap<(u64, u16), TdtEntry>,
     capacity: usize,
     hit_cost: Cycles,
     hits: u64,
@@ -39,7 +41,7 @@ impl TdtCache {
     pub fn new(capacity: usize) -> TdtCache {
         assert!(capacity > 0, "TDT cache capacity must be positive");
         TdtCache {
-            entries: HashMap::with_capacity(capacity),
+            entries: fx_map_with_capacity(capacity),
             capacity,
             hit_cost: Cycles(1),
             hits: 0,

@@ -1,0 +1,175 @@
+//! Decode-cache invalidation: self-modifying and externally-modified
+//! code must execute the *new* instruction, never a stale pre-decoded
+//! one. Every mutation route into a loaded image is covered: a thread
+//! storing over its own code, a thread storing over another thread's
+//! image, a host `poke_u64`, and a `dma_write`.
+
+use switchless_core::machine::{Machine, MachineConfig};
+use switchless_core::tid::ThreadState;
+use switchless_isa::asm::assemble;
+use switchless_sim::time::Cycles;
+
+fn small() -> Machine {
+    Machine::new(MachineConfig::small())
+}
+
+/// Encoded word for `movi r2, 42`, produced by the real assembler so the
+/// tests never hand-roll encodings.
+fn movi_r2_42() -> u64 {
+    let donor = assemble("entry: movi r2, 42\nhalt").unwrap();
+    donor.words[0]
+}
+
+#[test]
+fn thread_patches_its_own_code() {
+    let mut m = small();
+    // The program loads a replacement instruction word (prepared by the
+    // host in its `newinst` data cell) and stores it over `patchme`
+    // before reaching it.
+    let p = assemble(
+        r#"
+        entry:
+            ld r1, newinst
+            st r1, patchme
+        patchme:
+            movi r2, 1
+            halt
+        newinst: .word 0
+        "#,
+    )
+    .unwrap();
+    let tid = m.load_program(0, &p).unwrap();
+    m.poke_u64(p.symbol("newinst").unwrap(), movi_r2_42());
+    m.start_thread(tid);
+    m.run_for(Cycles(10_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Halted);
+    assert_eq!(
+        m.thread_reg(tid, 2),
+        42,
+        "the store over `patchme` must invalidate the decoded copy"
+    );
+}
+
+#[test]
+fn thread_patches_another_threads_image() {
+    let mut m = small();
+    // Patchee: parks on a monitored mailbox; the instruction after the
+    // wake is the patch target.
+    let victim = assemble(
+        r#"
+        .base 0x30000
+        mailbox: .word 0
+        entry:
+            monitor mailbox
+            mwait
+        patchme:
+            movi r2, 1
+            halt
+        "#,
+    )
+    .unwrap();
+    // Patcher: overwrites the victim's `patchme`, then wakes it. Target
+    // addresses come in via registers so the two images stay independent.
+    let patcher = assemble(
+        r#"
+        .base 0x10000
+        entry:
+            ld r1, newinst
+            st r1, r3, 0
+            movi r4, 1
+            st r4, r5, 0
+            halt
+        newinst: .word 0
+        "#,
+    )
+    .unwrap();
+    let victim_tid = m.load_program(0, &victim).unwrap();
+    m.start_thread(victim_tid);
+    m.run_for(Cycles(5_000));
+    assert_eq!(m.thread_state(victim_tid), ThreadState::Waiting);
+
+    let patcher_tid = m.load_program(0, &patcher).unwrap();
+    m.poke_u64(patcher.symbol("newinst").unwrap(), movi_r2_42());
+    m.set_thread_reg(patcher_tid, 3, victim.symbol("patchme").unwrap());
+    m.set_thread_reg(patcher_tid, 5, victim.symbol("mailbox").unwrap());
+    m.start_thread(patcher_tid);
+    m.run_for(Cycles(20_000));
+    assert_eq!(m.thread_state(patcher_tid), ThreadState::Halted);
+    assert_eq!(m.thread_state(victim_tid), ThreadState::Halted);
+    assert_eq!(
+        m.thread_reg(victim_tid, 2),
+        42,
+        "a cross-image store must invalidate the other image's decode cache"
+    );
+}
+
+#[test]
+fn host_poke_invalidates_code() {
+    let mut m = small();
+    let p = assemble(
+        r#"
+        mailbox: .word 0
+        entry:
+            monitor mailbox
+            mwait
+        patchme:
+            movi r2, 1
+            halt
+        "#,
+    )
+    .unwrap();
+    let tid = m.load_program(0, &p).unwrap();
+    m.start_thread(tid);
+    m.run_for(Cycles(5_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Waiting);
+
+    m.poke_u64(p.symbol("patchme").unwrap(), movi_r2_42());
+    m.poke_u64(p.symbol("mailbox").unwrap(), 1); // wake
+    m.run_for(Cycles(10_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Halted);
+    assert_eq!(
+        m.thread_reg(tid, 2),
+        42,
+        "a host poke over code must invalidate the decoded copy"
+    );
+}
+
+#[test]
+fn dma_write_invalidates_code() {
+    let mut m = small();
+    let p = assemble(
+        r#"
+        mailbox: .word 0
+        entry:
+            monitor mailbox
+            mwait
+        patchme:
+            movi r2, 1
+            movi r3, 2
+            halt
+        "#,
+    )
+    .unwrap();
+    let tid = m.load_program(0, &p).unwrap();
+    m.start_thread(tid);
+    m.run_for(Cycles(5_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Waiting);
+
+    // DMA a two-instruction patch: `movi r2, 42` twice, so both the
+    // first and a subsequent word of the burst are re-decoded.
+    let word = movi_r2_42();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&word.to_le_bytes());
+    bytes.extend_from_slice(&word.to_le_bytes());
+    m.dma_write(p.symbol("patchme").unwrap(), &bytes);
+    m.poke_u64(p.symbol("mailbox").unwrap(), 1); // wake
+    m.run_for(Cycles(10_000));
+    assert_eq!(m.thread_state(tid), ThreadState::Halted);
+    assert_eq!(m.thread_reg(tid, 2), 42);
+    assert_eq!(
+        m.thread_reg(tid, 3),
+        0,
+        "the second patched word must also have been re-decoded (it no \
+         longer writes r3)"
+    );
+}

@@ -8,7 +8,7 @@
 //! partitions that are over target, so a small partition keeps its lines
 //! resident no matter how hard other partitions thrash.
 
-use std::collections::HashMap;
+use switchless_sim::hash::FxHashMap;
 
 use crate::addr::{PAddr, LINE_BYTES};
 
@@ -93,9 +93,9 @@ pub struct Cache {
     ways: Vec<Way>,
     tick: u64,
     /// Per-partition target in lines. Absent partitions are unmanaged.
-    targets: HashMap<PartitionId, u64>,
+    targets: FxHashMap<PartitionId, u64>,
     /// Per-partition current occupancy in lines.
-    occupancy: HashMap<PartitionId, u64>,
+    occupancy: FxHashMap<PartitionId, u64>,
     hits: u64,
     misses: u64,
 }
@@ -110,8 +110,8 @@ impl Cache {
             sets,
             ways: vec![INVALID_WAY; (sets * u64::from(geom.ways)) as usize],
             tick: 0,
-            targets: HashMap::new(),
-            occupancy: HashMap::new(),
+            targets: FxHashMap::default(),
+            occupancy: FxHashMap::default(),
             hits: 0,
             misses: 0,
         }

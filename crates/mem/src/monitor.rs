@@ -18,8 +18,7 @@
 //!   its condition and re-waits, exactly like x86 `mwait` spurious
 //!   wakeups), and bucket collisions add lookup latency.
 
-use std::collections::HashMap;
-
+use switchless_sim::hash::FxHashMap;
 use switchless_sim::time::Cycles;
 
 use crate::addr::{lines_covering, PAddr};
@@ -84,13 +83,41 @@ fn ranges_overlap(a_start: u64, a_len: u64, b_start: u64, b_len: u64) -> bool {
 // CAM design
 // ---------------------------------------------------------------------------
 
+/// Armed ranges covering more lines than this bypass the line index and
+/// live on a linearly-scanned overflow list (indexing a multi-megabyte
+/// watch line-by-line would cost more than it saves).
+const INDEX_MAX_LINES: u64 = 16;
+
+fn covers_too_many_lines(addr: PAddr, len: u64) -> bool {
+    let last = addr.0.saturating_add(len - 1);
+    (last >> 6) - (addr.0 >> 6) + 1 > INDEX_MAX_LINES
+}
+
 /// Fully-associative monitor filter with exact matching.
+///
+/// The *functional* lookup is line-indexed so the host cost of a store is
+/// O(armed-on-stored-lines), not O(all armed entries); the *modeled*
+/// cycle cost is still the constant-time CAM compare (`Cycles(1)`), as a
+/// real CAM compares all entries in parallel. Entry ids grow in arm
+/// order and candidate ids are emitted sorted, so wake order is exactly
+/// the insertion order the pre-index linear scan produced — simulated
+/// behaviour is bit-identical.
 #[derive(Clone, Debug)]
 pub struct CamFilter {
-    entries: Vec<(WatchId, PAddr, u64)>,
+    /// id -> armed range; ids are never reused.
+    entries: FxHashMap<u64, (WatchId, PAddr, u64)>,
+    /// line address -> ids of indexable entries touching that line.
+    by_line: FxHashMap<u64, Vec<u64>>,
+    /// ids of over-wide ranges, always scanned.
+    large: Vec<u64>,
+    /// watcher -> its entry ids (for O(own-entries) disarm).
+    by_watcher: FxHashMap<WatchId, Vec<u64>>,
+    next_id: u64,
     capacity: usize,
     lookup_cost: Cycles,
     stores_checked: u64,
+    /// Candidate-id scratch reused across stores (allocation-free path).
+    scratch: Vec<u64>,
 }
 
 impl CamFilter {
@@ -98,11 +125,16 @@ impl CamFilter {
     #[must_use]
     pub fn new(capacity: usize) -> CamFilter {
         CamFilter {
-            entries: Vec::with_capacity(capacity),
+            entries: FxHashMap::default(),
+            by_line: FxHashMap::default(),
+            large: Vec::new(),
+            by_watcher: FxHashMap::default(),
+            next_id: 0,
             capacity,
             // A CAM compares all entries in parallel: ~1 cycle.
             lookup_cost: Cycles(1),
             stores_checked: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -119,24 +151,72 @@ impl MonitorFilter for CamFilter {
         // Re-arming an identical range is idempotent (x86 `monitor`
         // semantics): software loops that arm before every condition
         // check must not leak filter entries.
-        if self.entries.contains(&(watcher, addr, len)) {
-            return Ok(());
+        if let Some(ids) = self.by_watcher.get(&watcher) {
+            if ids.iter().any(|id| self.entries[id] == (watcher, addr, len)) {
+                return Ok(());
+            }
         }
         if self.entries.len() >= self.capacity {
             return Err(MonitorError::CapacityExhausted);
         }
-        self.entries.push((watcher, addr, len));
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.insert(id, (watcher, addr, len));
+        self.by_watcher.entry(watcher).or_default().push(id);
+        if covers_too_many_lines(addr, len) {
+            self.large.push(id);
+        } else {
+            for line in lines_covering(addr, len) {
+                self.by_line.entry(line.0).or_default().push(id);
+            }
+        }
         Ok(())
     }
 
     fn disarm_all(&mut self, watcher: WatchId) {
-        self.entries.retain(|(w, _, _)| *w != watcher);
+        let Some(ids) = self.by_watcher.remove(&watcher) else {
+            return;
+        };
+        for id in ids {
+            let Some((_, addr, len)) = self.entries.remove(&id) else {
+                continue;
+            };
+            if covers_too_many_lines(addr, len) {
+                self.large.retain(|&x| x != id);
+            } else {
+                for line in lines_covering(addr, len) {
+                    if let Some(v) = self.by_line.get_mut(&line.0) {
+                        v.retain(|&x| x != id);
+                        if v.is_empty() {
+                            self.by_line.remove(&line.0);
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn on_store(&mut self, addr: PAddr, len: u64, out: &mut Vec<WakeEvent>) -> Cycles {
         self.stores_checked += 1;
         let len = len.max(1);
-        for &(w, a, l) in &self.entries {
+        if self.entries.is_empty() {
+            return self.lookup_cost;
+        }
+        let mut cand = core::mem::take(&mut self.scratch);
+        cand.clear();
+        for line in lines_covering(addr, len) {
+            if let Some(ids) = self.by_line.get(&line.0) {
+                cand.extend_from_slice(ids);
+            }
+        }
+        cand.extend_from_slice(&self.large);
+        // Any armed range overlapping the store shares a stored byte's
+        // line with it, so every overlap candidate is collected above;
+        // sorted ids reproduce arm order for the emitted wakes.
+        cand.sort_unstable();
+        cand.dedup();
+        for &id in &cand {
+            let (w, a, l) = self.entries[&id];
             if ranges_overlap(addr.0, len, a.0, l) {
                 out.push(WakeEvent {
                     watcher: w,
@@ -144,6 +224,7 @@ impl MonitorFilter for CamFilter {
                 });
             }
         }
+        self.scratch = cand;
         self.lookup_cost
     }
 
@@ -160,7 +241,11 @@ impl MonitorFilter for CamFilter {
 #[derive(Clone, Debug)]
 pub struct HashFilter {
     /// line address -> armed entries on that line.
-    lines: HashMap<u64, Vec<(WatchId, PAddr, u64)>>,
+    lines: FxHashMap<u64, Vec<(WatchId, PAddr, u64)>>,
+    /// watcher -> lines it has entries on, so `disarm_all` touches only
+    /// those buckets instead of sweeping the whole table (the sweep was
+    /// O(total armed lines) on every wake).
+    watcher_lines: FxHashMap<WatchId, Vec<u64>>,
     base_cost: Cycles,
     /// Additional cost per colliding entry scanned in the bucket.
     per_entry_cost: Cycles,
@@ -173,7 +258,8 @@ impl HashFilter {
     #[must_use]
     pub fn new() -> HashFilter {
         HashFilter {
-            lines: HashMap::new(),
+            lines: FxHashMap::default(),
+            watcher_lines: FxHashMap::default(),
             base_cost: Cycles(2),
             per_entry_cost: Cycles(1),
             armed: 0,
@@ -205,18 +291,29 @@ impl MonitorFilter for HashFilter {
             }
             bucket.push((watcher, addr, len));
             self.armed += 1;
+            // `watcher_lines` may record a line twice when one watcher
+            // arms two ranges on it; disarm handles that (second visit
+            // finds nothing to remove).
+            self.watcher_lines.entry(watcher).or_default().push(line.0);
         }
         Ok(())
     }
 
     fn disarm_all(&mut self, watcher: WatchId) {
+        let Some(lines) = self.watcher_lines.remove(&watcher) else {
+            return;
+        };
         let mut removed = 0usize;
-        self.lines.retain(|_, v| {
-            let before = v.len();
-            v.retain(|(w, _, _)| *w != watcher);
-            removed += before - v.len();
-            !v.is_empty()
-        });
+        for line in lines {
+            if let Some(v) = self.lines.get_mut(&line) {
+                let before = v.len();
+                v.retain(|(w, _, _)| *w != watcher);
+                removed += before - v.len();
+                if v.is_empty() {
+                    self.lines.remove(&line);
+                }
+            }
+        }
         self.armed -= removed;
     }
 
@@ -403,5 +500,245 @@ mod tests {
         let mut f = CamFilter::new(4);
         f.arm(WatchId(1), PAddr(0x100), 0).unwrap();
         assert_eq!(wakes(&mut f, PAddr(0x100), 0).len(), 1);
+    }
+
+    #[test]
+    fn cam_wake_order_is_arm_order() {
+        let mut f = CamFilter::new(8);
+        // Arm in a deliberately non-address order; wakes must come back
+        // in arm order (what the pre-index linear scan produced).
+        f.arm(WatchId(5), PAddr(0x108), 8).unwrap();
+        f.arm(WatchId(2), PAddr(0x100), 8).unwrap();
+        f.arm(WatchId(9), PAddr(0x104), 8).unwrap();
+        let w = wakes(&mut f, PAddr(0x100), 16);
+        let order: Vec<u64> = w.iter().map(|e| e.watcher.0).collect();
+        assert_eq!(order, vec![5, 2, 9]);
+    }
+
+    #[test]
+    fn cam_large_range_still_matches() {
+        let mut f = CamFilter::new(8);
+        // 1 MiB watch: far past INDEX_MAX_LINES, takes the overflow path.
+        f.arm(WatchId(1), PAddr(0x10_0000), 1 << 20).unwrap();
+        assert_eq!(wakes(&mut f, PAddr(0x18_0000), 8).len(), 1);
+        assert!(wakes(&mut f, PAddr(0x20_0000), 8).is_empty());
+        f.disarm_all(WatchId(1));
+        assert_eq!(f.armed_len(), 0);
+        assert!(wakes(&mut f, PAddr(0x18_0000), 8).is_empty());
+    }
+}
+
+/// The pre-index linear-scan filters, kept verbatim as the behavioural
+/// oracle: the property tests below drive random arm/disarm/store
+/// sequences through both implementations and require identical wake
+/// sets (order included), cycle costs, and armed counts.
+#[cfg(test)]
+mod reference {
+    use super::*;
+
+    pub struct RefCam {
+        entries: Vec<(WatchId, PAddr, u64)>,
+        capacity: usize,
+    }
+
+    impl RefCam {
+        pub fn new(capacity: usize) -> RefCam {
+            RefCam {
+                entries: Vec::new(),
+                capacity,
+            }
+        }
+
+        pub fn arm(&mut self, watcher: WatchId, addr: PAddr, len: u64) -> Result<(), MonitorError> {
+            let len = len.max(1);
+            if self.entries.contains(&(watcher, addr, len)) {
+                return Ok(());
+            }
+            if self.entries.len() >= self.capacity {
+                return Err(MonitorError::CapacityExhausted);
+            }
+            self.entries.push((watcher, addr, len));
+            Ok(())
+        }
+
+        pub fn disarm_all(&mut self, watcher: WatchId) {
+            self.entries.retain(|(w, _, _)| *w != watcher);
+        }
+
+        pub fn on_store(&mut self, addr: PAddr, len: u64, out: &mut Vec<WakeEvent>) -> Cycles {
+            let len = len.max(1);
+            for &(w, a, l) in &self.entries {
+                if ranges_overlap(addr.0, len, a.0, l) {
+                    out.push(WakeEvent {
+                        watcher: w,
+                        exact: true,
+                    });
+                }
+            }
+            Cycles(1)
+        }
+
+        pub fn armed_len(&self) -> usize {
+            self.entries.len()
+        }
+    }
+
+    pub struct RefHash {
+        lines: std::collections::HashMap<u64, Vec<(WatchId, PAddr, u64)>>,
+        armed: usize,
+    }
+
+    impl RefHash {
+        pub fn new() -> RefHash {
+            RefHash {
+                lines: std::collections::HashMap::new(),
+                armed: 0,
+            }
+        }
+
+        pub fn arm(&mut self, watcher: WatchId, addr: PAddr, len: u64) {
+            let len = len.max(1);
+            for line in lines_covering(addr, len) {
+                let bucket = self.lines.entry(line.0).or_default();
+                if bucket.contains(&(watcher, addr, len)) {
+                    continue;
+                }
+                bucket.push((watcher, addr, len));
+                self.armed += 1;
+            }
+        }
+
+        pub fn disarm_all(&mut self, watcher: WatchId) {
+            let mut removed = 0usize;
+            self.lines.retain(|_, v| {
+                let before = v.len();
+                v.retain(|(w, _, _)| *w != watcher);
+                removed += before - v.len();
+                !v.is_empty()
+            });
+            self.armed -= removed;
+        }
+
+        pub fn on_store(&mut self, addr: PAddr, len: u64, out: &mut Vec<WakeEvent>) -> Cycles {
+            let len = len.max(1);
+            let mut scanned = 0u64;
+            let before = out.len();
+            for line in lines_covering(addr, len) {
+                if let Some(entries) = self.lines.get(&line.0) {
+                    for &(w, a, l) in entries {
+                        scanned += 1;
+                        let exact = ranges_overlap(addr.0, len, a.0, l);
+                        if !out[before..].iter().any(|e| e.watcher == w) {
+                            out.push(WakeEvent { watcher: w, exact });
+                        }
+                    }
+                }
+            }
+            Cycles(2) + Cycles(scanned)
+        }
+
+        pub fn armed_len(&self) -> usize {
+            self.armed
+        }
+    }
+}
+
+#[cfg(test)]
+mod index_equivalence {
+    use super::reference::{RefCam, RefHash};
+    use super::*;
+
+    /// xorshift64 driver — deterministic, no external RNG dependency.
+    fn driver(mut state: u64) -> impl FnMut() -> u64 {
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        }
+    }
+
+    /// Address/len generator biased toward collisions: a small address
+    /// window, lens spanning sub-line to many-line, occasional huge
+    /// ranges to exercise the CAM overflow list.
+    fn pick_range(next: &mut impl FnMut() -> u64) -> (PAddr, u64) {
+        let r = next();
+        let addr = PAddr((r >> 8) % 4096);
+        let len = match r % 8 {
+            0 => 1,
+            1 => 4,
+            2 => 8,
+            3 => 16,
+            4 => 100,
+            5 => 0, // zero-len: treated as one byte
+            6 => 64 * (INDEX_MAX_LINES + 2), // forces the `large` path
+            _ => 48,
+        };
+        (addr, len)
+    }
+
+    #[test]
+    fn cam_index_matches_linear_reference() {
+        let mut next = driver(0xdead_beef_cafe_f00d);
+        for _round in 0..30 {
+            let mut idx = CamFilter::new(24);
+            let mut lin = RefCam::new(24);
+            for _op in 0..400 {
+                let r = next();
+                let watcher = WatchId(r % 6);
+                match r % 10 {
+                    0..=3 => {
+                        let (addr, len) = pick_range(&mut next);
+                        assert_eq!(idx.arm(watcher, addr, len), lin.arm(watcher, addr, len));
+                    }
+                    4 => {
+                        idx.disarm_all(watcher);
+                        lin.disarm_all(watcher);
+                    }
+                    _ => {
+                        let (addr, len) = pick_range(&mut next);
+                        let (mut a, mut b) = (Vec::new(), Vec::new());
+                        let ca = idx.on_store(addr, len, &mut a);
+                        let cb = lin.on_store(addr, len, &mut b);
+                        assert_eq!(a, b, "wake set diverged at store {addr:?}+{len}");
+                        assert_eq!(ca, cb, "cycle cost diverged");
+                    }
+                }
+                assert_eq!(idx.armed_len(), lin.armed_len());
+            }
+        }
+    }
+
+    #[test]
+    fn hash_index_matches_linear_reference() {
+        let mut next = driver(0x0123_4567_89ab_cdef);
+        for _round in 0..30 {
+            let mut idx = HashFilter::new();
+            let mut lin = RefHash::new();
+            for _op in 0..400 {
+                let r = next();
+                let watcher = WatchId(r % 6);
+                match r % 10 {
+                    0..=3 => {
+                        let (addr, len) = pick_range(&mut next);
+                        idx.arm(watcher, addr, len).unwrap();
+                        lin.arm(watcher, addr, len);
+                    }
+                    4 => {
+                        idx.disarm_all(watcher);
+                        lin.disarm_all(watcher);
+                    }
+                    _ => {
+                        let (addr, len) = pick_range(&mut next);
+                        let (mut a, mut b) = (Vec::new(), Vec::new());
+                        let ca = idx.on_store(addr, len, &mut a);
+                        let cb = lin.on_store(addr, len, &mut b);
+                        assert_eq!(a, b, "wake set diverged at store {addr:?}+{len}");
+                        assert_eq!(ca, cb, "cycle cost diverged");
+                    }
+                }
+                assert_eq!(idx.armed_len(), lin.armed_len());
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! thread touches while running; when the thread is woken, the recorded
 //! set is replayed into the waking core's caches.
 
-use std::collections::HashMap;
+use switchless_sim::hash::FxHashMap;
 
 use crate::addr::PAddr;
 use crate::monitor::WatchId;
@@ -16,13 +16,15 @@ use crate::monitor::WatchId;
 #[derive(Clone, Debug, Default)]
 struct WorkingSet {
     /// Line addresses, most recently touched last.
-    lines: Vec<u64>,
+    lines: Vec<PAddr>,
 }
 
 /// Records working sets per thread and replays them on wake.
 #[derive(Clone, Debug)]
 pub struct WakePrefetcher {
-    sets: HashMap<WatchId, WorkingSet>,
+    /// Fx-hashed: only keyed lookups; replay order comes from the
+    /// per-thread `lines` vector, never from map iteration.
+    sets: FxHashMap<WatchId, WorkingSet>,
     /// Max distinct lines remembered per thread.
     capacity: usize,
     enabled: bool,
@@ -40,7 +42,7 @@ impl WakePrefetcher {
     pub fn new(capacity: usize) -> WakePrefetcher {
         assert!(capacity > 0, "prefetcher capacity must be positive");
         WakePrefetcher {
-            sets: HashMap::new(),
+            sets: FxHashMap::default(),
             capacity,
             enabled: true,
             replays: 0,
@@ -65,7 +67,7 @@ impl WakePrefetcher {
             return;
         }
         let set = self.sets.entry(thread).or_default();
-        let line = addr.line().0;
+        let line = addr.line();
         if let Some(pos) = set.lines.iter().position(|&l| l == line) {
             set.lines.remove(pos);
         } else if set.lines.len() >= self.capacity {
@@ -75,19 +77,20 @@ impl WakePrefetcher {
     }
 
     /// Returns the lines to warm for a thread being woken (oldest first),
-    /// empty when disabled or unknown.
+    /// empty when disabled or unknown. Borrows rather than allocating —
+    /// wakes are frequent under I/O-heavy workloads.
     #[must_use]
-    pub fn wake_set(&mut self, thread: WatchId) -> Vec<PAddr> {
+    pub fn wake_set(&mut self, thread: WatchId) -> &[PAddr] {
         if !self.enabled {
-            return Vec::new();
+            return &[];
         }
         match self.sets.get(&thread) {
             Some(ws) => {
                 self.replays += 1;
                 self.lines_replayed += ws.lines.len() as u64;
-                ws.lines.iter().map(|&l| PAddr(l)).collect()
+                &ws.lines
             }
-            None => Vec::new(),
+            None => &[],
         }
     }
 

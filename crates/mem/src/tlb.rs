@@ -6,8 +6,7 @@
 //! this model: a fully-associative LRU TLB per core, charged with a
 //! configurable page-walk penalty on miss.
 
-use std::collections::HashMap;
-
+use switchless_sim::hash::{fx_map_with_capacity, FxHashMap};
 use switchless_sim::time::Cycles;
 
 /// Configuration for a [`Tlb`].
@@ -39,7 +38,10 @@ impl Default for TlbConfig {
 pub struct Tlb {
     config: TlbConfig,
     /// (asid, page-number) -> last-use stamp.
-    entries: HashMap<(u16, u64), u64>,
+    ///
+    /// Fx-hashed: LRU eviction takes a `min_by_key` over unique stamps,
+    /// so the victim never depends on map iteration order.
+    entries: FxHashMap<(u16, u64), u64>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -51,7 +53,7 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Tlb {
         Tlb {
             config,
-            entries: HashMap::with_capacity(config.entries + 1),
+            entries: fx_map_with_capacity(config.entries + 1),
             tick: 0,
             hits: 0,
             misses: 0,

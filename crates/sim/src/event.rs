@@ -4,27 +4,98 @@
 //! order (FIFO), which makes simulations deterministic for a fixed seed.
 //! Cancellation is by token: [`EventQueue::schedule`] returns an
 //! [`EventToken`] which can later be passed to [`EventQueue::cancel`].
-//! Cancelled events are dropped lazily when they reach the head of the heap.
+//! Cancelled events are dropped lazily when they reach the head of the queue.
+//!
+//! # Internals: timing wheel + overflow heap
+//!
+//! Simulators schedule almost every event a short, bounded distance into
+//! the future (instruction costs, activation latencies), so the common
+//! case is served by a timing wheel: slot `at % WHEEL_SLOTS` holds a FIFO
+//! of the events due at cycle `at`, and an occupancy bitmap finds the
+//! next non-empty slot with a handful of word scans. Events outside the
+//! wheel horizon — scheduled in the past or more than [`WHEEL_SLOTS`]
+//! cycles ahead — go to a binary heap and are merged by `(time, seq)` at
+//! pop time.
+//!
+//! The wheel is exact, not approximate: every wheel entry's time lies in
+//! `[cursor, cursor + WHEEL_SLOTS)` where `cursor` is the last popped
+//! time (pops are monotone), so a slot never holds two distinct times
+//! and slot order equals time order starting from the cursor's slot.
 
 use core::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 
+use crate::hash::FxHashSet;
 use crate::time::Cycles;
 
 /// Handle identifying a scheduled event, used for cancellation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EventToken(u64);
 
+/// Per-seq lifecycle state tracked in the recency ring.
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const RETIRED: u8 = 2;
+
+/// Seqs within this distance of the newest keep their state in a flat
+/// ring (no hashing). Older survivors spill to hash sets on age-out.
+/// Simulation hot loops pop events scheduled at most a few thousand
+/// schedules earlier (bounded by outstanding events), so steady state
+/// never touches a hash table; the ring itself costs `RING_WINDOW`
+/// bytes at most.
+const RING_WINDOW: usize = 4096;
+
+/// Number of wheel slots; also the wheel horizon in cycles. Power of two
+/// so the slot index is a mask. Events due further out overflow to the
+/// heap, which is correct but slower.
+const WHEEL_SLOTS: usize = 4096;
+/// Words in the slot-occupancy bitmap.
+const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
+
 /// A passive priority queue of timestamped events.
 ///
 /// The queue does not dispatch; the owner pops `(time, event)` pairs and
 /// acts on them. Same-cycle events pop in the order they were scheduled.
+///
+/// # Complexity
+///
+/// | operation                         | cost            |
+/// |-----------------------------------|-----------------|
+/// | [`schedule`](EventQueue::schedule) | O(1) within the wheel horizon, O(log n) beyond |
+/// | [`pop`](EventQueue::pop) / [`pop_due`](EventQueue::pop_due) | O(1) amortised within the horizon |
+/// | [`cancel`](EventQueue::cancel)    | O(1)            |
+/// | [`peek_time`](EventQueue::peek_time) / [`peek`](EventQueue::peek) | O(1) amortised |
+/// | [`len`](EventQueue::len) / [`is_empty`](EventQueue::is_empty) | O(1), exact |
+///
+/// Cancelled events are removed lazily when they reach the head. Seq
+/// bookkeeping lives in a fixed-size recency ring (newest
+/// [`RING_WINDOW`] seqs) plus spill sets bounded by the number of *live*
+/// entries, so long-running simulations that cancel (or cancel-after-
+/// pop) heavily never accumulate garbage — and the hot schedule/pop
+/// path performs no hashing at all.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    cancelled: HashSet<u64>,
+    /// Near-future events: slot `at & (WHEEL_SLOTS - 1)`, FIFO per slot.
+    wheel: Vec<VecDeque<Entry<E>>>,
+    /// One bit per wheel slot, set when that slot's FIFO is non-empty.
+    occupied: [u64; WHEEL_WORDS],
+    /// Events outside the wheel horizon (far future, or scheduled in the
+    /// past), merged with the wheel by `(time, seq)` at pop time.
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
+    /// Lifecycle state of seq `ring_base + i` at index `i` (newest seqs).
+    ring: VecDeque<u8>,
+    ring_base: u64,
+    /// Live seqs that aged out of the ring (still queued).
+    old_live: FxHashSet<u64>,
+    /// Cancelled-but-still-queued seqs that aged out of the ring.
+    old_cancelled: FxHashSet<u64>,
+    /// Exact number of live (scheduled, not popped/cancelled) events.
+    live: usize,
+    /// Cancelled events still physically queued, awaiting lazy removal.
+    cancelled_queued: usize,
     next_seq: u64,
-    /// Timestamp of the most recently popped event; pops must be monotone.
+    /// Timestamp of the most recently popped event; pops are monotone,
+    /// which is what anchors the wheel window.
     last_popped: Cycles,
 }
 
@@ -55,19 +126,34 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Where the current head (minimum) entry lives.
+#[derive(Clone, Copy)]
+enum Src {
+    Wheel(usize),
+    Overflow,
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            wheel: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            overflow: BinaryHeap::new(),
+            ring: VecDeque::new(),
+            ring_base: 0,
+            old_live: FxHashSet::default(),
+            old_cancelled: FxHashSet::default(),
+            live: 0,
+            cancelled_queued: 0,
             next_seq: 0,
             last_popped: Cycles::ZERO,
         }
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
+    /// Schedules `event` to fire at absolute time `at`. O(1) for events
+    /// within the wheel horizon, O(log n) beyond it.
     ///
     /// Returns a token usable with [`EventQueue::cancel`]. Scheduling in the
     /// past is allowed (the event fires "immediately", i.e. before any
@@ -75,72 +161,240 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: Cycles, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+        let entry = Entry { at, seq, event };
+        if at >= self.last_popped && at.0 - self.last_popped.0 < WHEEL_SLOTS as u64 {
+            let slot = at.0 as usize & (WHEEL_SLOTS - 1);
+            self.wheel[slot].push_back(entry);
+            self.occupied[slot >> 6] |= 1 << (slot & 63);
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+        self.ring.push_back(LIVE);
+        self.live += 1;
+        if self.ring.len() > RING_WINDOW {
+            // The oldest ring slot ages out; a seq still in play spills to
+            // the hash sets (rare: an event that outlived RING_WINDOW
+            // later schedules, or a cancel buried deep in the queue).
+            let state = self.ring.pop_front().expect("ring length checked");
+            let aged = self.ring_base;
+            self.ring_base += 1;
+            match state {
+                LIVE => {
+                    self.old_live.insert(aged);
+                }
+                CANCELLED => {
+                    self.old_cancelled.insert(aged);
+                }
+                _ => {}
+            }
+        }
         EventToken(seq)
     }
 
-    /// Cancels a previously scheduled event.
+    /// Cancels a previously scheduled event. O(1).
     ///
-    /// Returns `true` if the token had not already fired or been cancelled.
-    /// Cancelling an already-popped token is a no-op returning `false`.
+    /// Returns `true` if the token had not already fired or been
+    /// cancelled. Cancelling an already-popped (or already-cancelled)
+    /// token is an exact no-op returning `false`: the seq's lifecycle
+    /// state is consulted, so a dead seq never re-enters the lazy-removal
+    /// bookkeeping (which would otherwise leak memory over long runs).
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if token.0 >= self.next_seq {
-            return false;
+        let seq = token.0;
+        if seq >= self.next_seq {
+            return false; // never issued by this queue
         }
-        // An already-popped seq is not tracked; inserting it is harmless
-        // (it can never pop again) but we report `false` for fired events
-        // only on a best-effort basis: the heap is scanned lazily.
-        self.cancelled.insert(token.0)
+        let was_live = if seq >= self.ring_base {
+            let slot = &mut self.ring[(seq - self.ring_base) as usize];
+            let live = *slot == LIVE;
+            if live {
+                *slot = CANCELLED;
+            }
+            live
+        } else if self.old_live.remove(&seq) {
+            self.old_cancelled.insert(seq);
+            true
+        } else {
+            false
+        };
+        if was_live {
+            self.live -= 1;
+            self.cancelled_queued += 1;
+        }
+        was_live
     }
 
-    /// Time of the earliest pending event, if any.
+    /// Time of the earliest pending event, if any. O(1) amortised (a
+    /// cancelled prefix is dropped first).
     #[must_use]
     pub fn peek_time(&mut self) -> Option<Cycles> {
         self.drop_cancelled();
-        self.heap.peek().map(|Reverse(e)| e.at)
+        self.min_src().map(|(_, at, _)| at)
     }
 
-    /// Pops the earliest pending event.
-    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+    /// The earliest pending `(time, event)` without removing it. O(1)
+    /// amortised. Does not allocate.
+    #[must_use]
+    pub fn peek(&mut self) -> Option<(Cycles, &E)> {
         self.drop_cancelled();
-        let Reverse(e) = self.heap.pop()?;
-        self.last_popped = self.last_popped.max(e.at);
-        Some((e.at, e.event))
-    }
-
-    /// Pops the earliest event only if it is due at or before `now`.
-    pub fn pop_due(&mut self, now: Cycles) -> Option<(Cycles, E)> {
-        if self.peek_time()? <= now {
-            self.pop()
-        } else {
-            None
+        // `min_src` ends the query borrow of `self` before the chosen
+        // entry is re-borrowed for the return value.
+        match self.min_src()? {
+            (Src::Wheel(slot), ..) => {
+                let e = self.wheel[slot].front().expect("occupied slot");
+                Some((e.at, &e.event))
+            }
+            (Src::Overflow, ..) => {
+                let Reverse(e) = self.overflow.peek().expect("checked");
+                Some((e.at, &e.event))
+            }
         }
     }
 
-    /// Number of pending (non-cancelled) events.
-    ///
-    /// This is O(1) amortised but may count cancelled events that have not
-    /// yet been lazily dropped; use [`EventQueue::is_empty`] for an exact
-    /// emptiness check.
-    #[must_use]
-    pub fn approx_len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Returns `true` when no live events remain.
-    #[must_use]
-    pub fn is_empty(&mut self) -> bool {
+    /// Pops the earliest pending event. O(1) amortised within the wheel
+    /// horizon, O(log n) for overflow events.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
         self.drop_cancelled();
-        self.heap.is_empty()
+        let (src, ..) = self.min_src()?;
+        Some(self.take(src))
     }
 
+    /// Pops the earliest event only if it is due at or before `now`.
+    /// Same cost as [`EventQueue::pop`].
+    pub fn pop_due(&mut self, now: Cycles) -> Option<(Cycles, E)> {
+        self.drop_cancelled();
+        let (src, at, ..) = self.min_src()?;
+        if at > now {
+            return None;
+        }
+        Some(self.take(src))
+    }
+
+    /// Number of live (scheduled, not yet popped or cancelled) events.
+    /// Exact and O(1): the live count is maintained eagerly even though
+    /// removal of cancelled entries is lazy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` when no live events remain. Exact and O(1).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Cancelled events still physically queued, awaiting lazy removal.
+    /// Bounded by the number of cancels whose event has not yet reached
+    /// the queue head — exposed so tests can assert the queue never
+    /// leaks.
+    #[must_use]
+    pub fn cancelled_backlog(&self) -> usize {
+        self.cancelled_queued
+    }
+
+    /// Locates the minimum `(time, seq)` entry across wheel and overflow;
+    /// returns its source plus that `(time, seq)` so callers do not have
+    /// to re-find the front.
+    fn min_src(&self) -> Option<(Src, Cycles, u64)> {
+        if self.live == 0 && self.cancelled_queued == 0 {
+            return None;
+        }
+        let wheel = self.next_occupied_slot().map(|slot| {
+            let e = self.wheel[slot].front().expect("occupied slot");
+            (e.at, e.seq, slot)
+        });
+        let over = self
+            .overflow
+            .peek()
+            .map(|Reverse(e)| (e.at, e.seq));
+        match (wheel, over) {
+            (None, None) => None,
+            (Some((at, seq, slot)), None) => Some((Src::Wheel(slot), at, seq)),
+            (None, Some((at, seq))) => Some((Src::Overflow, at, seq)),
+            (Some((wat, wseq, slot)), Some((oat, oseq))) => {
+                if (wat, wseq) <= (oat, oseq) {
+                    Some((Src::Wheel(slot), wat, wseq))
+                } else {
+                    Some((Src::Overflow, oat, oseq))
+                }
+            }
+        }
+    }
+
+    /// First occupied wheel slot in time order, starting at the cursor's
+    /// slot and wrapping. Bitmap scan: the hot case resolves in the first
+    /// word.
+    fn next_occupied_slot(&self) -> Option<usize> {
+        let start = self.last_popped.0 as usize & (WHEEL_SLOTS - 1);
+        let w0 = start >> 6;
+        let first = self.occupied[w0] & (!0u64 << (start & 63));
+        if first != 0 {
+            return Some((w0 << 6) + first.trailing_zeros() as usize);
+        }
+        for k in 1..=WHEEL_WORDS {
+            // k == WHEEL_WORDS revisits the start word to catch slots
+            // below `start` (wrapped, i.e. latest-in-window times).
+            let w = (w0 + k) & (WHEEL_WORDS - 1);
+            let word = self.occupied[w];
+            if word != 0 {
+                return Some((w << 6) + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the head entry (which the caller has located
+    /// via `min_src` and ensured is live).
+    fn take(&mut self, src: Src) -> (Cycles, E) {
+        let e = self.remove_head(src);
+        self.retire(e.seq);
+        self.live -= 1;
+        self.last_popped = self.last_popped.max(e.at);
+        (e.at, e.event)
+    }
+
+    fn remove_head(&mut self, src: Src) -> Entry<E> {
+        match src {
+            Src::Wheel(slot) => {
+                let e = self.wheel[slot].pop_front().expect("occupied slot");
+                if self.wheel[slot].is_empty() {
+                    self.occupied[slot >> 6] &= !(1 << (slot & 63));
+                }
+                e
+            }
+            Src::Overflow => self.overflow.pop().expect("checked").0,
+        }
+    }
+
+    /// Marks a live seq leaving the queue as fully dead.
+    fn retire(&mut self, seq: u64) {
+        if seq >= self.ring_base {
+            self.ring[(seq - self.ring_base) as usize] = RETIRED;
+        } else {
+            self.old_live.remove(&seq);
+        }
+    }
+
+    /// Removes cancelled entries sitting at the queue head, so peeks and
+    /// pops see a live minimum.
     fn drop_cancelled(&mut self) {
-        while let Some(Reverse(e)) = self.heap.peek() {
-            if self.cancelled.remove(&e.seq) {
-                self.heap.pop();
+        while self.cancelled_queued != 0 {
+            let Some((src, _, seq)) = self.min_src() else { break };
+            let head_cancelled = if seq >= self.ring_base {
+                self.ring[(seq - self.ring_base) as usize] == CANCELLED
             } else {
+                self.old_cancelled.contains(&seq)
+            };
+            if !head_cancelled {
                 break;
             }
+            self.remove_head(src);
+            if seq >= self.ring_base {
+                self.ring[(seq - self.ring_base) as usize] = RETIRED;
+            } else {
+                self.old_cancelled.remove(&seq);
+            }
+            self.cancelled_queued -= 1;
         }
     }
 }
@@ -232,6 +486,155 @@ mod tests {
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
     }
+
+    #[test]
+    fn cancel_after_pop_reports_false_and_leaks_nothing() {
+        // Regression: cancelling an already-popped token used to insert
+        // its dead seq into the lazy-removal set forever (unbounded
+        // growth over long runs) and wrongly return `true`.
+        let mut q = EventQueue::new();
+        let mut popped_tokens = Vec::new();
+        for i in 0..1000 {
+            popped_tokens.push(q.schedule(Cycles(i), i));
+        }
+        for _ in 0..1000 {
+            q.pop().unwrap();
+        }
+        for t in popped_tokens {
+            assert!(!q.cancel(t), "cancelling a fired token must be false");
+        }
+        assert_eq!(q.cancelled_backlog(), 0, "dead seqs must not accumulate");
+        assert_eq!(q.len(), 0);
+        // A token cancelled while live, whose event then reaches the
+        // queue head, is also fully drained.
+        let t = q.schedule(Cycles(1), 0);
+        q.schedule(Cycles(2), 1);
+        assert!(q.cancel(t));
+        assert_eq!(q.cancelled_backlog(), 1);
+        assert_eq!(q.pop(), Some((Cycles(2), 1)));
+        assert_eq!(q.cancelled_backlog(), 0);
+        assert!(!q.cancel(t), "second cancel of the same token is false");
+    }
+
+    #[test]
+    fn cancel_of_unissued_token_is_false() {
+        // A token forged beyond next_seq (or from another queue) must not
+        // poison the cancellation bookkeeping either.
+        let mut q: EventQueue<()> = EventQueue::new();
+        let mut other: EventQueue<()> = EventQueue::new();
+        other.schedule(Cycles(1), ());
+        let foreign = other.schedule(Cycles(2), ());
+        assert!(!q.cancel(foreign));
+        assert_eq!(q.cancelled_backlog(), 0);
+    }
+
+    #[test]
+    fn len_is_exact_under_cancels() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        let a = q.schedule(Cycles(5), "a");
+        let b = q.schedule(Cycles(6), "b");
+        q.schedule(Cycles(7), "c");
+        assert_eq!(q.len(), 3);
+        q.cancel(b);
+        // Exact immediately, even though the queue still holds "b".
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop().unwrap();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ring_age_out_keeps_old_tokens_working() {
+        // Events that survive more than RING_WINDOW later schedules spill
+        // out of the recency ring into the hash sets; cancellation and
+        // popping must still behave identically for them.
+        let mut q = EventQueue::new();
+        let old_live = q.schedule(Cycles(1_000_000), "old-live");
+        let old_cancel = q.schedule(Cycles(2_000_000), "old-cancelled");
+        assert!(q.cancel(old_cancel));
+        for i in 0..(RING_WINDOW as u64 * 3) {
+            let t = q.schedule(Cycles(i), "churn");
+            assert_eq!(q.pop(), Some((Cycles(i), "churn")));
+            assert!(!q.cancel(t), "popped token must stay dead after age-out");
+        }
+        // Both original events are now far behind the ring window.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.cancelled_backlog(), 1);
+        assert!(!q.cancel(old_cancel), "second cancel stays false when spilled");
+        assert!(q.cancel(old_live), "spilled live event is still cancellable");
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.cancelled_backlog(), 0, "lazy removal drains spilled seqs");
+    }
+
+    #[test]
+    fn ring_age_out_pops_old_live_event() {
+        let mut q = EventQueue::new();
+        let survivor = q.schedule(Cycles(u64::MAX), "survivor");
+        for i in 0..(RING_WINDOW as u64 * 2) {
+            q.schedule(Cycles(i), "churn");
+            q.pop().unwrap();
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Cycles(u64::MAX), "survivor")));
+        assert!(!q.cancel(survivor), "cancel after pop is false for spilled seq");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn wheel_horizon_boundary_orders_exactly() {
+        // Events just inside and just outside the wheel horizon (and at
+        // the same cycle across both structures) must interleave in
+        // (time, insertion) order.
+        let mut q = EventQueue::new();
+        let w = WHEEL_SLOTS as u64;
+        q.schedule(Cycles(w + 10), "overflow-first"); // beyond horizon
+        q.schedule(Cycles(w - 1), "wheel-edge"); // last in-horizon cycle
+        q.schedule(Cycles(w + 10), "overflow-second");
+        assert_eq!(q.pop(), Some((Cycles(w - 1), "wheel-edge")));
+        // Cursor is now w - 1: cycle w + 10 is inside the new horizon,
+        // so this one lands in the wheel while two same-cycle events sit
+        // in overflow with smaller seqs.
+        q.schedule(Cycles(w + 10), "wheel-third");
+        assert_eq!(q.pop(), Some((Cycles(w + 10), "overflow-first")));
+        assert_eq!(q.pop(), Some((Cycles(w + 10), "overflow-second")));
+        assert_eq!(q.pop(), Some((Cycles(w + 10), "wheel-third")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_laps() {
+        // March time forward across several wheel laps with a sparse
+        // event every ~1.5 slots-width to exercise bitmap wrap-around.
+        let mut q = EventQueue::new();
+        let mut at = 0u64;
+        for i in 0..64u64 {
+            at += (WHEEL_SLOTS as u64 * 3) / 2 + i;
+            q.schedule(Cycles(at), i);
+            // Half are scheduled one-at-a-time (always overflow, then
+            // popped); interleave a near event to keep the wheel hot.
+            q.schedule(Cycles(at.saturating_sub(1)), 1000 + i);
+            assert_eq!(q.pop(), Some((Cycles(at - 1), 1000 + i)));
+            assert_eq!(q.pop(), Some((Cycles(at), i)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_returns_event_without_removing() {
+        let mut q = EventQueue::new();
+        let t = q.schedule(Cycles(3), "dead");
+        q.schedule(Cycles(4), "live");
+        q.cancel(t);
+        assert_eq!(q.peek(), Some((Cycles(4), &"live")));
+        assert_eq!(q.len(), 1, "peek must not remove live events");
+        assert_eq!(q.pop(), Some((Cycles(4), "live")));
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +681,65 @@ mod order_tests {
                 popped.push((at.0, s));
             }
             assert_eq!(popped, live, "ordering violated");
+        }
+    }
+
+    /// Same brute force, but with interleaved pops and a time range that
+    /// straddles the wheel horizon, so wheel/overflow merging and the
+    /// advancing cursor are both exercised.
+    #[test]
+    fn random_interleaved_pops_preserve_order() {
+        let mut state = 0xdead_beef_cafe_f00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _round in 0..20 {
+            let mut q = EventQueue::new();
+            // Model: sorted list of live (time, seq); pops must match its
+            // prefix, respecting monotone time (never schedule before the
+            // last popped time so the model stays comparable).
+            let mut model: Vec<(u64, u64)> = Vec::new();
+            let mut floor = 0u64;
+            let mut seq = 0u64;
+            let mut tokens: Vec<(EventToken, u64, u64)> = Vec::new();
+            for _ in 0..400 {
+                let r = next();
+                match r % 5 {
+                    0 | 1 => {
+                        // Spread far beyond one wheel width.
+                        let at = floor + r % (3 * WHEEL_SLOTS as u64);
+                        let tok = q.schedule(Cycles(at), seq);
+                        tokens.push((tok, at, seq));
+                        model.push((at, seq));
+                        seq += 1;
+                    }
+                    2 if !tokens.is_empty() => {
+                        let idx = (r as usize / 7) % tokens.len();
+                        let (tok, time, s) = tokens.swap_remove(idx);
+                        if q.cancel(tok) {
+                            model.retain(|&(t, sq)| !(t == time && sq == s));
+                        }
+                    }
+                    _ => {
+                        model.sort_unstable();
+                        if model.is_empty() {
+                            assert_eq!(q.pop(), None);
+                        } else {
+                            let (at, s) = model.remove(0);
+                            assert_eq!(q.pop(), Some((Cycles(at), s)));
+                            floor = at;
+                        }
+                    }
+                }
+            }
+            model.sort_unstable();
+            for (at, s) in model {
+                assert_eq!(q.pop(), Some((Cycles(at), s)));
+            }
+            assert_eq!(q.pop(), None);
         }
     }
 }

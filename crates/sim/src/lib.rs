@@ -13,6 +13,9 @@
 //! * [`fault`] — seeded, deterministic fault-injection plans
 //!   ([`fault::FaultPlan`]) that schedule device faults by component, kind,
 //!   rate and cycle window.
+//! * [`hash`] — a deterministic FxHash-style hasher ([`hash::FxHashMap`],
+//!   [`hash::FxHashSet`]) replacing SipHash on hot-path maps keyed by
+//!   trusted small integers.
 //! * [`par`] — a dependency-free scoped-thread work pool
 //!   ([`par::par_map`], [`par::for_each_ordered`]) whose results are
 //!   collected in input order, so parallel runs are bit-identical to
@@ -52,6 +55,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod hash;
 pub mod par;
 pub mod report;
 pub mod rng;

@@ -7,7 +7,8 @@
 //! regardless of sample count.
 
 use core::fmt;
-use std::collections::BTreeMap;
+
+use crate::hash::FxHashMap;
 
 /// Welford streaming mean/variance plus min/max.
 ///
@@ -315,11 +316,29 @@ impl fmt::Display for Histogram {
 /// A registry of named monotonically increasing counters.
 ///
 /// Kernels and devices bump counters ("irq.delivered", "nic.rx.drops") and
-/// experiments snapshot them. Names are ordered for stable output.
+/// experiments snapshot them. [`Counters::iter`] sorts, so output stays in
+/// name order while the hot `add`/`inc` path is a single hash lookup that
+/// allocates only the first time a name is seen.
+///
+/// For the hottest sites (bumped once or more per simulated instruction),
+/// [`Counters::id`] resolves a name to a [`CounterId`] once, and
+/// [`Counters::bump`] is then a bare array index — no hashing, no string
+/// compare. Still-zero counters are not reported by [`Counters::iter`],
+/// so pre-registering an id does not change output.
 #[derive(Clone, Debug, Default)]
 pub struct Counters {
-    map: BTreeMap<String, u64>,
+    index: FxHashMap<String, u32>,
+    /// Parallel arrays; `index` maps a name to its slot in both.
+    names: Vec<String>,
+    slots: Vec<u64>,
 }
+
+/// A pre-resolved counter handle; see [`Counters::id`].
+///
+/// Ids stay valid for the lifetime of the registry ([`Counters::reset`]
+/// zeroes values but keeps registrations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(u32);
 
 impl Counters {
     /// Creates an empty registry.
@@ -328,9 +347,29 @@ impl Counters {
         Counters::default()
     }
 
+    /// Resolves `name` to a stable [`CounterId`], registering it at zero
+    /// on first use. O(name) once; [`Counters::bump`] is O(1) after.
+    pub fn id(&mut self, name: &str) -> CounterId {
+        if let Some(&i) = self.index.get(name) {
+            return CounterId(i);
+        }
+        let i = u32::try_from(self.slots.len()).expect("counter registry overflow");
+        self.index.insert(name.to_owned(), i);
+        self.names.push(name.to_owned());
+        self.slots.push(0);
+        CounterId(i)
+    }
+
+    /// Adds `n` to the counter behind a pre-resolved id (O(1), no hash).
+    #[inline]
+    pub fn bump(&mut self, id: CounterId, n: u64) {
+        self.slots[id.0 as usize] += n;
+    }
+
     /// Adds `n` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &str, n: u64) {
-        *self.map.entry(name.to_owned()).or_insert(0) += n;
+        let id = self.id(name);
+        self.bump(id, n);
     }
 
     /// Increments counter `name` by one.
@@ -341,17 +380,29 @@ impl Counters {
     /// Current value of `name` (0 if never bumped).
     #[must_use]
     pub fn get(&self, name: &str) -> u64 {
-        self.map.get(name).copied().unwrap_or(0)
+        self.index
+            .get(name)
+            .map_or(0, |&i| self.slots[i as usize])
     }
 
-    /// Iterates `(name, value)` in name order.
+    /// Iterates `(name, value)` of every nonzero counter, in name order
+    /// (sorted on each call; registered-but-never-bumped names are
+    /// omitted, matching the output of a purely on-demand registry).
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+        let mut all: Vec<(&str, u64)> = self
+            .names
+            .iter()
+            .zip(&self.slots)
+            .filter(|&(_, &v)| v != 0)
+            .map(|(k, &v)| (k.as_str(), v))
+            .collect();
+        all.sort_unstable_by_key(|&(k, _)| k);
+        all.into_iter()
     }
 
-    /// Removes all counters.
+    /// Zeroes all counters. Registered [`CounterId`]s remain valid.
     pub fn reset(&mut self) {
-        self.map.clear();
+        self.slots.iter_mut().for_each(|v| *v = 0);
     }
 }
 
@@ -539,6 +590,25 @@ mod tests {
             let err = (rep as f64 - v as f64).abs() / v as f64;
             assert!(err < 0.02, "v={v} rep={rep} err={err}");
         }
+    }
+
+    #[test]
+    fn counter_ids_bump_fast_path() {
+        let mut c = Counters::new();
+        let id = c.id("hot");
+        assert_eq!(c.id("hot"), id, "id() is idempotent per name");
+        c.bump(id, 3);
+        c.inc("hot");
+        assert_eq!(c.get("hot"), 4);
+        // Registered-but-never-bumped names don't leak into iter().
+        let _cold = c.id("cold");
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["hot"]);
+        // reset zeroes values but ids stay valid.
+        c.reset();
+        assert_eq!(c.get("hot"), 0);
+        c.bump(id, 1);
+        assert_eq!(c.get("hot"), 1);
     }
 
     #[test]

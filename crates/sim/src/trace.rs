@@ -69,6 +69,10 @@ impl TraceRing {
     ///
     /// When the ring is full the oldest event is overwritten and the
     /// `dropped` count incremented.
+    ///
+    /// The message is built before the enabled check; on paths that
+    /// record per wake or per block, prefer [`TraceRing::record_with`]
+    /// so the allocation only happens when tracing is on.
     pub fn record(&mut self, at: Cycles, category: &'static str, message: String) {
         if !self.enabled {
             return;
@@ -81,6 +85,17 @@ impl TraceRing {
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
         }
+    }
+
+    /// Records an event if tracing is enabled, building the message
+    /// lazily: `message()` runs only when the ring will actually store
+    /// it. Use this on hot paths — with tracing disabled (the default)
+    /// the call is a single branch, no formatting, no allocation.
+    pub fn record_with(&mut self, at: Cycles, category: &'static str, message: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        self.record(at, category, message());
     }
 
     /// Returns events oldest-first.

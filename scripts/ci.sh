@@ -10,6 +10,9 @@
 #   jobs     parallel-determinism check: the full --quick suite at
 #            --jobs 1 and --jobs 4 must write bit-identical results/
 #            trees (the harness's core invariant)
+#   bench    host-throughput smoke: switchless-bench --quick must run
+#            and emit well-formed switchless-bench/v1 JSON (numbers are
+#            not gated — host speed is machine-dependent)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,5 +58,21 @@ if [ "$s1" != "$s4" ]; then
     exit 1
 fi
 echo "parallel determinism: identical results/ trees and logs"
+
+step "bench smoke (switchless-bench --quick)"
+bj=target/bench-smoke.json
+rm -f "$bj"
+cargo run -q --release -p switchless-bench -- --quick --out "$bj"
+python3 - "$bj" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+assert d["schema"] == "switchless-bench/v1", d.get("schema")
+for section in ("benches", "baseline", "speedup"):
+    assert isinstance(d[section], dict) and d[section], section
+for k, v in d["benches"].items():
+    assert isinstance(v, (int, float)) and v > 0, (k, v)
+print("bench smoke: schema and keys ok")
+EOF
 
 printf '\nCI green.\n'
