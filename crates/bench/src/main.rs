@@ -15,7 +15,7 @@
 //! ```
 //!
 //! `--quick` shrinks each measurement window (CI smoke); `--out` defaults
-//! to `BENCH_4.json` in the current directory.
+//! to `BENCH_5.json` in the current directory.
 
 use std::time::Instant;
 
@@ -27,23 +27,23 @@ use switchless_sim::event::EventQueue;
 use switchless_sim::rng::Rng;
 use switchless_sim::time::Cycles;
 
-/// Pre-PR-4 seed numbers (commit 9cca8cd), measured on this container
-/// with the same binary and windows. They stay in the JSON so the
-/// speedup of the hot-path overhaul is auditable from the artifact
+/// PR-4 numbers (commit 8883f55, BENCH_4.json), measured on this
+/// container with the same windows. They stay in the JSON so the
+/// speedup of the burst execution engine is auditable from the artifact
 /// alone.
 mod baseline {
     /// Spin-loop microbench, host instructions/sec.
-    pub const SPIN_INSTS_PER_SEC: f64 = 4_531_240.0;
+    pub const SPIN_INSTS_PER_SEC: f64 = 12_473_113.0;
     /// Machine-level store loop (full `after_store` path), insts/sec.
-    pub const STORE_LOOP_INSTS_PER_SEC: f64 = 3_819_142.0;
+    pub const STORE_LOOP_INSTS_PER_SEC: f64 = 9_118_260.0;
     /// Raw `CamFilter::on_store`, stores/sec (64 armed entries).
-    pub const CAM_STORES_PER_SEC: f64 = 16_998_913.0;
+    pub const CAM_STORES_PER_SEC: f64 = 50_727_641.0;
     /// Raw `HashFilter::on_store`, stores/sec (64 armed lines).
-    pub const HASH_STORES_PER_SEC: f64 = 50_595_413.0;
+    pub const HASH_STORES_PER_SEC: f64 = 59_536_095.0;
     /// `EventQueue` schedule/pop/cancel churn, events/sec.
-    pub const EVENTS_PER_SEC: f64 = 9_588_564.0;
+    pub const EVENTS_PER_SEC: f64 = 28_415_530.0;
     /// Where the numbers came from.
-    pub const NOTE: &str = "pre-PR-4 seed (commit 9cca8cd), full windows";
+    pub const NOTE: &str = "PR 4 (commit 8883f55, BENCH_4.json), full windows";
 }
 
 struct Opts {
@@ -54,7 +54,7 @@ struct Opts {
 fn parse_args() -> Opts {
     let mut opts = Opts {
         quick: false,
-        out: "BENCH_4.json".to_owned(),
+        out: "BENCH_5.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -157,6 +157,35 @@ fn bench_store_loop(window_ms: u64, kind: MonitorKind) -> f64 {
     })
 }
 
+/// Best-case burst path: a single spinning thread on a single-slot core
+/// with an **empty event horizon** — nothing is pending except the
+/// slot's own `SlotFree`, so every dispatch runs a full `MAX_BURST`
+/// batch and the queue round-trip cost is amortised over ~1024
+/// instructions. The gap between this number and `bench_spin` (which
+/// keeps a second SMT slot's retry event in play) is the cost of the
+/// sibling-slot machinery, not of the burst loop itself.
+fn bench_burst(window_ms: u64) -> f64 {
+    let mut cfg = MachineConfig::small();
+    cfg.smt_slots = 1;
+    let mut m = Machine::new(cfg);
+    let prog = assemble(
+        ".base 0x10000\n\
+         entry: movi r1, 0\n\
+         loop:  addi r1, r1, 1\n\
+         addi r2, r1, 3\n\
+         xor r3, r2, r1\n\
+         jmp loop\n",
+    )
+    .expect("spin program");
+    let t = m.load_program(0, &prog).expect("load");
+    m.start_thread(t);
+    measure(window_ms, || {
+        let before = m.counters().get("inst.executed");
+        m.run_for(Cycles(200_000));
+        m.counters().get("inst.executed") - before
+    })
+}
+
 /// Raw filter throughput: stores/sec against 64 armed entries, with a
 /// mix of hitting and missing addresses (1 hit per 64 stores).
 fn bench_filter(window_ms: u64, mut filter: impl MonitorFilter) -> f64 {
@@ -223,6 +252,8 @@ fn main() {
     eprintln!("switchless-bench: window {window_ms} ms/bench");
     let spin = bench_spin(window_ms);
     eprintln!("  spin loop:        {spin:>14.0} insts/sec");
+    let burst = bench_burst(window_ms);
+    eprintln!("  burst (1 slot):   {burst:>14.0} insts/sec");
     let store_loop = bench_store_loop(window_ms, MonitorKind::Cam { capacity: 1024 });
     eprintln!("  store loop (cam): {store_loop:>14.0} insts/sec");
     let cam = bench_filter(window_ms, CamFilter::new(1024));
@@ -233,10 +264,11 @@ fn main() {
     eprintln!("  event queue:      {events:>14.0} events/sec");
 
     let json = format!(
-        "{{\n  \"schema\": \"switchless-bench/v1\",\n  \"pr\": 4,\n  \"quick\": {},\n  \"window_ms\": {},\n  \"benches\": {{\n    \"spin_insts_per_sec\": {},\n    \"store_loop_insts_per_sec\": {},\n    \"cam_stores_per_sec\": {},\n    \"hash_stores_per_sec\": {},\n    \"event_queue_events_per_sec\": {}\n  }},\n  \"baseline\": {{\n    \"note\": \"{}\",\n    \"spin_insts_per_sec\": {},\n    \"store_loop_insts_per_sec\": {},\n    \"cam_stores_per_sec\": {},\n    \"hash_stores_per_sec\": {},\n    \"event_queue_events_per_sec\": {}\n  }},\n  \"speedup\": {{\n    \"spin\": {:.2},\n    \"store_loop\": {:.2},\n    \"cam\": {:.2},\n    \"hash\": {:.2},\n    \"events\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"switchless-bench/v1\",\n  \"pr\": 5,\n  \"quick\": {},\n  \"window_ms\": {},\n  \"benches\": {{\n    \"spin_insts_per_sec\": {},\n    \"burst_insts_per_sec\": {},\n    \"store_loop_insts_per_sec\": {},\n    \"cam_stores_per_sec\": {},\n    \"hash_stores_per_sec\": {},\n    \"event_queue_events_per_sec\": {}\n  }},\n  \"baseline\": {{\n    \"note\": \"{}\",\n    \"spin_insts_per_sec\": {},\n    \"store_loop_insts_per_sec\": {},\n    \"cam_stores_per_sec\": {},\n    \"hash_stores_per_sec\": {},\n    \"event_queue_events_per_sec\": {}\n  }},\n  \"speedup\": {{\n    \"spin\": {:.2},\n    \"store_loop\": {:.2},\n    \"cam\": {:.2},\n    \"hash\": {:.2},\n    \"events\": {:.2}\n  }}\n}}\n",
         opts.quick,
         window_ms,
         json_num(spin),
+        json_num(burst),
         json_num(store_loop),
         json_num(cam),
         json_num(hash),

@@ -12,6 +12,12 @@
 //! thread is runnable the slot idles and is re-kicked by the next wakeup
 //! — there is no polling anywhere in the machine.
 //!
+//! As a host-side fast path, a dispatch may execute a **burst** of
+//! instructions inline when the picked thread is provably the only
+//! possible pick and no pending event could observe state in between
+//! (DESIGN.md §8). Bursts never change the simulated timeline — they
+//! elide event-queue round-trips whose outcome is forced.
+//!
 //! # The only hardware state changes
 //!
 //! Exactly as §3 prescribes, system calls, exceptions and external events
@@ -39,7 +45,7 @@ use switchless_mem::hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HitLevel
 use switchless_mem::monitor::{CamFilter, HashFilter, MonitorFilter, WakeEvent, WatchId};
 use switchless_mem::prefetch::WakePrefetcher;
 use switchless_mem::tlb::{Tlb, TlbConfig};
-use switchless_sim::event::EventQueue;
+use switchless_sim::event::{EventQueue, EventToken};
 use switchless_sim::fault::{FaultKind, FaultPlan};
 use switchless_sim::hash::FxHashMap;
 use switchless_sim::stats::{CounterId, Counters, Histogram};
@@ -279,6 +285,14 @@ enum Ev {
     Call(u64),
 }
 
+/// Upper bound on instructions executed inline per dispatch (the burst
+/// engine, DESIGN.md §8). Purely a host-side amortisation knob: every
+/// continuation is already gated on the event-queue deadline and the
+/// scheduler, so the cap never changes simulated behavior — it only
+/// bounds how much work one `SlotFree` event can do before re-entering
+/// the queue.
+const MAX_BURST: u64 = 1024;
+
 type HostCall = Box<dyn FnMut(&mut Machine, ThreadId)>;
 type MmioHook = Box<dyn FnMut(&mut Machine, u64)>;
 type HostEvent = Box<dyn FnOnce(&mut Machine)>;
@@ -367,6 +381,9 @@ pub struct Machine {
     vm_vector: u64,
     /// Extra cost injected by hcall handlers for the current instruction.
     pending_charge: Cycles,
+    /// Sibling-slot events lifted out of the queue by an in-progress
+    /// burst (see `dispatch`); always drained back before it returns.
+    burst_stash: Vec<(Cycles, EventToken, Ev)>,
     /// Wake-to-first-dispatch latency histogram (cycles).
     wake_latency: Histogram,
     /// Most recent wake-latency sample, with the woken thread.
@@ -434,6 +451,7 @@ impl Machine {
             syscall_vector: 0,
             vm_vector: 0,
             pending_charge: Cycles::ZERO,
+            burst_stash: Vec::new(),
             wake_latency: Histogram::new(),
             last_wake: None,
             fault_plan: None,
@@ -866,7 +884,7 @@ impl Machine {
             return false;
         }
         self.counters.inc(kind.counter_name());
-        self.trace.record(now, "inject", format!("{kind}"));
+        self.trace.record_with(now, "inject", || format!("{kind}"));
         true
     }
 
@@ -897,7 +915,7 @@ impl Machine {
         self.thread_mut(tid.ptid).quarantined = true;
         self.counters.inc("thread.quarantines");
         self.trace
-            .record(self.now, "quarantine", format!("{}", tid.ptid));
+            .record_with(self.now, "quarantine", || format!("{}", tid.ptid));
     }
 
     /// Whether a thread is quarantined.
@@ -922,7 +940,7 @@ impl Machine {
         }
         self.counters.inc("thread.restarts");
         self.trace
-            .record(self.now, "restart", format!("{}", tid.ptid));
+            .record_with(self.now, "restart", || format!("{}", tid.ptid));
         self.enable_thread(tid.ptid);
         true
     }
@@ -974,11 +992,9 @@ impl Machine {
             (t.state == ThreadState::Runnable, t.arch.prio, xfer)
         };
         self.counters.inc("thread.migrations");
-        self.trace.record(
-            self.now,
-            "migrate",
-            format!("{ptid} core{old} -> core{new_core} ({cost})"),
-        );
+        self.trace.record_with(self.now, "migrate", || {
+            format!("{ptid} core{old} -> core{new_core} ({cost})")
+        });
         if runnable {
             self.cores[new_core].sched.enqueue(ptid, prio);
             self.kick_core(new_core);
@@ -1011,7 +1027,7 @@ impl Machine {
                 self.now = ts;
             }
             match ev {
-                Ev::SlotFree { core, slot } => self.dispatch(core as usize, slot as usize),
+                Ev::SlotFree { core, slot } => self.dispatch(core as usize, slot as usize, t, None),
                 Ev::Call(key) => {
                     if let Some(cb) = self.callbacks.remove(&key) {
                         cb(self);
@@ -1043,7 +1059,15 @@ impl Machine {
                 self.now = ts;
             }
             match ev {
-                Ev::SlotFree { core, slot } => self.dispatch(core as usize, slot as usize),
+                // The watch pair makes bursts bail the moment `tid`
+                // reaches `state`, so `now` on return is exactly the
+                // single-step value.
+                Ev::SlotFree { core, slot } => self.dispatch(
+                    core as usize,
+                    slot as usize,
+                    deadline,
+                    Some((tid.ptid, state)),
+                ),
                 Ev::Call(key) => {
                     if let Some(cb) = self.callbacks.remove(&key) {
                         cb(self);
@@ -1182,7 +1206,7 @@ impl Machine {
         self.disable_thread(ptid, ThreadState::Disabled);
         self.thread_mut(ptid).disabled_at = Some(self.now);
         self.trace
-            .record(self.now, "fault", format!("{ptid} {kind} info={info:#x}"));
+            .record_with(self.now, "fault", || format!("{ptid} {kind} info={info:#x}"));
         if edp == 0 || edp + crate::exception::DESCRIPTOR_BYTES > self.cfg.mem_bytes {
             self.halted = Some(format!(
                 "unhandled {kind} in {ptid} at pc={pc:#x} (no exception descriptor \
@@ -1195,11 +1219,9 @@ impl Machine {
             // Previous descriptor not yet acknowledged: drop, count, and
             // leave the slot intact for its handler.
             self.counters.inc("exception.descriptor_overflow");
-            self.trace.record(
-                self.now,
-                "fault",
-                format!("{ptid} {kind} descriptor dropped (slot busy)"),
-            );
+            self.trace.record_with(self.now, "fault", || {
+                format!("{ptid} {kind} descriptor dropped (slot busy)")
+            });
             return;
         }
         let desc = Descriptor {
@@ -1356,7 +1378,22 @@ impl Machine {
     // Internal: dispatch & instruction execution
     // -----------------------------------------------------------------
 
-    fn dispatch(&mut self, core: usize, slot: usize) {
+    /// Dispatches one pipeline slot: picks a thread, charges activation,
+    /// and executes an instruction **burst** — up to [`MAX_BURST`]
+    /// instructions inline, advancing a local cycle cursor, instead of
+    /// one event-queue round-trip per instruction (see DESIGN.md §8).
+    ///
+    /// `horizon` is the run deadline: no instruction may dispatch after
+    /// it (mirrors `pop_due`). `watch` is `run_until_state`'s target; a
+    /// burst bails the moment it is reached so the caller observes the
+    /// same `now` a single-step run would.
+    fn dispatch(
+        &mut self,
+        core: usize,
+        slot: usize,
+        horizon: Cycles,
+        watch: Option<(Ptid, ThreadState)>,
+    ) {
         if self.halted.is_some() {
             return;
         }
@@ -1430,20 +1467,102 @@ impl Machine {
             ws.2 = ws.2.max(sample);
         }
 
-        // Execute one instruction.
+        // Execute the first instruction (the one this SlotFree paid for).
         self.pending_charge = Cycles::ZERO;
         cost += self.exec_inst(core, ptid);
         cost += self.pending_charge;
         self.pending_charge = Cycles::ZERO;
         cost = cost.max(Cycles(1));
+        let mut done = now + cost;
 
+        // Burst engine: while this thread is provably the next pick and
+        // nothing else can observe machine state first, keep executing its
+        // instructions inline. Continuation is decided *after* each
+        // instruction's effects, so any cross-thread side effect (a wake
+        // that enrols a second thread, a scheduled callback, an exception,
+        // a halt) ends the burst exactly where single-stepping would have
+        // re-arbitrated differently. `next_deadline` is cached and only
+        // recomputed when something scheduled (schedules are the only way
+        // the deadline can move earlier).
+        let mut burst_cost = Cycles::ZERO;
+        let mut extra: u64 = 0; // instructions beyond the first
+        if watch.is_none_or(|(p, s)| self.threads[p.0 as usize].state != s) {
+            let mut mark = self.events.schedule_mark();
+            let mut qmin = self.events.next_deadline();
+            'burst: while extra < MAX_BURST
+                && done <= horizon
+                && self.burst_eligible(core, ptid, done)
+            {
+                // Event-horizon gate: nothing due at or before `done` may
+                // be skipped. One exception: a pending `SlotFree` for a
+                // *sibling* slot of this core. With this thread
+                // sole-runnable and busy through every burst cursor,
+                // single-stepping that event is provably inert — its pick
+                // always loses to this slot (our pending `SlotFree` at
+                // any shared timestamp carries the earlier seq) and it
+                // merely reschedules itself. It is lifted out of the
+                // deadline computation via `pop_keyed` and restored
+                // verbatim at burst exit; because the restore preserves
+                // the original `(time, seq)` key, the run loop afterwards
+                // pops it exactly where single-stepping would have, and
+                // it re-enters real arbitration there.
+                while let Some(t) = qmin {
+                    if t > done {
+                        break;
+                    }
+                    let consumable = matches!(
+                        self.events.peek(),
+                        Some((_, &Ev::SlotFree { core: c, slot: s }))
+                            if c as usize == core && s as usize != slot
+                    );
+                    if !consumable {
+                        break 'burst;
+                    }
+                    let Some(lifted) = self.events.pop_keyed() else {
+                        unreachable!("peek/pop agree on the head event");
+                    };
+                    self.burst_stash.push(lifted);
+                    qmin = self.events.next_deadline();
+                }
+                self.now = done;
+                self.pending_charge = Cycles::ZERO;
+                let mut c = self.exec_inst(core, ptid);
+                c += self.pending_charge;
+                self.pending_charge = Cycles::ZERO;
+                c = c.max(Cycles(1));
+                done += c;
+                burst_cost += c;
+                extra += 1;
+                if self.events.schedule_mark() != mark {
+                    mark = self.events.schedule_mark();
+                    qmin = self.events.next_deadline();
+                }
+                if let Some((p, s)) = watch {
+                    if self.threads[p.0 as usize].state == s {
+                        break;
+                    }
+                }
+            }
+        }
+        // Put lifted sibling events back under their original keys: the
+        // queue is now exactly what single-stepping would have pending,
+        // and the run loop re-arbitrates those slots for real.
+        while let Some((at, tok, ev)) = self.burst_stash.pop() {
+            self.events.restore(at, tok, ev);
+        }
+
+        // Batched bookkeeping: one account/bump per burst, totals exactly
+        // equal to per-instruction accounting.
         self.cores[core].sched.account(ptid, cost);
-        let done = now + cost;
+        if extra > 0 {
+            self.cores[core].sched.account_burst(ptid, burst_cost, extra);
+            self.counters.bump(self.hot.sched_dispatches, extra);
+        }
         {
             let t = self.thread_mut(ptid);
             t.busy_until = t.busy_until.max(done);
         }
-        self.counters.bump(self.hot.inst_executed, 1);
+        self.counters.bump(self.hot.inst_executed, 1 + extra);
         self.events.schedule(
             done,
             Ev::SlotFree {
@@ -1451,6 +1570,30 @@ impl Machine {
                 slot: slot as u32,
             },
         );
+    }
+
+    /// Whether the burst may execute one more instruction for `ptid`
+    /// dispatching at time `done`. True only when the single-step machine
+    /// would provably arrive at the identical pick with identical charges:
+    /// the thread is still runnable on this core with RF-resident,
+    /// already-activated state (no activation cost to charge), not made
+    /// busy by anything, and it is the **sole** enrolled thread (so
+    /// round-robin rotation is the identity and no fairness quantum can
+    /// be violated). Everything an instruction's side effects can touch
+    /// is re-read here, which makes the bailout effect-based — strictly
+    /// stronger than a syntactic instruction blacklist.
+    #[inline]
+    fn burst_eligible(&self, core: usize, ptid: Ptid, done: Cycles) -> bool {
+        if self.halted.is_some() {
+            return false;
+        }
+        let t = &self.threads[ptid.0 as usize];
+        t.state == ThreadState::Runnable
+            && t.activated
+            && t.home == core
+            && t.busy_until <= done
+            && self.cores[core].sched.sole_runnable() == Some(ptid)
+            && self.cores[core].store.tier_of(ptid) == Tier::Rf
     }
 
     /// Executes one instruction for `ptid`; returns its cost. All state

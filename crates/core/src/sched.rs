@@ -149,6 +149,32 @@ impl HwScheduler {
         None
     }
 
+    /// The single enqueued thread, if exactly one is enrolled — the
+    /// "alone and unpreemptable" query behind burst execution: with one
+    /// runnable thread, instruction-granular round robin (and strict
+    /// priority) degenerate to "pick it again", so the machine may execute
+    /// a run of its instructions inline without consulting the scheduler
+    /// per instruction. Any second enrolment (a wake, a migration in)
+    /// makes this return `None`, forcing single-step arbitration again.
+    #[must_use]
+    #[inline]
+    pub fn sole_runnable(&self) -> Option<Ptid> {
+        if self.enrolled_len != 1 {
+            return None;
+        }
+        self.queues.iter().find_map(|q| q.front().copied())
+    }
+
+    /// Batched accounting for a burst executed inline after one `pick`:
+    /// charges `cycles` to `ptid` and counts `picks` further dispatches,
+    /// exactly as that many single-instruction pick/account round-trips
+    /// would have (with one enrolled thread, each pick is the identity
+    /// rotation).
+    pub fn account_burst(&mut self, ptid: Ptid, cycles: Cycles, picks: u64) {
+        self.dispatches += picks;
+        self.account(ptid, cycles);
+    }
+
     /// Iterates every enqueued (runnable) thread, in no particular order.
     pub fn iter_enrolled(&self) -> impl Iterator<Item = Ptid> + '_ {
         self.queues.iter().flatten().copied()
@@ -279,6 +305,39 @@ mod tests {
                 assert!(step - prev <= 10, "{p} starved for {} picks", step - prev);
             }
         }
+    }
+
+    #[test]
+    fn sole_runnable_requires_exactly_one() {
+        let mut s = HwScheduler::new(SchedPolicy::Priority);
+        assert_eq!(s.sole_runnable(), None);
+        s.enqueue(Ptid(3), 5);
+        assert_eq!(s.sole_runnable(), Some(Ptid(3)));
+        s.enqueue(Ptid(4), 0);
+        assert_eq!(s.sole_runnable(), None, "contention forces single-step");
+        s.dequeue(Ptid(3));
+        assert_eq!(s.sole_runnable(), Some(Ptid(4)));
+        s.dequeue(Ptid(4));
+        assert_eq!(s.sole_runnable(), None);
+    }
+
+    #[test]
+    fn account_burst_matches_per_inst_accounting() {
+        let mut a = HwScheduler::new(SchedPolicy::RoundRobin);
+        let mut b = HwScheduler::new(SchedPolicy::RoundRobin);
+        a.enqueue(Ptid(1), 0);
+        b.enqueue(Ptid(1), 0);
+        // Single-step: 4 pick/account round-trips of 3 cycles each.
+        for _ in 0..4 {
+            assert_eq!(a.pick(|_| false), Some(Ptid(1)));
+            a.account(Ptid(1), Cycles(3));
+        }
+        // Burst: one pick, then 3 inline instructions batched.
+        assert_eq!(b.pick(|_| false), Some(Ptid(1)));
+        b.account(Ptid(1), Cycles(3));
+        b.account_burst(Ptid(1), Cycles(9), 3);
+        assert_eq!(a.usage_of(Ptid(1)), b.usage_of(Ptid(1)));
+        assert_eq!(a.dispatches(), b.dispatches());
     }
 
     #[test]

@@ -186,6 +186,14 @@ impl StateStore {
     }
 
     /// Refreshes recency (called when a resident thread is dispatched).
+    ///
+    /// A burst dispatch (machine.rs) touches once per *burst*, not once
+    /// per instruction. That is exact, not approximate: ticks are
+    /// strictly increasing and only their relative order is ever read
+    /// (LRU victim choice compares stamps), and a burst is only entered
+    /// while its thread is the sole enrolled thread on the core — no
+    /// other thread's stamp can land between the elided touches, so
+    /// every victim comparison orders identically.
     pub fn touch(&mut self, ptid: Ptid) {
         self.tick += 1;
         let tick = self.tick;

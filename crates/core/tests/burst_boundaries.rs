@@ -1,0 +1,115 @@
+//! The machinery the burst engine leans on (DESIGN.md §8): idle-slot
+//! parking and `kick_core` re-arming, and the exact deadline-boundary
+//! semantics of `run_until_state` that the burst's watch-pair bailout
+//! must preserve.
+
+use switchless_core::machine::{Machine, MachineConfig};
+use switchless_core::tid::ThreadState;
+use switchless_isa::asm::assemble;
+use switchless_sim::time::Cycles;
+
+/// A worker that parks on a mailbox and halts once it reads a nonzero
+/// value.
+fn parker_src(base: u64, mb: u64) -> String {
+    format!(
+        r#"
+        .base {base:#x}
+        entry:
+            monitor {mb}
+            ld r2, {mb}
+            bne r2, r0, done
+            mwait
+        done:
+            halt
+        "#
+    )
+}
+
+#[test]
+fn idle_slots_park_and_wake_rearms_exactly_once() {
+    // One thread on a 2-slot core: once it parks in mwait, every slot
+    // must go idle — a fully parked machine may not burn dispatch
+    // attempts (no retry storm while nothing is runnable).
+    let mut m = Machine::new(MachineConfig::small());
+    let mb = m.alloc(64);
+    let t = m
+        .load_program(0, &assemble(&parker_src(0x10000, mb)).unwrap())
+        .unwrap();
+    m.start_thread(t);
+    assert!(m.run_until_state(t, ThreadState::Waiting, Cycles(100_000)));
+
+    let parked_at = m.now();
+    let d0 = m.counters().get("sched.dispatches");
+    let i0 = m.counters().get("inst.executed");
+    m.run_for(Cycles(1_000_000));
+    assert_eq!(
+        m.counters().get("sched.dispatches"),
+        d0,
+        "idle slots must stay parked: no pick attempts while nothing is runnable"
+    );
+    assert_eq!(m.counters().get("inst.executed"), i0);
+
+    // A wake re-arms the core: the thread runs again and halts. The
+    // wake-to-dispatch path must fire exactly once — the woken thread
+    // resumes after `mwait` and executes exactly its one remaining
+    // instruction (`halt`), with no duplicate dispatch of the same wake.
+    m.poke_u64(mb, 1);
+    assert!(m.run_until_state(t, ThreadState::Halted, Cycles(100_000)));
+    assert_eq!(
+        m.counters().get("inst.executed") - i0,
+        1,
+        "one wake dispatches the parked thread exactly once (halt only)"
+    );
+    assert!(m.now() > parked_at);
+
+    // And once halted, the machine is quiescent again.
+    let d1 = m.counters().get("sched.dispatches");
+    m.run_for(Cycles(1_000_000));
+    assert_eq!(m.counters().get("sched.dispatches"), d1);
+}
+
+#[test]
+fn run_until_state_deadline_boundary_is_inclusive_and_exact() {
+    // Halt time is discovered once, then replayed on fresh machines to
+    // pin the boundary semantics: an event *exactly at* the deadline
+    // still fires, one cycle less and it must not.
+    let halt_prog = assemble(
+        ".base 0x10000\n\
+         entry: addi r1, r1, 1\n\
+         addi r1, r1, 1\n\
+         halt\n",
+    )
+    .unwrap();
+    let fresh = |prog: &switchless_isa::asm::Program| {
+        let mut m = Machine::new(MachineConfig::small());
+        let t = m.load_program(0, prog).unwrap();
+        m.start_thread(t);
+        (m, t)
+    };
+
+    let (mut probe, t) = fresh(&halt_prog);
+    assert!(probe.run_until_state(t, ThreadState::Halted, Cycles(100_000)));
+    let halt_at = probe.now();
+    assert!(halt_at > Cycles::ZERO);
+
+    // Deadline exactly on the halting event: reached, and `now` lands
+    // exactly on the event time (the burst watch-pair bails the moment
+    // the state flips, so no overshoot is allowed).
+    let (mut m, t) = fresh(&halt_prog);
+    assert!(m.run_until_state(t, ThreadState::Halted, halt_at));
+    assert_eq!(m.now(), halt_at, "no overshoot past the state flip");
+
+    // One cycle short: the final event is beyond the deadline and must
+    // not run.
+    let (mut m, t) = fresh(&halt_prog);
+    assert!(!m.run_until_state(t, ThreadState::Halted, halt_at - Cycles(1)));
+    assert_ne!(m.thread_state(t), ThreadState::Halted);
+
+    // Re-running with the state already reached returns immediately
+    // without advancing time.
+    let (mut m, t) = fresh(&halt_prog);
+    assert!(m.run_until_state(t, ThreadState::Halted, halt_at));
+    let now = m.now();
+    assert!(m.run_until_state(t, ThreadState::Halted, Cycles(100_000)));
+    assert_eq!(m.now(), now);
+}

@@ -231,6 +231,34 @@ impl<E> EventQueue<E> {
         self.min_src().map(|(_, at, _)| at)
     }
 
+    /// The earliest pending deadline — [`EventQueue::peek_time`] under the
+    /// name burst executors use. A simulator executing work inline (without
+    /// re-entering the queue per step) must never advance past this time:
+    /// anything at or before it (a device callback, a timer, a cross-core
+    /// `SlotFree`) has to observe machine state first. The empty-queue
+    /// fast path is two loads, so callers can afford to consult it per
+    /// step.
+    #[must_use]
+    #[inline]
+    pub fn next_deadline(&mut self) -> Option<Cycles> {
+        if self.live == 0 && self.cancelled_queued == 0 {
+            return None;
+        }
+        self.peek_time()
+    }
+
+    /// Monotone count of schedules ever issued. A caller that cached
+    /// [`EventQueue::next_deadline`] may keep using the cached value while
+    /// this mark is unchanged *and* no cancels happen: schedules are the
+    /// only operation that can move the deadline **earlier**. (Cancels can
+    /// move it later, which makes a cached value conservative, never
+    /// unsafe.)
+    #[must_use]
+    #[inline]
+    pub fn schedule_mark(&self) -> u64 {
+        self.next_seq
+    }
+
     /// The earliest pending `(time, event)` without removing it. O(1)
     /// amortised. Does not allocate.
     #[must_use]
@@ -256,6 +284,56 @@ impl<E> EventQueue<E> {
         self.drop_cancelled();
         let (src, ..) = self.min_src()?;
         Some(self.take(src))
+    }
+
+    /// Pops the earliest pending event together with its token, so the
+    /// caller can later re-insert it *verbatim* with
+    /// [`EventQueue::restore`]. Burst executors use this to temporarily
+    /// lift a provably-inert event (e.g. a sibling SMT slot's retry) out
+    /// of the deadline computation without perturbing the queue's
+    /// `(time, seq)` order when it is put back.
+    pub fn pop_keyed(&mut self) -> Option<(Cycles, EventToken, E)> {
+        self.drop_cancelled();
+        let (src, ..) = self.min_src()?;
+        let e = self.remove_head(src);
+        self.retire(e.seq);
+        self.live -= 1;
+        self.last_popped = self.last_popped.max(e.at);
+        Some((e.at, EventToken(e.seq), e.event))
+    }
+
+    /// Re-inserts an event previously removed with
+    /// [`EventQueue::pop_keyed`], under its **original** `(time, seq)`
+    /// key. The queue afterwards pops exactly as if the event had never
+    /// been removed: the restored entry keeps its place in FIFO tie-break
+    /// order ahead of anything scheduled since. The caller must pass the
+    /// exact values returned by `pop_keyed` and restore each key at most
+    /// once.
+    pub fn restore(&mut self, at: Cycles, token: EventToken, event: E) {
+        let seq = token.0;
+        debug_assert!(seq < self.next_seq, "restore of a foreign token");
+        let entry = Entry { at, seq, event };
+        if at >= self.last_popped && at.0 - self.last_popped.0 < WHEEL_SLOTS as u64 {
+            let slot = at.0 as usize & (WHEEL_SLOTS - 1);
+            let fifo = &mut self.wheel[slot];
+            // Slot FIFOs are kept in seq order; the restored entry is
+            // older than anything scheduled after it was popped, so it
+            // re-enters ahead of those.
+            let pos = fifo
+                .iter()
+                .position(|e| e.seq > seq)
+                .unwrap_or(fifo.len());
+            fifo.insert(pos, entry);
+            self.occupied[slot >> 6] |= 1 << (slot & 63);
+        } else {
+            self.overflow.push(Reverse(entry));
+        }
+        if seq >= self.ring_base {
+            self.ring[(seq - self.ring_base) as usize] = LIVE;
+        } else {
+            self.old_live.insert(seq);
+        }
+        self.live += 1;
     }
 
     /// Pops the earliest event only if it is due at or before `now`.
@@ -623,6 +701,59 @@ mod tests {
             assert_eq!(q.pop(), Some((Cycles(at), i)));
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_deadline_tracks_min_and_mark_counts_schedules() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_deadline(), None);
+        let m0 = q.schedule_mark();
+        q.schedule(Cycles(50), "far");
+        assert_eq!(q.schedule_mark(), m0 + 1);
+        assert_eq!(q.next_deadline(), Some(Cycles(50)));
+        // A later schedule can only pull the deadline earlier.
+        q.schedule(Cycles(10), "near");
+        assert_eq!(q.schedule_mark(), m0 + 2);
+        assert_eq!(q.next_deadline(), Some(Cycles(10)));
+        // Popping does not disturb the mark (it only counts schedules).
+        assert_eq!(q.pop(), Some((Cycles(10), "near")));
+        assert_eq!(q.schedule_mark(), m0 + 2);
+        assert_eq!(q.next_deadline(), Some(Cycles(50)));
+        // Cancelling the last event drains the deadline too.
+        let t = q.schedule(Cycles(60), "dead");
+        q.cancel(t);
+        assert_eq!(q.pop(), Some((Cycles(50), "far")));
+        assert_eq!(q.next_deadline(), None);
+    }
+
+    #[test]
+    fn pop_keyed_restore_is_invisible_to_ordering() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(10), "a");
+        q.schedule(Cycles(10), "b");
+        q.schedule(Cycles(20), "c");
+        // Lift the head out, schedule newer same-cycle work, put it back:
+        // the restored entry must still win its FIFO tie.
+        let (at, tok, ev) = q.pop_keyed().unwrap();
+        assert_eq!((at, ev), (Cycles(10), "a"));
+        q.schedule(Cycles(10), "d");
+        q.restore(at, tok, ev);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some((Cycles(10), "a")));
+        assert_eq!(q.pop(), Some((Cycles(10), "b")));
+        assert_eq!(q.pop(), Some((Cycles(10), "d")));
+        assert_eq!(q.pop(), Some((Cycles(20), "c")));
+        assert_eq!(q.pop(), None);
+        // A restore below the advanced cursor lands in overflow and still
+        // pops first (and its token stays cancellable across the cycle).
+        q.schedule(Cycles(100), "far");
+        let (at, tok, ev) = q.pop_keyed().unwrap();
+        q.schedule(Cycles(150), "advance");
+        assert_eq!(q.pop(), Some((Cycles(150), "advance")));
+        q.restore(at, tok, ev);
+        assert_eq!(q.peek_time(), Some(Cycles(100)));
+        assert!(q.cancel(tok), "restored event is live again");
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]

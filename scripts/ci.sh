@@ -10,9 +10,12 @@
 #   jobs     parallel-determinism check: the full --quick suite at
 #            --jobs 1 and --jobs 4 must write bit-identical results/
 #            trees (the harness's core invariant)
-#   bench    host-throughput smoke: switchless-bench --quick must run
-#            and emit well-formed switchless-bench/v1 JSON (numbers are
-#            not gated — host speed is machine-dependent)
+#   bench    host-throughput smoke + regression gate: switchless-bench
+#            --quick must emit well-formed switchless-bench/v1 JSON, and
+#            no bench may drop more than 20% below the newest committed
+#            BENCH_*.json baseline (quick windows are noisy, absolute
+#            host speed is machine-dependent — but a >20% drop on the
+#            same machine means a hot path regressed)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -74,5 +77,34 @@ for k, v in d["benches"].items():
     assert isinstance(v, (int, float)) and v > 0, (k, v)
 print("bench smoke: schema and keys ok")
 EOF
+
+step "bench regression gate (>20% drop vs newest committed BENCH_*.json)"
+base="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
+if [ -z "$base" ]; then
+    echo "bench gate: no committed BENCH_*.json baseline, skipping"
+else
+    python3 - "$bj" "$base" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cur = json.load(f)["benches"]
+with open(sys.argv[2]) as f:
+    ref = json.load(f)["benches"]
+bad = []
+for k, v in ref.items():
+    c = cur.get(k)
+    if c is None:
+        bad.append(f"{k}: missing from current run")
+    elif c < 0.8 * v:
+        bad.append(f"{k}: {c:.0f} is {c / v:.2f}x of baseline {v:.0f}")
+    else:
+        print(f"  {k}: {c / v:.2f}x of {sys.argv[2]}")
+if bad:
+    print("FAIL: bench regression vs " + sys.argv[2], file=sys.stderr)
+    for line in bad:
+        print("  " + line, file=sys.stderr)
+    sys.exit(1)
+print(f"bench gate: all benches within 20% of {sys.argv[2]}")
+EOF
+fi
 
 printf '\nCI green.\n'
