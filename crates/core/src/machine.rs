@@ -45,9 +45,11 @@ use switchless_mem::hierarchy::{AccessKind, Hierarchy, HierarchyConfig, HitLevel
 use switchless_mem::monitor::{CamFilter, HashFilter, MonitorFilter, WakeEvent, WatchId};
 use switchless_mem::prefetch::WakePrefetcher;
 use switchless_mem::tlb::{Tlb, TlbConfig};
+use switchless_sim::error::SimError;
 use switchless_sim::event::{EventQueue, EventToken};
 use switchless_sim::fault::{FaultKind, FaultPlan};
 use switchless_sim::hash::FxHashMap;
+use switchless_sim::invariant::{InvariantReport, Ledger};
 use switchless_sim::stats::{CounterId, Counters, Histogram};
 use switchless_sim::time::{Cycles, Freq};
 use switchless_sim::trace::TraceRing;
@@ -188,6 +190,15 @@ impl core::fmt::Display for MachineError {
 
 impl std::error::Error for MachineError {}
 
+impl From<MachineError> for SimError {
+    fn from(e: MachineError) -> SimError {
+        SimError::Machine {
+            context: "machine",
+            detail: e.to_string(),
+        }
+    }
+}
+
 /// One hardware thread's simulator-side context.
 struct Thread {
     arch: ArchState,
@@ -296,6 +307,10 @@ const MAX_BURST: u64 = 1024;
 type HostCall = Box<dyn FnMut(&mut Machine, ThreadId)>;
 type MmioHook = Box<dyn FnMut(&mut Machine, u64)>;
 type HostEvent = Box<dyn FnOnce(&mut Machine)>;
+/// A registered machine-wide invariant: returns `Some(detail)` when the
+/// invariant is violated. Runs at event-queue boundaries when checking is
+/// enabled; must not mutate anything (it sees `&Machine`).
+type InvariantFn = Box<dyn Fn(&Machine) -> Option<String>>;
 
 /// Pre-decoded instructions for one loaded image.
 ///
@@ -390,6 +405,19 @@ pub struct Machine {
     last_wake: Option<(Ptid, u64)>,
     /// Installed fault-injection plan; `None` costs one branch per query.
     fault_plan: Option<FaultPlan>,
+    /// Whether the invariant checker runs at event-queue boundaries.
+    /// Off by default: measured runs pay exactly one branch per event.
+    invariants_on: bool,
+    /// Registered machine-wide invariants (device ring conservation, …).
+    invariant_checks: Vec<(&'static str, InvariantFn)>,
+    /// Violations observed since checking was enabled (bounded).
+    invariant_report: InvariantReport,
+    /// Exception-descriptor conservation: every raise must end up
+    /// delivered or deliberately dropped (overflow / no-EDP halt).
+    exc_ledger: Ledger,
+    /// Named per-device conservation ledgers ([`Machine::ledger`]).
+    /// A `Vec` keeps iteration in attach order (determinism).
+    device_ledgers: Vec<(&'static str, Ledger)>,
 }
 
 impl Machine {
@@ -455,6 +483,11 @@ impl Machine {
             wake_latency: Histogram::new(),
             last_wake: None,
             fault_plan: None,
+            invariants_on: false,
+            invariant_checks: Vec::new(),
+            invariant_report: InvariantReport::new(),
+            exc_ledger: Ledger::default(),
+            device_ledgers: Vec::new(),
         }
     }
 
@@ -896,6 +929,160 @@ impl Machine {
         }
     }
 
+    // ---- machine-wide invariant checking ----
+
+    /// Turns the invariant checker on or off (off by default).
+    ///
+    /// When on, every event-queue boundary in the run loops — i.e. every
+    /// time the clock is about to advance, plus once when a run loop
+    /// drains — re-verifies the machine-wide invariants: event-queue time
+    /// monotonicity, thread-state-machine legality (enrolment matches
+    /// `Runnable` exactly, no armed monitors on disabled threads),
+    /// no-lost-wakeup (a parked thread always holds a live filter watch),
+    /// quarantine/restart liveness, exception-descriptor conservation,
+    /// and every check registered via [`Machine::register_invariant`].
+    /// Violations accumulate in [`Machine::invariant_report`]; they never
+    /// alter simulated behavior.
+    pub fn enable_invariants(&mut self, on: bool) {
+        self.invariants_on = on;
+    }
+
+    /// Registers an additional machine-wide invariant (e.g. a device's
+    /// descriptor-ring conservation ledger). `check` returns a diagnostic
+    /// string when the invariant is violated. Devices register their
+    /// ledgers at attach time; registration costs nothing until checking
+    /// is enabled.
+    pub fn register_invariant(
+        &mut self,
+        name: &'static str,
+        check: impl Fn(&Machine) -> Option<String> + 'static,
+    ) {
+        self.invariant_checks.push((name, Box::new(check)));
+    }
+
+    /// Violations (and check counts) accumulated since checking began.
+    #[must_use]
+    pub fn invariant_report(&self) -> &InvariantReport {
+        &self.invariant_report
+    }
+
+    /// The named conservation [`Ledger`] for a device descriptor ring,
+    /// created empty on first use. Devices account posted / in-flight /
+    /// completed / dropped work into it from their separate code paths;
+    /// [`Machine::check_invariants`] verifies every ledger stays
+    /// balanced. Ledgers live outside [`Machine::counters`] so they can
+    /// never leak into experiment reports.
+    pub fn ledger(&mut self, name: &'static str) -> &mut Ledger {
+        let i = match self.device_ledgers.iter().position(|(n, _)| *n == name) {
+            Some(i) => i,
+            None => {
+                self.device_ledgers.push((name, Ledger::default()));
+                self.device_ledgers.len() - 1
+            }
+        };
+        &mut self.device_ledgers[i].1
+    }
+
+    /// Runs every machine-wide invariant once, recording violations.
+    ///
+    /// Called automatically from the run loops when enabled; public so
+    /// harnesses can force a final check after a run completes.
+    pub fn check_invariants(&mut self) {
+        self.invariant_report.note_check();
+        let now = self.now;
+        // Event-queue time monotonicity: nothing pending may be behind
+        // the clock — a past-due event still in the queue would execute
+        // at the wrong simulated time (or never).
+        if let Some(t) = self.events.peek_time() {
+            if t < now {
+                self.invariant_report.record(
+                    "queue.monotone",
+                    now,
+                    format!("pending event at {} behind now {}", t.0, now.0),
+                );
+            }
+        }
+        // Exception-descriptor conservation: raised = delivered + dropped.
+        if !self.exc_ledger.balanced() {
+            self.invariant_report
+                .record("exception.ring", now, self.exc_ledger.describe());
+        }
+        // Device descriptor-ring conservation: every posted unit of work
+        // must be completed, still in flight, or deliberately dropped.
+        for (name, l) in &self.device_ledgers {
+            if !l.balanced() {
+                self.invariant_report
+                    .record("device.ring", now, format!("{name}: {}", l.describe()));
+            }
+        }
+        for (i, t) in self.threads.iter().enumerate() {
+            let ptid = Ptid(i as u32);
+            let enrolled = self.cores[t.home].sched.is_enrolled(ptid);
+            // Thread-state-machine legality: scheduler enrolment must
+            // mirror `Runnable` exactly, in both directions.
+            if (t.state == ThreadState::Runnable) != enrolled {
+                self.invariant_report.record(
+                    "thread.state",
+                    now,
+                    format!("{ptid} {:?} but enrolled={enrolled}", t.state),
+                );
+            }
+            // A monitor armed on a disabled/halted thread is a watch that
+            // can fire on a thread that must not wake.
+            if t.monitor_armed
+                && !matches!(t.state, ThreadState::Runnable | ThreadState::Waiting)
+            {
+                self.invariant_report.record(
+                    "thread.state",
+                    now,
+                    format!("{ptid} {:?} with armed monitor", t.state),
+                );
+            }
+            // No-lost-wakeup: a parked, non-quarantined thread must hold a
+            // live watch in the filter, or no store can ever wake it.
+            if t.state == ThreadState::Waiting && !t.quarantined {
+                if !t.monitor_armed {
+                    self.invariant_report.record(
+                        "thread.lost_wakeup",
+                        now,
+                        format!("{ptid} parked without an armed monitor"),
+                    );
+                } else if !self.filter.is_armed(WatchId(u64::from(ptid.0))) {
+                    self.invariant_report.record(
+                        "thread.lost_wakeup",
+                        now,
+                        format!("{ptid} armed flag set but filter holds no watch"),
+                    );
+                }
+            }
+            // Quarantine/restart liveness: quarantine implies Disabled
+            // (only restart_thread may lift it), and a casualty timestamp
+            // must be cleared the moment the thread runs again.
+            if t.quarantined && t.state != ThreadState::Disabled {
+                self.invariant_report.record(
+                    "thread.quarantine",
+                    now,
+                    format!("{ptid} quarantined but {:?}", t.state),
+                );
+            }
+            if t.disabled_at.is_some() && t.state != ThreadState::Disabled {
+                self.invariant_report.record(
+                    "thread.quarantine",
+                    now,
+                    format!("{ptid} {:?} with stale disabled_at", t.state),
+                );
+            }
+        }
+        // Registered checks (device descriptor-ring conservation, …).
+        let checks = core::mem::take(&mut self.invariant_checks);
+        for (name, check) in &checks {
+            if let Some(detail) = check(self) {
+                self.invariant_report.record(name, now, detail);
+            }
+        }
+        self.invariant_checks = checks;
+    }
+
     /// Arms (or disarms, with `None`) a per-thread watchdog deadline: if
     /// the thread stays parked in a single `mwait` longer than `timeout`,
     /// the hardware raises [`ExceptionKind::WatchdogExpired`] on it —
@@ -1024,6 +1211,10 @@ impl Machine {
             // pop_due folds peek+pop into one heap traversal (hot loop).
             let Some((ts, ev)) = self.events.pop_due(t) else { break };
             if ts > self.now {
+                // Event-queue boundary: all work at `now` has settled.
+                if self.invariants_on {
+                    self.check_invariants();
+                }
                 self.now = ts;
             }
             match ev {
@@ -1034,6 +1225,9 @@ impl Machine {
                     }
                 }
             }
+        }
+        if self.invariants_on {
+            self.check_invariants();
         }
         if self.halted.is_none() && self.now < t {
             self.now = t;
@@ -1056,6 +1250,9 @@ impl Machine {
             }
             let Some((ts, ev)) = self.events.pop_due(deadline) else { break };
             if ts > self.now {
+                if self.invariants_on {
+                    self.check_invariants();
+                }
                 self.now = ts;
             }
             match ev {
@@ -1199,6 +1396,7 @@ impl Machine {
     /// threads whose descriptor was lost.
     fn raise_exception(&mut self, ptid: Ptid, kind: ExceptionKind, info: u64) {
         self.counters.inc(kind.counter_name());
+        self.exc_ledger.posted += 1;
         let (edp, pc) = {
             let t = &self.threads[ptid.0 as usize];
             (t.arch.edp, t.arch.pc)
@@ -1208,6 +1406,7 @@ impl Machine {
         self.trace
             .record_with(self.now, "fault", || format!("{ptid} {kind} info={info:#x}"));
         if edp == 0 || edp + crate::exception::DESCRIPTOR_BYTES > self.cfg.mem_bytes {
+            self.exc_ledger.dropped += 1;
             self.halted = Some(format!(
                 "unhandled {kind} in {ptid} at pc={pc:#x} (no exception descriptor \
                  pointer installed — triple-fault analog, §3.2)"
@@ -1218,12 +1417,14 @@ impl Machine {
         if self.peek_u64(edp) != 0 {
             // Previous descriptor not yet acknowledged: drop, count, and
             // leave the slot intact for its handler.
+            self.exc_ledger.dropped += 1;
             self.counters.inc("exception.descriptor_overflow");
             self.trace.record_with(self.now, "fault", || {
                 format!("{ptid} {kind} descriptor dropped (slot busy)")
             });
             return;
         }
+        self.exc_ledger.completed += 1;
         let desc = Descriptor {
             kind,
             ptid: u64::from(ptid.0),

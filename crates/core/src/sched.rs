@@ -122,6 +122,15 @@ impl HwScheduler {
         self.enrolled_len != 0
     }
 
+    /// Whether `ptid` is currently enqueued (invariant checking: enrolment
+    /// must match the thread's `Runnable` state exactly).
+    #[must_use]
+    pub fn is_enrolled(&self, ptid: Ptid) -> bool {
+        self.enrolled
+            .get(ptid.0 as usize)
+            .is_some_and(Option::is_some)
+    }
+
     /// Number of enqueued threads.
     #[must_use]
     pub fn runnable_len(&self) -> usize {

@@ -43,7 +43,14 @@ impl Fabric {
         response_addr: u64,
         response_value: u64,
     ) {
+        // RPC conservation: every issue is answered or deliberately lost.
+        let led = m.ledger("fabric.rpc");
+        led.posted += 1;
+        led.in_flight += 1;
         if m.fault_draw(FaultKind::FabricLoss) {
+            let led = m.ledger("fabric.rpc");
+            led.in_flight -= 1;
+            led.dropped += 1;
             return;
         }
         let mut done = at + self.one_way + remote_service + self.one_way;
@@ -53,6 +60,9 @@ impl Fabric {
         m.at(done, move |mach| {
             mach.dma_write(response_addr, &response_value.to_le_bytes());
             mach.counters_mut().inc("fabric.rpc.completed");
+            let led = mach.ledger("fabric.rpc");
+            led.in_flight -= 1;
+            led.completed += 1;
         });
     }
 

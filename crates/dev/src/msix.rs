@@ -45,17 +45,23 @@ impl MsixBridge {
     /// software timeout, which is exactly the recovery gap the f16
     /// experiment measures against the switchless watchdog.
     pub fn raise(&self, m: &mut Machine, vector: u32) {
+        // Translation is synchronous, so the conservation ledger never
+        // holds anything in flight: raised = translated + dropped.
+        m.ledger("msix").posted += 1;
         match self.table.get(&vector) {
             Some(&addr) => {
                 if m.fault_draw(FaultKind::MsixLostInterrupt) {
+                    m.ledger("msix").dropped += 1;
                     return;
                 }
                 let v = m.peek_u64(addr).wrapping_add(1);
                 m.dma_write(addr, &v.to_le_bytes());
                 m.counters_mut().inc("msix.translated");
+                m.ledger("msix").completed += 1;
             }
             None => {
                 m.counters_mut().inc("msix.dropped");
+                m.ledger("msix").dropped += 1;
             }
         }
     }

@@ -17,6 +17,7 @@
 //! observes a complete descriptor.
 
 use switchless_core::machine::Machine;
+use switchless_sim::error::SimError;
 use switchless_sim::fault::FaultKind;
 use switchless_sim::time::Cycles;
 
@@ -64,21 +65,40 @@ impl Nic {
     ///
     /// # Panics
     ///
-    /// Panics if `rx_slots` is not a power of two.
+    /// Panics on an invalid [`NicConfig`]; [`Nic::try_attach`] is the
+    /// non-panicking variant chaos harnesses use.
     pub fn attach(m: &mut Machine, config: NicConfig) -> Nic {
-        assert!(
-            config.rx_slots.is_power_of_two(),
-            "rx_slots must be a power of two"
-        );
+        Nic::try_attach(m, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating [`Nic::attach`]: rejects a ring size that is not a
+    /// nonzero power of two or an empty packet buffer with a structured
+    /// error instead of panicking.
+    pub fn try_attach(m: &mut Machine, config: NicConfig) -> Result<Nic, SimError> {
+        if !config.rx_slots.is_power_of_two() {
+            return Err(SimError::Config {
+                context: "nic",
+                detail: format!(
+                    "rx_slots {} must be a nonzero power of two",
+                    config.rx_slots
+                ),
+            });
+        }
+        if config.buf_bytes == 0 {
+            return Err(SimError::Config {
+                context: "nic",
+                detail: "buf_bytes must be nonzero".into(),
+            });
+        }
         let rx_tail = m.alloc(64); // own cache line: no false sharing
         let ring_base = m.alloc(config.rx_slots * RX_DESC_BYTES);
         let buf_base = m.alloc(config.rx_slots * config.buf_bytes);
-        Nic {
+        Ok(Nic {
             config,
             rx_tail,
             ring_base,
             buf_base,
-        }
+        })
     }
 
     /// Address of descriptor slot `seq`.
@@ -111,7 +131,15 @@ impl Nic {
         let nic = *self;
         let len = payload.len().min(nic.config.buf_bytes as usize);
         let mut payload: Vec<u8> = payload[..len].to_vec();
+        // Ring conservation: posted here; the other side of the ledger
+        // is booked on the drop path below or at delivery.
+        let led = m.ledger("nic.rx");
+        led.posted += 1;
+        led.in_flight += 1;
         if m.fault_draw(FaultKind::NicDrop) {
+            let led = m.ledger("nic.rx");
+            led.in_flight -= 1;
+            led.dropped += 1;
             return;
         }
         if m.fault_draw(FaultKind::NicCorrupt) {
@@ -139,6 +167,9 @@ impl Nic {
             mach.dma_write(nic.rx_tail, &tail.to_le_bytes());
             // Stats.
             mach.counters_mut().inc("nic.rx.packets");
+            let led = mach.ledger("nic.rx");
+            led.in_flight -= 1;
+            led.completed += 1;
         });
     }
 
@@ -270,6 +301,46 @@ mod tests {
     }
 
     #[test]
+    fn bad_config_is_a_structured_error() {
+        let mut m = Machine::new(MachineConfig::small());
+        let err = Nic::try_attach(&mut m, NicConfig { rx_slots: 3, ..NicConfig::default() });
+        assert!(err.is_err());
+        let msg = err.err().map(|e| e.to_string()).unwrap_or_default();
+        assert!(msg.contains("rx_slots 3"), "{msg}");
+    }
+
+    #[test]
+    fn ring_ledger_balances_under_drops_and_stalls() {
+        // Every posted packet must end up completed, in flight, or
+        // deliberately dropped — the machine-wide checker verifies the
+        // ledger at every boundary while faults eat and delay packets.
+        let mut m = Machine::new(MachineConfig::small());
+        m.enable_invariants(true);
+        m.install_fault_plan(
+            FaultPlan::new(11)
+                .with_rate(FaultKind::NicDrop, 0.3)
+                .with_rate(FaultKind::NicStall, 0.3)
+                .with_delay(FaultKind::NicStall, Cycles(5_000), Cycles(50_000)),
+        );
+        let nic = Nic::attach(&mut m, NicConfig::default());
+        for seq in 0..64 {
+            nic.schedule_rx(&mut m, Cycles(200 * seq), seq, &[seq as u8; 16]);
+        }
+        m.run_for(Cycles(500_000));
+        m.check_invariants();
+        assert!(
+            m.invariant_report().is_clean(),
+            "violations: {:?}",
+            m.invariant_report().violations()
+        );
+        let led = m.ledger("nic.rx");
+        assert_eq!(led.posted, 64);
+        assert!(led.dropped > 0, "the drop rate did fire");
+        assert_eq!(led.in_flight, 0, "everything settled");
+        assert!(led.balanced());
+    }
+
+    #[test]
     fn ring_wraps() {
         let mut m = Machine::new(MachineConfig::small());
         let nic = Nic::attach(
@@ -311,9 +382,24 @@ impl NicTx {
     ///
     /// # Panics
     ///
-    /// Panics if `tx_slots` is not a power of two.
+    /// Panics if `tx_slots` is not a power of two; [`NicTx::try_attach`]
+    /// is the non-panicking variant.
     pub fn attach(m: &mut Machine, tx_slots: u64, tx_latency: Cycles) -> NicTx {
-        assert!(tx_slots.is_power_of_two(), "tx_slots must be a power of two");
+        NicTx::try_attach(m, tx_slots, tx_latency).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating [`NicTx::attach`] with a structured error.
+    pub fn try_attach(
+        m: &mut Machine,
+        tx_slots: u64,
+        tx_latency: Cycles,
+    ) -> Result<NicTx, SimError> {
+        if !tx_slots.is_power_of_two() {
+            return Err(SimError::Config {
+                context: "nic tx",
+                detail: format!("tx_slots {tx_slots} must be a nonzero power of two"),
+            });
+        }
         let ring_base = m.alloc(tx_slots * TX_DESC_BYTES);
         let doorbell = m.alloc(64);
         let tx_done = m.alloc(64);
@@ -335,15 +421,21 @@ impl NicTx {
                 let done_at = mach.now() + tx.tx_latency * (gap + 1);
                 let done_word = tx.tx_done;
                 let this = seq + 1;
+                let led = mach.ledger("nic.tx");
+                led.posted += 1;
+                led.in_flight += 1;
                 mach.at(done_at, move |inner| {
                     inner.dma_write(done_word, &this.to_le_bytes());
                     inner.counters_mut().inc("nic.tx.packets");
+                    let led = inner.ledger("nic.tx");
+                    led.in_flight -= 1;
+                    led.completed += 1;
                 });
                 seq += 1;
             }
             consumed.set(seq);
         });
-        tx
+        Ok(tx)
     }
 
     /// Address of TX descriptor slot `seq`.

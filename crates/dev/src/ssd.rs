@@ -9,6 +9,7 @@
 //! `[40]` motivate the paper's argument).
 
 use switchless_core::machine::Machine;
+use switchless_sim::error::SimError;
 use switchless_sim::fault::FaultKind;
 use switchless_sim::time::Cycles;
 
@@ -71,16 +72,30 @@ impl Ssd {
     ///
     /// # Panics
     ///
-    /// Panics if `cq_slots` is not a power of two.
+    /// Panics on an invalid [`SsdConfig`]; [`Ssd::try_attach`] is the
+    /// non-panicking variant.
     pub fn attach(m: &mut Machine, config: SsdConfig) -> Ssd {
-        assert!(config.cq_slots.is_power_of_two(), "cq_slots must be 2^n");
+        Ssd::try_attach(m, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating [`Ssd::attach`] with a structured error.
+    pub fn try_attach(m: &mut Machine, config: SsdConfig) -> Result<Ssd, SimError> {
+        if !config.cq_slots.is_power_of_two() {
+            return Err(SimError::Config {
+                context: "ssd",
+                detail: format!(
+                    "cq_slots {} must be a nonzero power of two",
+                    config.cq_slots
+                ),
+            });
+        }
         let cq_tail = m.alloc(64);
         let cq_base = m.alloc(config.cq_slots * CQ_ENTRY_BYTES);
-        Ssd {
+        Ok(Ssd {
             config,
             cq_tail,
             cq_base,
-        }
+        })
     }
 
     /// Address of completion entry `seq`.
@@ -104,6 +119,11 @@ impl Ssd {
     /// completions never rewind it.
     pub fn submit(&self, m: &mut Machine, at: Cycles, seq: u64, op: SsdOp, cookie: u64) {
         let dev = *self;
+        // Ring conservation: every submission must complete (even a media
+        // error posts its completion entry) — the SSD never drops.
+        let led = m.ledger("ssd.cq");
+        led.posted += 1;
+        led.in_flight += 1;
         let mut latency = match op {
             SsdOp::Read { .. } => dev.config.read_latency,
             SsdOp::Write => dev.config.write_latency,
@@ -149,6 +169,9 @@ impl Ssd {
             let tail = (seq + 1).max(mach.peek_u64(dev.cq_tail));
             mach.dma_write(dev.cq_tail, &tail.to_le_bytes());
             mach.counters_mut().inc("ssd.completions");
+            let led = mach.ledger("ssd.cq");
+            led.in_flight -= 1;
+            led.completed += 1;
         });
     }
 
@@ -318,10 +341,25 @@ impl SsdQueue {
     ///
     /// # Panics
     ///
-    /// Panics if `sq_slots` is not a power of two.
+    /// Panics if the config or `sq_slots` is invalid;
+    /// [`SsdQueue::try_attach`] is the non-panicking variant.
     pub fn attach(m: &mut Machine, config: SsdConfig, sq_slots: u64) -> SsdQueue {
-        assert!(sq_slots.is_power_of_two(), "sq_slots must be a power of two");
-        let ssd = Ssd::attach(m, config);
+        SsdQueue::try_attach(m, config, sq_slots).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validating [`SsdQueue::attach`] with a structured error.
+    pub fn try_attach(
+        m: &mut Machine,
+        config: SsdConfig,
+        sq_slots: u64,
+    ) -> Result<SsdQueue, SimError> {
+        if !sq_slots.is_power_of_two() {
+            return Err(SimError::Config {
+                context: "ssd queue",
+                detail: format!("sq_slots {sq_slots} must be a nonzero power of two"),
+            });
+        }
+        let ssd = Ssd::try_attach(m, config)?;
         let sq_base = m.alloc(sq_slots * SQ_ENTRY_BYTES);
         let doorbell = m.alloc(64);
         let q = SsdQueue {
@@ -349,7 +387,7 @@ impl SsdQueue {
             }
             consumed.set(seq);
         });
-        q
+        Ok(q)
     }
 
     /// Address of submission entry `seq`.

@@ -6,6 +6,8 @@
 //! experiments all [--quick] [--jobs N] [--out DIR]   # run everything
 //! experiments f1 f7 [--quick]                        # run selected experiments
 //! experiments list                                   # list experiment ids
+//! experiments --soak 100 [--soak-seed S] [--quick]   # chaos soak, invariants on
+//! experiments --replay storm.txt                     # re-execute a chaos artifact
 //! ```
 //!
 //! Each experiment prints its table(s) and writes CSV files under
@@ -42,6 +44,7 @@ pub mod f13_store_ablation;
 pub mod f14_security;
 pub mod f15_multicore;
 pub mod f16_fault_recovery;
+pub mod f17_chaos_soak;
 pub mod t1_tdt;
 pub mod t2_capacity;
 
@@ -157,6 +160,11 @@ pub fn registry() -> Vec<Experiment> {
             title: "F16: fault recovery - switchless supervisor vs legacy interrupts",
             run: f16_fault_recovery::run,
         },
+        Experiment {
+            id: "f17",
+            title: "F17: chaos soak - composed fault storms with invariants checked",
+            run: f17_chaos_soak::run,
+        },
     ]
 }
 
@@ -173,6 +181,14 @@ pub struct Cli {
     pub jobs: Option<usize>,
     /// Explicit `--out DIR` for the CSV tree; `None` means `results/`.
     pub out: Option<PathBuf>,
+    /// `--replay FILE`: re-execute a `chaos-plan/v1` artifact
+    /// bit-identically instead of running experiments.
+    pub replay: Option<PathBuf>,
+    /// `--soak N`: run an N-plan chaos soak (invariants on, every plan
+    /// replayed from its artifact) instead of running experiments.
+    pub soak: Option<u64>,
+    /// Base seed for `--soak` plans (`--soak-seed S`, default 1).
+    pub soak_seed: u64,
     /// Experiment ids (or `all` / `list`) in the order given.
     pub selected: Vec<String>,
 }
@@ -184,7 +200,10 @@ pub struct Cli {
 /// Returns a human-readable message for an unknown flag or a malformed
 /// flag value.
 pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
-    let mut cli = Cli::default();
+    let mut cli = Cli {
+        soak_seed: 1,
+        ..Cli::default()
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut flag_value = |name: &str| -> Result<String, String> {
@@ -209,6 +228,22 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
             cli.jobs = Some(n);
         } else if a == "--out" || a.starts_with("--out=") {
             cli.out = Some(PathBuf::from(flag_value("--out")?));
+        } else if a == "--replay" || a.starts_with("--replay=") {
+            cli.replay = Some(PathBuf::from(flag_value("--replay")?));
+        } else if a == "--soak" || a.starts_with("--soak=") {
+            let v = flag_value("--soak")?;
+            let n: u64 = v
+                .parse()
+                .map_err(|_| format!("--soak expects a plan count, got {v:?}"))?;
+            if n == 0 {
+                return Err("--soak must run at least one plan".to_owned());
+            }
+            cli.soak = Some(n);
+        } else if a == "--soak-seed" || a.starts_with("--soak-seed=") {
+            let v = flag_value("--soak-seed")?;
+            cli.soak_seed = v
+                .parse()
+                .map_err(|_| format!("--soak-seed expects an integer, got {v:?}"))?;
         } else if a.starts_with("--") {
             return Err(format!("unknown flag {a:?}"));
         } else {
@@ -236,6 +271,44 @@ pub fn run_cli() {
             std::process::exit(2);
         }
     };
+
+    // Chaos modes short-circuit the experiment registry entirely.
+    if let Some(path) = &cli.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(err) => {
+                eprintln!("cannot read {}: {err}", path.display());
+                std::process::exit(2);
+            }
+        };
+        match f17_chaos_soak::replay_text(&text) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("replay failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(n) = cli.soak {
+        let duration = switchless_sim::time::Cycles(if cli.quick {
+            1_500_000
+        } else {
+            6_000_000
+        });
+        match f17_chaos_soak::soak(n, cli.soak_seed, duration, |line| println!("{line}")) {
+            Ok(sum) => println!(
+                "soak clean: {} plans, {} invariant checks, {} faults injected, \
+                 {} pardons, every plan replayed bit-identically",
+                sum.plans, sum.checks, sum.faults, sum.pardons
+            ),
+            Err(msg) => {
+                eprintln!("soak failed: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     let registry = registry();
     if cli.selected.iter().any(|s| s == "list") {

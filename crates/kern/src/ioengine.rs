@@ -23,9 +23,10 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
-use switchless_core::machine::{Machine, MachineError, ThreadId};
+use switchless_core::machine::{Machine, ThreadId};
 use switchless_dev::nic::Nic;
 use switchless_isa::asm::assemble;
+use switchless_sim::error::SimError;
 use switchless_sim::stats::Histogram;
 use switchless_sim::time::Cycles;
 
@@ -190,8 +191,13 @@ impl IoEngine {
         nic: &Nic,
         n_workers: usize,
         image_base: u64,
-    ) -> Result<IoEngine, MachineError> {
-        assert!(n_workers > 0, "need at least one worker");
+    ) -> Result<IoEngine, SimError> {
+        if n_workers == 0 {
+            return Err(SimError::Config {
+                context: "io engine",
+                detail: "need at least one worker".into(),
+            });
+        }
         let mut mailboxes = Vec::with_capacity(n_workers);
         let mut workers = Vec::with_capacity(n_workers);
         for w in 0..n_workers {
@@ -218,7 +224,10 @@ impl IoEngine {
                 mb = mb,
                 work = HCALL_WORK,
             ))
-            .expect("worker template is valid");
+            .map_err(|e| SimError::Assemble {
+                context: "io-engine worker template",
+                detail: e.to_string(),
+            })?;
             let tid = m.load_program(core, &prog)?;
             m.start_thread(tid);
             workers.push(tid);
@@ -245,7 +254,10 @@ impl IoEngine {
             tail = nic.rx_tail,
             dispatch = HCALL_DISPATCH,
         ))
-        .expect("dispatcher template is valid");
+        .map_err(|e| SimError::Assemble {
+            context: "io-engine dispatcher template",
+            detail: e.to_string(),
+        })?;
         let dispatcher = m.load_program(core, &disp_prog)?;
         // The dispatcher is the engine's time-critical thread.
         m.set_thread_prio(dispatcher, 7);
@@ -296,10 +308,13 @@ impl IoEngine {
         let worker_ids = workers.clone();
         m.register_hcall(HCALL_WORK, move |mach, tid| {
             let mut s = st.borrow_mut();
-            let w = worker_ids
-                .iter()
-                .position(|&t| t == tid)
-                .expect("hcall from a non-worker thread");
+            // A foreign thread issuing this hcall (misloaded image,
+            // chaos-restarted stranger) is counted and ignored, never a
+            // machine-killing panic.
+            let Some(w) = worker_ids.iter().position(|&t| t == tid) else {
+                mach.counters_mut().inc("engine.foreign_hcall");
+                return;
+            };
             let Some(pkt) = s.assigned[w].pop_front() else {
                 return; // spurious mailbox bump
             };

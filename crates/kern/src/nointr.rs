@@ -11,9 +11,10 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use switchless_core::machine::{Machine, MachineError, ThreadId};
+use switchless_core::machine::{Machine, ThreadId};
 use switchless_core::tid::ThreadState;
 use switchless_isa::asm::assemble;
+use switchless_sim::error::SimError;
 use switchless_sim::stats::Histogram;
 use switchless_sim::time::Cycles;
 
@@ -50,7 +51,7 @@ impl EventHandlerSet {
         core: usize,
         specs: &[(&str, u32, u8)],
         image_base: u64,
-    ) -> Result<EventHandlerSet, MachineError> {
+    ) -> Result<EventHandlerSet, SimError> {
         let mut handlers = Vec::with_capacity(specs.len());
         for (i, &(_name, work, prio)) in specs.iter().enumerate() {
             let event_word = m.alloc(64);
@@ -84,7 +85,10 @@ impl EventHandlerSet {
                 handled = handled_word,
                 work = work,
             ))
-            .expect("handler template is valid assembly");
+            .map_err(|e| SimError::Assemble {
+                context: "event-handler template",
+                detail: e.to_string(),
+            })?;
             let tid = m.load_program(core, &prog)?;
             m.set_thread_prio(tid, prio);
             m.start_thread(tid);
@@ -128,6 +132,10 @@ struct SupState {
     /// Fault (thread disable) → restart latency, in cycles.
     recovery: Histogram,
     restarts: u64,
+    /// Cool-down after which a budget-exhausted (quarantined) ward is
+    /// pardoned and restarted with a fresh attempt budget; `None` means
+    /// quarantine is forever.
+    pardon_after: Option<Cycles>,
 }
 
 /// A recovery supervisor: one hardware thread that parks on a shared
@@ -186,6 +194,27 @@ fn schedule_restart(
         None => {
             mach.counters_mut().inc("supervisor.gave_up");
             mach.quarantine_thread(tid);
+            // Graceful fallback: a crash-loop storm is often transient
+            // (a fault window that passes). With a pardon configured the
+            // ward sits out the cool-down and then gets a fresh attempt
+            // budget instead of staying dead for the machine's lifetime.
+            if let Some(cool) = s.pardon_after {
+                let st2 = Rc::clone(st);
+                let at = mach.now() + cool;
+                mach.at(at, move |inner| {
+                    if !inner.is_quarantined(tid) {
+                        return; // something else already revived it
+                    }
+                    let mut s = st2.borrow_mut();
+                    s.attempts.insert(tid.ptid.0, 0);
+                    // Deliberately no recovery-latency sample: the
+                    // cool-down is a policy sentence, not recovery time.
+                    if inner.restart_thread(tid) {
+                        s.restarts += 1;
+                        inner.counters_mut().inc("supervisor.pardoned");
+                    }
+                });
+            }
         }
     }
 }
@@ -212,7 +241,7 @@ impl Supervisor {
         core: usize,
         policy: RetryPolicy,
         image_base: u64,
-    ) -> Result<Supervisor, MachineError> {
+    ) -> Result<Supervisor, SimError> {
         let edp = m.alloc(64); // 32-byte descriptor, own cache line
         let prog = assemble(&format!(
             r#"
@@ -236,7 +265,10 @@ impl Supervisor {
             edp = edp,
             sup = HCALL_SUPERVISE,
         ))
-        .expect("supervisor template is valid assembly");
+        .map_err(|e| SimError::Assemble {
+            context: "supervisor template",
+            detail: e.to_string(),
+        })?;
         let tid = m.load_program(core, &prog)?;
         // A private slot so a supervisor fault can't halt the machine.
         let own_edp = m.alloc(64);
@@ -252,6 +284,7 @@ impl Supervisor {
             policy,
             recovery: Histogram::new(),
             restarts: 0,
+            pardon_after: None,
         }));
 
         let st = Rc::clone(&state);
@@ -280,6 +313,15 @@ impl Supervisor {
     pub fn supervise(&self, m: &mut Machine, tid: ThreadId) {
         m.set_thread_edp(tid, self.edp);
         self.state.borrow_mut().wards.push(tid);
+    }
+
+    /// Enables the graceful quarantine fallback: a ward whose retry
+    /// budget is exhausted is pardoned `cool` cycles after quarantine —
+    /// restarted with a fresh attempt budget (counted as
+    /// `supervisor.pardoned`) — instead of staying dead forever. `None`
+    /// (the default) keeps quarantine permanent.
+    pub fn pardon_after(&self, cool: Option<Cycles>) {
+        self.state.borrow_mut().pardon_after = cool;
     }
 
     /// Fault → restart latency histogram.
@@ -418,7 +460,7 @@ mod tests {
         m.run_for(Cycles(100_000));
         assert!(sup.restarts() >= 2, "restart cycle running: {}", sup.restarts());
         assert_eq!(
-            sup.recovery_latency().count() as u64,
+            sup.recovery_latency().count(),
             sup.restarts(),
             "one latency sample per restart"
         );
@@ -515,5 +557,56 @@ mod tests {
         assert!(lat.min() >= 5_000, "min {}", lat.min());
         assert!(lat.max() < 8_000, "max {}", lat.max());
         assert_eq!(m.thread_state(ward), ThreadState::Disabled);
+    }
+
+    #[test]
+    fn pardon_revives_quarantined_ward_with_fresh_budget() {
+        let mut m = Machine::new(MachineConfig::small());
+        let sup = Supervisor::install(
+            &mut m,
+            0,
+            RetryPolicy {
+                initial_backoff: Cycles(5_000),
+                max_backoff: Cycles(5_000),
+                max_retries: 1,
+            },
+            0x40000,
+        )
+        .unwrap();
+        sup.pardon_after(Some(Cycles(50_000)));
+        let mb = m.alloc(64);
+        let ward = m
+            .load_program(0, &assemble(&ward_src(0x50000, mb)).unwrap())
+            .unwrap();
+        sup.supervise(&mut m, ward);
+        m.set_thread_watchdog(ward, Some(Cycles(10_000)));
+        m.start_thread(ward);
+        // Fault ~10k, restart ~15k, fault ~25k -> budget spent -> quarantine.
+        m.run_for(Cycles(40_000));
+        assert!(m.is_quarantined(ward), "budget exhausted first");
+        assert_eq!(m.counters().get("supervisor.gave_up"), 1);
+        // Pardon lands ~75k: quarantine lifted, budget reset, the ward
+        // gets another restart cycle instead of staying dead.
+        m.run_for(Cycles(45_000));
+        assert!(!m.is_quarantined(ward), "pardoned after the cool-down");
+        assert_eq!(m.counters().get("supervisor.pardoned"), 1);
+        // The fresh budget drives a full second quarantine->pardon lap.
+        m.run_for(Cycles(120_000));
+        assert!(m.counters().get("supervisor.gave_up") >= 2);
+        assert!(m.counters().get("supervisor.pardoned") >= 2);
+        assert!(m.halted_reason().is_none());
+    }
+
+    #[test]
+    fn install_surfaces_structured_errors() {
+        // Core 99 does not exist: the error is a structured SimError
+        // (machine layer), not a panic.
+        let mut m = Machine::new(MachineConfig::small());
+        let Err(err) = Supervisor::install(&mut m, 99, RetryPolicy::default(), 0x40000)
+        else {
+            panic!("install on a nonexistent core must fail")
+        };
+        assert!(matches!(err, SimError::Machine { .. }), "{err}");
+        assert!(err.to_string().contains("core 99"), "{err}");
     }
 }

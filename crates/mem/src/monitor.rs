@@ -71,6 +71,13 @@ pub trait MonitorFilter {
 
     /// Number of armed (watcher, range) entries.
     fn armed_len(&self) -> usize;
+
+    /// Whether `watcher` holds at least one armed watch.
+    ///
+    /// Used by the machine's invariant checker to prove no-lost-wakeup: a
+    /// parked thread whose filter entries have vanished can never be woken
+    /// by a store again.
+    fn is_armed(&self, watcher: WatchId) -> bool;
 }
 
 fn ranges_overlap(a_start: u64, a_len: u64, b_start: u64, b_len: u64) -> bool {
@@ -231,6 +238,12 @@ impl MonitorFilter for CamFilter {
     fn armed_len(&self) -> usize {
         self.entries.len()
     }
+
+    fn is_armed(&self, watcher: WatchId) -> bool {
+        self.by_watcher
+            .get(&watcher)
+            .is_some_and(|ids| !ids.is_empty())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -342,6 +355,12 @@ impl MonitorFilter for HashFilter {
 
     fn armed_len(&self) -> usize {
         self.armed
+    }
+
+    fn is_armed(&self, watcher: WatchId) -> bool {
+        self.watcher_lines
+            .get(&watcher)
+            .is_some_and(|lines| !lines.is_empty())
     }
 }
 

@@ -103,7 +103,7 @@ impl FaultKind {
         FaultKind::MsixLostInterrupt,
     ];
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             FaultKind::NicDrop => 0,
             FaultKind::NicCorrupt => 1,
@@ -180,6 +180,103 @@ impl core::fmt::Display for FaultKind {
     }
 }
 
+/// A structured reason a [`FaultPlan`] configuration was rejected.
+///
+/// Returned by the `try_*` builders so callers (the chaos generator, the
+/// replay parser) can refuse a bad plan at construction time instead of
+/// panicking — or worse, silently misbehaving — mid-soak.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultPlanError {
+    /// A window with `from >= to` can never fire; almost certainly a bug
+    /// in the caller's schedule arithmetic.
+    EmptyWindow {
+        /// The kind whose window is degenerate.
+        kind: FaultKind,
+        /// Window start (inclusive).
+        from: Cycles,
+        /// Window end (exclusive).
+        to: Cycles,
+    },
+    /// Two bursts for the same kind and device overlap in time, which
+    /// would make the effective rate ambiguous.
+    OverlappingWindows {
+        /// The kind with conflicting bursts.
+        kind: FaultKind,
+        /// The device both bursts target.
+        device: u8,
+        /// The previously accepted window.
+        first: (Cycles, Cycles),
+        /// The rejected window.
+        second: (Cycles, Cycles),
+    },
+    /// A rate outside `[0, 1]` (or NaN) is not a probability.
+    RateOutOfRange {
+        /// The kind with the bad rate.
+        kind: FaultKind,
+        /// The offending value.
+        rate: f64,
+    },
+    /// A delay range with `lo > hi`.
+    DelayInverted {
+        /// The kind with the bad delay range.
+        kind: FaultKind,
+        /// Lower bound.
+        lo: Cycles,
+        /// Upper bound.
+        hi: Cycles,
+    },
+    /// A burst targets a device id at or beyond the plan's device count.
+    DeviceOutOfRange {
+        /// The offending device id.
+        device: u8,
+        /// The plan's configured device count.
+        count: u8,
+    },
+}
+
+impl core::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultPlanError::EmptyWindow { kind, from, to } => write!(
+                f,
+                "{kind}: window [{}, {}) is empty",
+                from.0, to.0
+            ),
+            FaultPlanError::OverlappingWindows {
+                kind,
+                device,
+                first,
+                second,
+            } => write!(
+                f,
+                "{kind} on device {device}: burst [{}, {}) overlaps [{}, {})",
+                second.0 .0, second.1 .0, first.0 .0, first.1 .0
+            ),
+            FaultPlanError::RateOutOfRange { kind, rate } => {
+                write!(f, "{kind}: rate {rate} is not in [0, 1]")
+            }
+            FaultPlanError::DelayInverted { kind, lo, hi } => {
+                write!(f, "{kind}: delay range {}..{} is inverted", lo.0, hi.0)
+            }
+            FaultPlanError::DeviceOutOfRange { device, count } => {
+                write!(f, "device id {device} out of range (plan has {count})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// A validated, windowed rate override for one kind on one device.
+#[derive(Clone, Copy, Debug)]
+struct Burst {
+    kind: FaultKind,
+    device: u8,
+    rate: f64,
+    from: Cycles,
+    to: Cycles,
+}
+
 /// Per-kind injection settings.
 #[derive(Clone, Copy, Debug)]
 struct KindSetting {
@@ -203,6 +300,12 @@ pub struct FaultPlan {
     /// One decorrelated stream per component, forked from the seed.
     streams: [Rng; FaultComponent::COUNT],
     settings: [KindSetting; FaultKind::ALL.len()],
+    /// How many instances of each device class the machine exposes;
+    /// bursts must target a device id below this.
+    devices: u8,
+    /// Validated windowed overrides, sorted by nothing in particular —
+    /// at most one burst per (kind, device) covers any instant.
+    bursts: Vec<Burst>,
 }
 
 impl FaultPlan {
@@ -221,6 +324,8 @@ impl FaultPlan {
             seed,
             streams,
             settings,
+            devices: 1,
+            bursts: Vec::new(),
         }
     }
 
@@ -241,20 +346,116 @@ impl FaultPlan {
     }
 
     /// Restricts one kind to the cycle window `[from, to)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window; use [`FaultPlan::try_with_window`] to
+    /// handle the error structurally.
     #[must_use]
-    pub fn with_window(mut self, kind: FaultKind, from: Cycles, to: Cycles) -> FaultPlan {
+    pub fn with_window(self, kind: FaultKind, from: Cycles, to: Cycles) -> FaultPlan {
+        self.try_with_window(kind, from, to)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Restricts one kind to the cycle window `[from, to)`, rejecting
+    /// empty windows with a structured error.
+    pub fn try_with_window(
+        mut self,
+        kind: FaultKind,
+        from: Cycles,
+        to: Cycles,
+    ) -> Result<FaultPlan, FaultPlanError> {
+        if from >= to {
+            return Err(FaultPlanError::EmptyWindow { kind, from, to });
+        }
         let s = &mut self.settings[kind.index()];
         s.from = from;
         s.to = to;
-        self
+        Ok(self)
     }
 
     /// Overrides the extra-delay range for a delay-shaped kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inverted range; use [`FaultPlan::try_with_delay`] to
+    /// handle the error structurally.
     #[must_use]
-    pub fn with_delay(mut self, kind: FaultKind, lo: Cycles, hi: Cycles) -> FaultPlan {
-        assert!(lo <= hi, "delay range requires lo <= hi");
+    pub fn with_delay(self, kind: FaultKind, lo: Cycles, hi: Cycles) -> FaultPlan {
+        self.try_with_delay(kind, lo, hi)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Overrides the extra-delay range for a delay-shaped kind, rejecting
+    /// an inverted range with a structured error.
+    pub fn try_with_delay(
+        mut self,
+        kind: FaultKind,
+        lo: Cycles,
+        hi: Cycles,
+    ) -> Result<FaultPlan, FaultPlanError> {
+        if lo > hi {
+            return Err(FaultPlanError::DelayInverted { kind, lo, hi });
+        }
         self.settings[kind.index()].delay = (lo, hi);
+        Ok(self)
+    }
+
+    /// Declares how many instances of each device class the machine
+    /// exposes (default 1). Burst device ids are validated against this.
+    #[must_use]
+    pub fn with_devices(mut self, count: u8) -> FaultPlan {
+        self.devices = count.max(1);
         self
+    }
+
+    /// Adds a validated, windowed rate override for `kind` on `device`.
+    ///
+    /// While `now` is inside `[from, to)` the burst's rate replaces the
+    /// kind's base rate — so a plan can layer storms (and calm stretches)
+    /// over a background rate. Bursts for the *same* kind and device must
+    /// not overlap; bursts for different kinds may, which is how composed
+    /// storms are expressed.
+    pub fn try_with_burst(
+        mut self,
+        kind: FaultKind,
+        device: u8,
+        rate: f64,
+        from: Cycles,
+        to: Cycles,
+    ) -> Result<FaultPlan, FaultPlanError> {
+        if device >= self.devices {
+            return Err(FaultPlanError::DeviceOutOfRange {
+                device,
+                count: self.devices,
+            });
+        }
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(FaultPlanError::RateOutOfRange { kind, rate });
+        }
+        if from >= to {
+            return Err(FaultPlanError::EmptyWindow { kind, from, to });
+        }
+        if let Some(prev) = self
+            .bursts
+            .iter()
+            .find(|b| b.kind == kind && b.device == device && from < b.to && b.from < to)
+        {
+            return Err(FaultPlanError::OverlappingWindows {
+                kind,
+                device,
+                first: (prev.from, prev.to),
+                second: (from, to),
+            });
+        }
+        self.bursts.push(Burst {
+            kind,
+            device,
+            rate,
+            from,
+            to,
+        });
+        Ok(self)
     }
 
     /// The seed this plan was built from.
@@ -271,16 +472,40 @@ impl FaultPlan {
 
     /// Decides whether `kind` fires for one operation at time `now`.
     ///
-    /// Randomness is consumed **only** when the kind's rate is positive
-    /// and `now` is inside its window, so disabled kinds (and windows)
-    /// leave every stream untouched — determinism of the active kinds is
-    /// unaffected by how often inactive ones are queried.
+    /// Randomness is consumed **only** when the kind's effective rate is
+    /// positive at `now`, so disabled kinds (and windows) leave every
+    /// stream untouched — determinism of the active kinds is unaffected
+    /// by how often inactive ones are queried. Draws for device 0; see
+    /// [`FaultPlan::draw_on`] for multi-instance machines.
     pub fn draw(&mut self, now: Cycles, kind: FaultKind) -> bool {
-        let s = self.settings[kind.index()];
-        if s.rate <= 0.0 || now < s.from || now >= s.to {
+        self.draw_on(0, now, kind)
+    }
+
+    /// Decides whether `kind` fires on `device` for one operation at
+    /// `now`, honouring any burst override covering that instant.
+    pub fn draw_on(&mut self, device: u8, now: Cycles, kind: FaultKind) -> bool {
+        let rate = self.effective_rate(device, now, kind);
+        if rate <= 0.0 {
             return false;
         }
-        self.streams[kind.component().index()].chance(s.rate)
+        self.streams[kind.component().index()].chance(rate)
+    }
+
+    /// The rate in force for `(kind, device)` at `now`: the covering
+    /// burst's rate if one exists, else the base setting inside its
+    /// window, else zero.
+    fn effective_rate(&self, device: u8, now: Cycles, kind: FaultKind) -> f64 {
+        for b in &self.bursts {
+            if b.kind == kind && b.device == device && now >= b.from && now < b.to {
+                return b.rate;
+            }
+        }
+        let s = &self.settings[kind.index()];
+        if now < s.from || now >= s.to {
+            0.0
+        } else {
+            s.rate
+        }
     }
 
     /// Draws the extra delay for a delay-shaped kind that just fired.
@@ -398,6 +623,138 @@ mod tests {
             assert!(seen.insert(name), "duplicate counter {name}");
             assert_eq!(format!("{k}"), name.strip_prefix("fault.").unwrap());
         }
+    }
+
+    #[test]
+    fn empty_windows_are_rejected() {
+        let err = FaultPlan::new(1)
+            .try_with_window(FaultKind::NicDrop, Cycles(50), Cycles(50))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::EmptyWindow {
+                kind: FaultKind::NicDrop,
+                from: Cycles(50),
+                to: Cycles(50)
+            }
+        );
+        let err = FaultPlan::new(1)
+            .try_with_burst(FaultKind::SsdReadError, 0, 0.1, Cycles(9), Cycles(3))
+            .unwrap_err();
+        assert!(matches!(err, FaultPlanError::EmptyWindow { .. }));
+    }
+
+    #[test]
+    fn overlapping_bursts_same_kind_are_rejected() {
+        let err = FaultPlan::new(1)
+            .try_with_burst(FaultKind::FabricLoss, 0, 0.2, Cycles(100), Cycles(200))
+            .unwrap()
+            .try_with_burst(FaultKind::FabricLoss, 0, 0.4, Cycles(150), Cycles(300))
+            .unwrap_err();
+        assert!(
+            matches!(err, FaultPlanError::OverlappingWindows { kind, .. }
+                if kind == FaultKind::FabricLoss),
+            "{err}"
+        );
+        // Adjacent ([100,200) then [200,300)) is fine.
+        FaultPlan::new(1)
+            .try_with_burst(FaultKind::FabricLoss, 0, 0.2, Cycles(100), Cycles(200))
+            .unwrap()
+            .try_with_burst(FaultKind::FabricLoss, 0, 0.4, Cycles(200), Cycles(300))
+            .unwrap();
+        // Same window on a *different* kind overlaps freely (composed storm).
+        FaultPlan::new(1)
+            .try_with_burst(FaultKind::FabricLoss, 0, 0.2, Cycles(100), Cycles(200))
+            .unwrap()
+            .try_with_burst(FaultKind::NicDrop, 0, 0.2, Cycles(100), Cycles(200))
+            .unwrap();
+    }
+
+    #[test]
+    fn burst_device_ids_are_validated() {
+        let err = FaultPlan::new(1)
+            .try_with_burst(FaultKind::NicDrop, 2, 0.1, Cycles(0), Cycles(10))
+            .unwrap_err();
+        assert_eq!(err, FaultPlanError::DeviceOutOfRange { device: 2, count: 1 });
+        FaultPlan::new(1)
+            .with_devices(3)
+            .try_with_burst(FaultKind::NicDrop, 2, 0.1, Cycles(0), Cycles(10))
+            .unwrap();
+    }
+
+    #[test]
+    fn burst_rates_are_validated() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let err = FaultPlan::new(1)
+                .try_with_burst(FaultKind::NicDrop, 0, bad, Cycles(0), Cycles(10))
+                .unwrap_err();
+            assert!(matches!(err, FaultPlanError::RateOutOfRange { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn inverted_delay_is_structured() {
+        let err = FaultPlan::new(1)
+            .try_with_delay(FaultKind::NicStall, Cycles(20), Cycles(10))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::DelayInverted {
+                kind: FaultKind::NicStall,
+                lo: Cycles(20),
+                hi: Cycles(10)
+            }
+        );
+    }
+
+    #[test]
+    fn burst_overrides_base_rate_inside_window_only() {
+        let mut p = FaultPlan::new(4)
+            .with_rate(FaultKind::FabricLoss, 1.0)
+            .try_with_burst(FaultKind::FabricLoss, 0, 0.0, Cycles(100), Cycles(200))
+            .unwrap();
+        // Base rate 1.0 outside the burst, calm (0.0) inside it.
+        assert!(p.draw(Cycles(99), FaultKind::FabricLoss));
+        assert!(!p.draw(Cycles(100), FaultKind::FabricLoss));
+        assert!(!p.draw(Cycles(199), FaultKind::FabricLoss));
+        assert!(p.draw(Cycles(200), FaultKind::FabricLoss));
+    }
+
+    #[test]
+    fn burstless_plan_draws_are_bit_identical_to_legacy_path() {
+        // A plan with no bursts must consume the exact same randomness as
+        // before bursts existed: draw() == draw_on(0).
+        let mut a = FaultPlan::new(77).with_rate(FaultKind::SsdReadError, 0.3);
+        let mut b = FaultPlan::new(77).with_rate(FaultKind::SsdReadError, 0.3);
+        for i in 0..5_000 {
+            assert_eq!(
+                a.draw(Cycles(i), FaultKind::SsdReadError),
+                b.draw_on(0, Cycles(i), FaultKind::SsdReadError)
+            );
+        }
+    }
+
+    #[test]
+    fn calm_burst_consumes_no_randomness() {
+        // A zero-rate burst must leave the stream untouched so draws after
+        // the calm window realign with an uninterrupted plan.
+        let mut plain = FaultPlan::new(8).with_rate(FaultKind::NicDrop, 0.5);
+        let mut calmed = FaultPlan::new(8)
+            .with_rate(FaultKind::NicDrop, 0.5)
+            .try_with_burst(FaultKind::NicDrop, 0, 0.0, Cycles(10), Cycles(20))
+            .unwrap();
+        let a: Vec<bool> = (0..10).map(|i| plain.draw(Cycles(i), FaultKind::NicDrop)).collect();
+        let b: Vec<bool> = (0..10).map(|i| calmed.draw(Cycles(i), FaultKind::NicDrop)).collect();
+        assert_eq!(a, b);
+        // Querying inside the calm window fires nothing and draws nothing…
+        for i in 10..20 {
+            assert!(!calmed.draw(Cycles(i), FaultKind::NicDrop));
+        }
+        // …so after the window the calmed plan's stream matches a plan
+        // that was simply never queried during [10, 20).
+        let a: Vec<bool> = (20..40).map(|i| plain.draw(Cycles(i), FaultKind::NicDrop)).collect();
+        let b: Vec<bool> = (20..40).map(|i| calmed.draw(Cycles(i), FaultKind::NicDrop)).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

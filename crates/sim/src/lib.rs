@@ -12,7 +12,17 @@
 //!   a seed, independent of external crates.
 //! * [`fault`] — seeded, deterministic fault-injection plans
 //!   ([`fault::FaultPlan`]) that schedule device faults by component, kind,
-//!   rate and cycle window.
+//!   rate and cycle window, validated at construction
+//!   ([`fault::FaultPlanError`]).
+//! * [`chaos`] — seeded composed fault storms ([`chaos::ChaosPlan`]):
+//!   generation, the `chaos-plan/v1` replay-artifact format, and an
+//!   automatic shrinker ([`chaos::shrink`]) that reduces a failing plan to
+//!   a minimal reproducer.
+//! * [`invariant`] — machine-wide invariant-checking plumbing: violation
+//!   reports and the descriptor-ring conservation [`invariant::Ledger`]
+//!   device models account into.
+//! * [`error`] — the structured [`error::SimError`] fault/recovery paths
+//!   propagate instead of panicking.
 //! * [`hash`] — a deterministic FxHash-style hasher ([`hash::FxHashMap`],
 //!   [`hash::FxHashSet`]) replacing SipHash on hot-path maps keyed by
 //!   trusted small integers.
@@ -53,8 +63,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod error;
 pub mod event;
 pub mod fault;
+pub mod invariant;
 pub mod hash;
 pub mod par;
 pub mod report;
@@ -63,8 +76,11 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use chaos::{ChaosConfig, ChaosPlan};
+pub use error::SimError;
 pub use event::EventQueue;
-pub use fault::{FaultComponent, FaultKind, FaultPlan};
+pub use fault::{FaultComponent, FaultKind, FaultPlan, FaultPlanError};
+pub use invariant::{InvariantReport, Violation};
 pub use rng::Rng;
 pub use stats::{Counters, Histogram, Summary};
 pub use time::{Cycles, Freq};

@@ -133,6 +133,6 @@ mod closed_loop_tests {
         let ts = closed_loop_arrivals(3, Cycles(300), Cycles(0), 2);
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(ts[0], Cycles(0));
-        assert!(ts.iter().any(|&t| t == Cycles(100)), "staggered starts");
+        assert!(ts.contains(&Cycles(100)), "staggered starts");
     }
 }

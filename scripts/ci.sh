@@ -7,6 +7,11 @@
 #   replay   deterministic-replay check: two same-seed runs of the
 #            fault-injected f16 experiment must render byte-identical
 #            reports (timing and absolute-path lines stripped)
+#   soak     bounded chaos soak: 25 seeded composed fault storms with
+#            the machine-wide invariant checker on — must be
+#            violation-free, every plan must replay bit-identically
+#            from its chaos-plan/v1 artifact, and a second soak run in
+#            a fresh process must print identical digests
 #   jobs     parallel-determinism check: the full --quick suite at
 #            --jobs 1 and --jobs 4 must write bit-identical results/
 #            trees (the harness's core invariant)
@@ -42,6 +47,17 @@ if [ "$a" != "$b" ]; then
     exit 1
 fi
 echo "replay: byte-identical"
+
+step "chaos soak (25 plans, invariants on, per-plan artifact replay)"
+s1="$(cargo run -q --release -p switchless-experiments -- --soak 25 --quick)"
+printf '%s\n' "$s1" | tail -1
+s2="$(cargo run -q --release -p switchless-experiments -- --soak 25 --quick)"
+if [ "$s1" != "$s2" ]; then
+    echo "FAIL: chaos-soak digests diverged between processes" >&2
+    diff <(printf '%s\n' "$s1") <(printf '%s\n' "$s2") >&2 || true
+    exit 1
+fi
+echo "chaos soak: violation-free, digests stable across processes"
 
 step "parallel determinism (full --quick suite, --jobs 1 vs --jobs 4)"
 j1=target/ci-results-j1
