@@ -38,10 +38,7 @@ fn bench_t1_tdt_enforcement(c: &mut Criterion) {
     let spin = assemble(".base 0x20000\nentry: jmp entry\n").unwrap();
     m.load_image(&spin).unwrap();
     let tgt = m.spawn_at(0, 0x20000, false).unwrap();
-    let driver = assemble(
-        ".base 0x10000\nentry:\nloop:\n start 0\n jmp loop\n",
-    )
-    .unwrap();
+    let driver = assemble(".base 0x10000\nentry:\nloop:\n start 0\n jmp loop\n").unwrap();
     let d = m.load_program(0, &driver).unwrap();
     let tdt = m.alloc(64);
     m.write_tdt_entry(tdt, Vtid(0), TdtEntry::new(tgt.ptid, Perms::ALL));
@@ -344,10 +341,8 @@ fn bench_f12_monitor_filters(c: &mut Criterion) {
 /// simulated instructions per host second the whole model sustains).
 fn bench_machine_throughput(c: &mut Criterion) {
     let mut m = Machine::new(MachineConfig::small());
-    let spin = assemble(
-        ".base 0x10000\nentry:\n movi r1, 0\nloop:\n addi r1, r1, 1\n jmp loop\n",
-    )
-    .unwrap();
+    let spin = assemble(".base 0x10000\nentry:\n movi r1, 0\nloop:\n addi r1, r1, 1\n jmp loop\n")
+        .unwrap();
     let tid = m.load_program(0, &spin).unwrap();
     m.start_thread(tid);
     c.bench_function("machine_10k_cycles_alu_loop", |b| {
@@ -385,7 +380,9 @@ fn bench_extensions(c: &mut Criterion) {
             fanout: 4,
             local_work: 500,
             remote_service: Cycles(500),
-            fabric: Fabric { one_way: Cycles(500) },
+            fabric: Fabric {
+                one_way: Cycles(500),
+            },
         },
         0x40000,
     )

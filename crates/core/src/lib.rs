@@ -40,10 +40,11 @@ pub mod exception;
 pub mod machine;
 pub mod perm;
 pub mod sched;
+pub mod shard;
 pub mod store;
 pub mod tdt;
 pub mod tid;
 
-pub use machine::{Machine, MachineConfig, ThreadId};
+pub use machine::{Machine, MachineConfig, ShardStats, ThreadId};
 pub use perm::{Perms, TdtEntry};
 pub use tid::{Ptid, ThreadState, Vtid};

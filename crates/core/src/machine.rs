@@ -200,46 +200,51 @@ impl From<MachineError> for SimError {
 }
 
 /// One hardware thread's simulator-side context.
-struct Thread {
-    arch: ArchState,
-    state: ThreadState,
+///
+/// `Clone` + `pub(crate)` fields: the epoch engine (`shard`) snapshots
+/// per-core thread state, runs workers on the clones, and commits them
+/// back wholesale on success.
+#[derive(Clone)]
+pub(crate) struct Thread {
+    pub(crate) arch: ArchState,
+    pub(crate) state: ThreadState,
     /// Core this thread currently belongs to (changes on migration).
-    home: usize,
+    pub(crate) home: usize,
     /// Busy executing an in-flight instruction (or a state transfer)
     /// until this time; the scheduler skips it.
-    busy_until: Cycles,
+    pub(crate) busy_until: Cycles,
     /// Set when a monitored write arrives between `monitor` and `mwait`
     /// (or while running), so the next `mwait` falls through.
-    monitor_triggered: bool,
+    pub(crate) monitor_triggered: bool,
     /// Whether any watch is armed in the filter for this thread.
-    monitor_armed: bool,
+    pub(crate) monitor_armed: bool,
     /// Pipeline-refill (and state-transfer) cost already paid since the
     /// thread last became runnable.
-    activated: bool,
+    pub(crate) activated: bool,
     /// Dirty-register mask (bit i = GPR i; bit 16 = pc/control).
-    touched: u32,
+    pub(crate) touched: u32,
     /// Time of the last wake/start, for wake-to-dispatch latency.
-    wake_at: Option<Cycles>,
+    pub(crate) wake_at: Option<Cycles>,
     /// Uses the vector extension (larger state to move, §2 FP/vector).
-    vector_state: bool,
+    pub(crate) vector_state: bool,
     /// Per-thread wake-latency accounting: (samples, total, max).
-    wake_stats: (u64, u64, u64),
+    pub(crate) wake_stats: (u64, u64, u64),
     /// Cache partition this thread's data traffic is tagged with (§4
     /// fine-grain partitioning; default = unmanaged pool).
-    partition: switchless_mem::cache::PartitionId,
+    pub(crate) partition: switchless_mem::cache::PartitionId,
     /// Per-thread watchdog: max cycles the thread may stay parked in one
     /// `mwait` before the hardware disables it with `WatchdogExpired`.
-    watchdog: Option<Cycles>,
+    pub(crate) watchdog: Option<Cycles>,
     /// Bumped on every `mwait` park so a stale watchdog callback from an
     /// earlier park never fires on a later one.
-    park_epoch: u64,
+    pub(crate) park_epoch: u64,
     /// Quarantined threads refuse every wake until restarted.
-    quarantined: bool,
+    pub(crate) quarantined: bool,
     /// First `start` pc; `restart_thread` resets the thread here.
-    restart_pc: Option<u64>,
+    pub(crate) restart_pc: Option<u64>,
     /// When the thread was last disabled by an exception (recovery-latency
     /// measurement); cleared on wake.
-    disabled_at: Option<Cycles>,
+    pub(crate) disabled_at: Option<Cycles>,
 }
 
 impl Thread {
@@ -265,7 +270,7 @@ impl Thread {
         }
     }
 
-    fn state_bytes(&self) -> u64 {
+    pub(crate) fn state_bytes(&self) -> u64 {
         if self.vector_state {
             ArchState::vector_state_bytes()
         } else {
@@ -273,22 +278,24 @@ impl Thread {
         }
     }
 
-    fn dirty_bytes(&self) -> u64 {
+    pub(crate) fn dirty_bytes(&self) -> u64 {
         // pc + mode word always move; plus 8 bytes per touched GPR.
         let gprs = u64::from((self.touched & 0xffff).count_ones());
         (16 + gprs * 8).min(self.state_bytes())
     }
 }
 
-struct CoreState {
-    sched: HwScheduler,
-    store: StateStore,
-    tdt: TdtCache,
-    idle_slot: Vec<bool>,
-    next_unused: usize,
+#[derive(Clone)]
+pub(crate) struct CoreState {
+    pub(crate) sched: HwScheduler,
+    pub(crate) store: StateStore,
+    pub(crate) tdt: TdtCache,
+    pub(crate) idle_slot: Vec<bool>,
+    pub(crate) next_unused: usize,
 }
 
-enum Ev {
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Ev {
     // u32 fields keep the event (and thus every queue entry) small:
     // events are copied through the scheduler's wheel on every simulated
     // instruction.
@@ -302,7 +309,7 @@ enum Ev {
 /// scheduler, so the cap never changes simulated behavior — it only
 /// bounds how much work one `SlotFree` event can do before re-entering
 /// the queue.
-const MAX_BURST: u64 = 1024;
+pub(crate) const MAX_BURST: u64 = 1024;
 
 type HostCall = Box<dyn FnMut(&mut Machine, ThreadId)>;
 type MmioHook = Box<dyn FnMut(&mut Machine, u64)>;
@@ -319,22 +326,22 @@ type InvariantFn = Box<dyn Fn(&Machine) -> Option<String>>;
 /// `BadInstruction` with the actual word). Stores that land inside
 /// `[base, end)` re-decode the covered words, so self-modifying code
 /// observes its writes exactly as it would with a per-fetch decode.
-struct CodeRange {
-    base: u64,
-    end: u64,
-    insts: Vec<Option<Inst>>,
+pub(crate) struct CodeRange {
+    pub(crate) base: u64,
+    pub(crate) end: u64,
+    pub(crate) insts: Vec<Option<Inst>>,
 }
 
 /// Pre-resolved [`CounterId`]s for counters bumped on (nearly) every
 /// dispatched instruction or store — skips the per-call string hash.
-struct HotCounters {
-    inst_executed: CounterId,
-    sched_dispatches: CounterId,
-    store_external: CounterId,
-    monitor_wakes: CounterId,
-    monitor_false_wakes: CounterId,
-    thread_wakes: CounterId,
-    activate: [CounterId; 4],
+pub(crate) struct HotCounters {
+    pub(crate) inst_executed: CounterId,
+    pub(crate) sched_dispatches: CounterId,
+    pub(crate) store_external: CounterId,
+    pub(crate) monitor_wakes: CounterId,
+    pub(crate) monitor_false_wakes: CounterId,
+    pub(crate) thread_wakes: CounterId,
+    pub(crate) activate: [CounterId; 4],
 }
 
 impl HotCounters {
@@ -358,34 +365,34 @@ impl HotCounters {
 
 /// The simulated machine.
 pub struct Machine {
-    cfg: MachineConfig,
-    now: Cycles,
-    mem: Vec<u8>,
-    threads: Vec<Thread>,
-    cores: Vec<CoreState>,
-    hier: Hierarchy,
-    tlbs: Vec<Tlb>,
-    filter: Box<dyn MonitorFilter>,
-    prefetcher: WakePrefetcher,
-    events: EventQueue<Ev>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) now: Cycles,
+    pub(crate) mem: Vec<u8>,
+    pub(crate) threads: Vec<Thread>,
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) hier: Hierarchy,
+    pub(crate) tlbs: Vec<Tlb>,
+    pub(crate) filter: Box<dyn MonitorFilter>,
+    pub(crate) prefetcher: WakePrefetcher,
+    pub(crate) events: EventQueue<Ev>,
     callbacks: FxHashMap<u64, HostEvent>,
     next_cb: u64,
     hcalls: FxHashMap<u16, HostCall>,
     /// Device doorbells: store hooks keyed by exact 8-byte-aligned
     /// address; fired after the monitor filter on any covering store.
-    mmio_hooks: FxHashMap<u64, MmioHook>,
-    counters: Counters,
-    hot: HotCounters,
+    pub(crate) mmio_hooks: FxHashMap<u64, MmioHook>,
+    pub(crate) counters: Counters,
+    pub(crate) hot: HotCounters,
     trace: TraceRing,
-    halted: Option<String>,
+    pub(crate) halted: Option<String>,
     /// Host allocator: grows down from the top of memory.
     alloc_top: u64,
     loaded: Vec<(u64, u64)>,
     /// Decoded-instruction cache, one entry per loaded image.
-    code: Vec<CodeRange>,
+    pub(crate) code: Vec<CodeRange>,
     /// Cheap store-time reject bounds: min base / max end over `code`.
-    code_lo: u64,
-    code_hi: u64,
+    pub(crate) code_lo: u64,
+    pub(crate) code_hi: u64,
     /// Index into `code` of the range that served the last fetch.
     last_code: usize,
     /// Reusable buffers for `after_store` (taken/restored around the
@@ -400,14 +407,14 @@ pub struct Machine {
     /// burst (see `dispatch`); always drained back before it returns.
     burst_stash: Vec<(Cycles, EventToken, Ev)>,
     /// Wake-to-first-dispatch latency histogram (cycles).
-    wake_latency: Histogram,
+    pub(crate) wake_latency: Histogram,
     /// Most recent wake-latency sample, with the woken thread.
-    last_wake: Option<(Ptid, u64)>,
+    pub(crate) last_wake: Option<(Ptid, u64)>,
     /// Installed fault-injection plan; `None` costs one branch per query.
     fault_plan: Option<FaultPlan>,
     /// Whether the invariant checker runs at event-queue boundaries.
     /// Off by default: measured runs pay exactly one branch per event.
-    invariants_on: bool,
+    pub(crate) invariants_on: bool,
     /// Registered machine-wide invariants (device ring conservation, …).
     invariant_checks: Vec<(&'static str, InvariantFn)>,
     /// Violations observed since checking was enabled (bounded).
@@ -418,6 +425,40 @@ pub struct Machine {
     /// Named per-device conservation ledgers ([`Machine::ledger`]).
     /// A `Vec` keeps iteration in attach order (determinism).
     device_ledgers: Vec<(&'static str, Ledger)>,
+    /// Worker threads for the core-sharded epoch engine; 1 = serial.
+    pub(crate) machine_jobs: usize,
+    /// Host-declared per-core private data windows `(base, len)` for the
+    /// epoch engine ([`Machine::set_core_domain`]). A worker may execute
+    /// loads/stores that land fully inside its own core's window; loads
+    /// fully outside *every* window read the frozen epoch-start image.
+    pub(crate) core_domains: Vec<Option<(u64, u64)>>,
+    /// Adaptive epoch length for the sharded engine (host-side knob;
+    /// never observable in simulated state).
+    pub(crate) epoch_len: Cycles,
+    /// Host-side statistics for the sharded engine.
+    pub(crate) shard_stats: ShardStats,
+}
+
+/// Host-side statistics for the core-sharded epoch engine. These live
+/// outside [`Counters`] deliberately: they describe how the simulation
+/// was *executed* (epochs attempted, bailed, committed), not what the
+/// simulated machine did, so they must not leak into results files or
+/// chaos digests that are compared across `--machine-jobs` settings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Epochs whose speculative execution was committed.
+    pub committed: u64,
+    /// Epochs discarded because a worker hit a non-core-local effect.
+    pub bailed: u64,
+    /// Epochs discarded at commit time over a cross-core time tie
+    /// (equal-time survivors or wake samples); retried, not replayed.
+    pub ties: u64,
+    /// Epochs skipped because fewer than two cores had work staged.
+    pub too_few: u64,
+    /// Instructions executed inside committed epochs (parallel work).
+    pub insts_parallel: u64,
+    /// Events replayed serially (outside committed epochs).
+    pub serial_events: u64,
 }
 
 impl Machine {
@@ -488,6 +529,10 @@ impl Machine {
             invariant_report: InvariantReport::new(),
             exc_ledger: Ledger::default(),
             device_ledgers: Vec::new(),
+            machine_jobs: 1,
+            core_domains: vec![None; cfg.cores],
+            epoch_len: Cycles(64),
+            shard_stats: ShardStats::default(),
         }
     }
 
@@ -523,6 +568,51 @@ impl Machine {
     /// statistics alongside the machine's.
     pub fn counters_mut(&mut self) -> &mut Counters {
         &mut self.counters
+    }
+
+    /// Sets the number of host worker threads the core-sharded epoch
+    /// engine may use (see `shard.rs`). `0` or `1` selects the serial
+    /// engine. The simulated outcome is bit-identical for every value —
+    /// the epoch engine only commits speculation it can prove the serial
+    /// engine would reproduce — so this is purely a wall-clock knob.
+    pub fn set_machine_jobs(&mut self, jobs: usize) {
+        self.machine_jobs = jobs.max(1);
+    }
+
+    /// Worker threads the epoch engine may use (1 = serial).
+    #[must_use]
+    pub fn machine_jobs(&self) -> usize {
+        self.machine_jobs
+    }
+
+    /// Declares `[base, base + len)` as `core`'s private data window for
+    /// the epoch engine. Epoch workers may retire stores that land fully
+    /// inside their own core's window; anything else bails the epoch and
+    /// is replayed serially. Windows must be pairwise disjoint and inside
+    /// physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad core, an out-of-range window, or overlap with
+    /// another core's window.
+    pub fn set_core_domain(&mut self, core: usize, base: u64, len: u64) {
+        assert!(core < self.cfg.cores, "core {core} out of range");
+        let end = base.checked_add(len).expect("domain wraps");
+        assert!(end <= self.cfg.mem_bytes, "domain outside memory");
+        for (c, d) in self.core_domains.iter().enumerate() {
+            if let Some((b, l)) = *d {
+                if c != core {
+                    assert!(base >= b + l || b >= end, "domain overlaps core {c}");
+                }
+            }
+        }
+        self.core_domains[core] = Some((base, len));
+    }
+
+    /// Host-side statistics for the core-sharded epoch engine.
+    #[must_use]
+    pub fn shard_stats(&self) -> ShardStats {
+        self.shard_stats
     }
 
     /// Wake-to-first-dispatch latency histogram (cycles).
@@ -592,10 +682,15 @@ impl Machine {
     ///
     /// Panics if memory is exhausted.
     pub fn alloc(&mut self, len: u64) -> u64 {
-        let top = self.alloc_top.checked_sub(len).expect("simulated memory exhausted");
+        let top = self
+            .alloc_top
+            .checked_sub(len)
+            .expect("simulated memory exhausted");
         self.alloc_top = top & !63;
         assert!(
-            self.loaded.iter().all(|&(b, e)| self.alloc_top >= e || b >= self.alloc_top),
+            self.loaded
+                .iter()
+                .all(|&(b, e)| self.alloc_top >= e || b >= self.alloc_top),
             "allocator collided with a loaded image"
         );
         self.alloc_top
@@ -648,7 +743,11 @@ impl Machine {
         let tid = self.create_thread(core)?;
         let t = self.thread_mut(tid.ptid);
         t.arch.pc = pc;
-        t.arch.mode = if supervisor { Mode::Supervisor } else { Mode::User };
+        t.arch.mode = if supervisor {
+            Mode::Supervisor
+        } else {
+            Mode::User
+        };
         Ok(tid)
     }
 
@@ -849,7 +948,11 @@ impl Machine {
     /// Tags a thread's data traffic with a cache partition (§4
     /// fine-grain cache partitioning; see
     /// [`Machine::set_l3_partition`]).
-    pub fn set_thread_partition(&mut self, tid: ThreadId, part: switchless_mem::cache::PartitionId) {
+    pub fn set_thread_partition(
+        &mut self,
+        tid: ThreadId,
+        part: switchless_mem::cache::PartitionId,
+    ) {
         self.thread_mut(tid.ptid).partition = part;
     }
 
@@ -1011,8 +1114,11 @@ impl Machine {
         // must be completed, still in flight, or deliberately dropped.
         for (name, l) in &self.device_ledgers {
             if !l.balanced() {
-                self.invariant_report
-                    .record("device.ring", now, format!("{name}: {}", l.describe()));
+                self.invariant_report.record(
+                    "device.ring",
+                    now,
+                    format!("{name}: {}", l.describe()),
+                );
             }
         }
         for (i, t) in self.threads.iter().enumerate() {
@@ -1029,9 +1135,7 @@ impl Machine {
             }
             // A monitor armed on a disabled/halted thread is a watch that
             // can fire on a thread that must not wake.
-            if t.monitor_armed
-                && !matches!(t.state, ThreadState::Runnable | ThreadState::Waiting)
-            {
+            if t.monitor_armed && !matches!(t.state, ThreadState::Runnable | ThreadState::Waiting) {
                 self.invariant_report.record(
                     "thread.state",
                     now,
@@ -1186,7 +1290,10 @@ impl Machine {
             self.cores[new_core].sched.enqueue(ptid, prio);
             self.kick_core(new_core);
         }
-        Ok(ThreadId { core: new_core, ptid })
+        Ok(ThreadId {
+            core: new_core,
+            ptid,
+        })
     }
 
     /// Writes a TDT entry into simulated memory (host convenience; the
@@ -1206,10 +1313,26 @@ impl Machine {
     // -----------------------------------------------------------------
 
     /// Runs until simulated time `t` (or the machine halts).
+    ///
+    /// With [`Machine::set_machine_jobs`] above 1 (and the invariant
+    /// checker off — it wants to observe every event boundary), the
+    /// core-sharded epoch engine in `shard.rs` runs instead; it is
+    /// bit-identical to this serial loop by construction.
     pub fn run_until(&mut self, t: Cycles) {
+        if self.machine_jobs > 1 && !self.invariants_on {
+            self.run_until_sharded(t);
+        } else {
+            self.run_until_serial(t);
+        }
+    }
+
+    /// The serial event loop (the reference engine).
+    pub(crate) fn run_until_serial(&mut self, t: Cycles) {
         while self.halted.is_none() {
             // pop_due folds peek+pop into one heap traversal (hot loop).
-            let Some((ts, ev)) = self.events.pop_due(t) else { break };
+            let Some((ts, ev)) = self.events.pop_due(t) else {
+                break;
+            };
             if ts > self.now {
                 // Event-queue boundary: all work at `now` has settled.
                 if self.invariants_on {
@@ -1234,6 +1357,36 @@ impl Machine {
         }
     }
 
+    /// Pops and handles one event due at or before `pop_bound`, with
+    /// dispatch horizon `horizon` (the run deadline). Returns whether an
+    /// event was processed. Serial-replay primitive for the epoch engine;
+    /// body identical to one `run_until_serial` iteration.
+    pub(crate) fn step_one(&mut self, pop_bound: Cycles, horizon: Cycles) -> bool {
+        if self.halted.is_some() {
+            return false;
+        }
+        let Some((ts, ev)) = self.events.pop_due(pop_bound) else {
+            return false;
+        };
+        if ts > self.now {
+            if self.invariants_on {
+                self.check_invariants();
+            }
+            self.now = ts;
+        }
+        match ev {
+            Ev::SlotFree { core, slot } => {
+                self.dispatch(core as usize, slot as usize, horizon, None);
+            }
+            Ev::Call(key) => {
+                if let Some(cb) = self.callbacks.remove(&key) {
+                    cb(self);
+                }
+            }
+        }
+        true
+    }
+
     /// Runs for `d` more cycles.
     pub fn run_for(&mut self, d: Cycles) {
         self.run_until(self.now + d);
@@ -1248,7 +1401,9 @@ impl Machine {
             if self.thread_state(tid) == state {
                 return true;
             }
-            let Some((ts, ev)) = self.events.pop_due(deadline) else { break };
+            let Some((ts, ev)) = self.events.pop_due(deadline) else {
+                break;
+            };
             if ts > self.now {
                 if self.invariants_on {
                     self.check_invariants();
@@ -1403,8 +1558,9 @@ impl Machine {
         };
         self.disable_thread(ptid, ThreadState::Disabled);
         self.thread_mut(ptid).disabled_at = Some(self.now);
-        self.trace
-            .record_with(self.now, "fault", || format!("{ptid} {kind} info={info:#x}"));
+        self.trace.record_with(self.now, "fault", || {
+            format!("{ptid} {kind} info={info:#x}")
+        });
         if edp == 0 || edp + crate::exception::DESCRIPTOR_BYTES > self.cfg.mem_bytes {
             self.exc_ledger.dropped += 1;
             self.halted = Some(format!(
@@ -1522,7 +1678,8 @@ impl Machine {
         let tlb_cost = self.tlbs[core].access(0, addr / switchless_mem::addr::PAGE_BYTES);
         let part = self.threads[ptid.0 as usize].partition;
         let res = self.hier.access(self.now, core, PAddr(addr), kind, part);
-        self.prefetcher.record_access(WatchId(u64::from(ptid.0)), PAddr(addr));
+        self.prefetcher
+            .record_access(WatchId(u64::from(ptid.0)), PAddr(addr));
         Ok(tlb_cost + res.latency)
     }
 
@@ -1756,7 +1913,9 @@ impl Machine {
         // equal to per-instruction accounting.
         self.cores[core].sched.account(ptid, cost);
         if extra > 0 {
-            self.cores[core].sched.account_burst(ptid, burst_cost, extra);
+            self.cores[core]
+                .sched
+                .account_burst(ptid, burst_cost, extra);
             self.counters.bump(self.hot.sched_dispatches, extra);
         }
         {
@@ -2019,29 +2178,27 @@ impl Machine {
                     }
                 }
             }
-            VmCall { num } => {
-                match self.cfg.trap {
-                    TrapMode::SameThread { vmexit_cost, .. } => {
-                        cost += vmexit_cost;
-                        if self.vm_vector == 0 {
-                            self.raise_exception(ptid, ExceptionKind::VmExit, u64::from(num));
-                            return cost;
-                        }
-                        let t = self.thread_mut(ptid);
-                        t.arch.gprs[14] = pc + 8;
-                        t.arch.gprs[11] = u64::from(num);
-                        t.arch.mode = Mode::Supervisor;
-                        next_pc = self.vm_vector;
-                        self.counters.inc("vmexit.same_thread");
-                    }
-                    TrapMode::Descriptor => {
-                        self.thread_mut(ptid).arch.pc = pc + 8;
+            VmCall { num } => match self.cfg.trap {
+                TrapMode::SameThread { vmexit_cost, .. } => {
+                    cost += vmexit_cost;
+                    if self.vm_vector == 0 {
                         self.raise_exception(ptid, ExceptionKind::VmExit, u64::from(num));
-                        self.counters.inc("vmexit.descriptor");
                         return cost;
                     }
+                    let t = self.thread_mut(ptid);
+                    t.arch.gprs[14] = pc + 8;
+                    t.arch.gprs[11] = u64::from(num);
+                    t.arch.mode = Mode::Supervisor;
+                    next_pc = self.vm_vector;
+                    self.counters.inc("vmexit.same_thread");
                 }
-            }
+                TrapMode::Descriptor => {
+                    self.thread_mut(ptid).arch.pc = pc + 8;
+                    self.raise_exception(ptid, ExceptionKind::VmExit, u64::from(num));
+                    self.counters.inc("vmexit.descriptor");
+                    return cost;
+                }
+            },
             HCall { num } => {
                 self.thread_mut(ptid).arch.pc = next_pc;
                 if let Some(mut h) = self.hcalls.remove(&num) {
@@ -2234,7 +2391,10 @@ impl Machine {
         if target.0 as usize >= self.threads.len() {
             return Err(ExceptionKind::PermissionDenied);
         }
-        if !self.threads[target.0 as usize].state.is_register_accessible() {
+        if !self.threads[target.0 as usize]
+            .state
+            .is_register_accessible()
+        {
             return Err(ExceptionKind::ThreadNotStopped);
         }
         // Remote state may be parked in a lower tier: accessing it costs

@@ -146,9 +146,7 @@ mod tests {
         c.install(0, Vtid(0), TdtEntry::new(Ptid(0), Perms::NONE));
         c.install(0, Vtid(1), TdtEntry::new(Ptid(1), Perms::NONE));
         c.install(0, Vtid(2), TdtEntry::new(Ptid(2), Perms::NONE));
-        let resident = (0..3)
-            .filter(|&i| c.lookup(0, Vtid(i)).is_some())
-            .count();
+        let resident = (0..3).filter(|&i| c.lookup(0, Vtid(i)).is_some()).count();
         assert_eq!(resident, 2);
     }
 }

@@ -43,8 +43,10 @@ fn worker_src(base: u64, mb: u64) -> String {
 fn watchdog_fires_on_wedged_mwait() {
     let mut m = small();
     let mb = m.alloc(64);
-    let prog =
-        assemble(&format!(".base 0x10000\nentry:\n monitor {mb}\n mwait\n halt\n")).unwrap();
+    let prog = assemble(&format!(
+        ".base 0x10000\nentry:\n monitor {mb}\n mwait\n halt\n"
+    ))
+    .unwrap();
     let tid = m.load_program(0, &prog).unwrap();
     let edp = m.alloc(32);
     m.set_thread_edp(tid, edp);
@@ -64,7 +66,9 @@ fn watchdog_fires_on_wedged_mwait() {
 fn watchdog_quiet_while_fed_then_catches_wedge() {
     let mut m = small();
     let mb = m.alloc(64);
-    let tid = m.load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap()).unwrap();
+    let tid = m
+        .load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap())
+        .unwrap();
     let edp = m.alloc(32);
     m.set_thread_edp(tid, edp);
     m.set_thread_watchdog(tid, Some(Cycles(50_000)));
@@ -74,7 +78,11 @@ fn watchdog_quiet_while_fed_then_catches_wedge() {
         m.poke_u64(mb, i);
         m.run_for(Cycles(5_000));
     }
-    assert_eq!(m.counters().get("watchdog.fired"), 0, "fed worker is healthy");
+    assert_eq!(
+        m.counters().get("watchdog.fired"),
+        0,
+        "fed worker is healthy"
+    );
     assert_eq!(m.thread_state(tid), ThreadState::Waiting);
     // Stop feeding: the last park must expire exactly once.
     m.run_for(Cycles(200_000));
@@ -181,7 +189,9 @@ fn restart_thread_resumes_from_entry() {
 fn quarantine_blocks_wakes_until_restart() {
     let mut m = small();
     let mb = m.alloc(64);
-    let tid = m.load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap()).unwrap();
+    let tid = m
+        .load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap())
+        .unwrap();
     m.start_thread(tid);
     m.run_for(Cycles(5_000));
     assert_eq!(m.thread_state(tid), ThreadState::Waiting);

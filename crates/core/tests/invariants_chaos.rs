@@ -67,7 +67,9 @@ fn invariants_clean_on_healthy_park_wake() {
     let mut m = small();
     m.enable_invariants(true);
     let mb = m.alloc(64);
-    let tid = m.load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap()).unwrap();
+    let tid = m
+        .load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap())
+        .unwrap();
     m.start_thread(tid);
     m.run_for(Cycles(2_000));
     for i in 1..=5u64 {
@@ -117,7 +119,9 @@ fn registered_invariant_violation_is_recorded() {
         let n = m.counters().get("inst.executed");
         (n >= 10).then(|| format!("{n} instructions executed"))
     });
-    let tid = m.load_program(0, &assemble(&spinner_src(0x10000)).unwrap()).unwrap();
+    let tid = m
+        .load_program(0, &assemble(&spinner_src(0x10000)).unwrap())
+        .unwrap();
     m.start_thread(tid);
     m.run_for(Cycles(5_000));
     m.check_invariants();
@@ -135,7 +139,9 @@ fn registered_invariant_violation_is_recorded() {
 fn invariants_off_by_default() {
     let mut m = small();
     let mb = m.alloc(64);
-    let tid = m.load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap()).unwrap();
+    let tid = m
+        .load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap())
+        .unwrap();
     m.start_thread(tid);
     m.run_for(Cycles(10_000));
     assert_eq!(m.invariant_report().checks(), 0);
@@ -153,7 +159,9 @@ fn fault_event_mid_burst_bounds_the_burst() {
     const T: u64 = 40_000;
     let observe = |dense_single_step: bool| -> (u64, u64, u64) {
         let mut m = small();
-        let tid = m.load_program(0, &assemble(&spinner_src(0x10000)).unwrap()).unwrap();
+        let tid = m
+            .load_program(0, &assemble(&spinner_src(0x10000)).unwrap())
+            .unwrap();
         m.start_thread(tid);
         if dense_single_step {
             // Reference machine: an event due every cycle keeps the
@@ -165,8 +173,11 @@ fn fault_event_mid_burst_bounds_the_burst() {
         let seen = Rc::new(RefCell::new((0u64, 0u64, 0u64)));
         let rec = Rc::clone(&seen);
         m.at(Cycles(T), move |mach| {
-            *rec.borrow_mut() =
-                (mach.now().0, mach.counters().get("inst.executed"), mach.thread_reg(tid, 1));
+            *rec.borrow_mut() = (
+                mach.now().0,
+                mach.counters().get("inst.executed"),
+                mach.thread_reg(tid, 1),
+            );
         });
         m.run_until(Cycles(T + 1_000));
         let got = *seen.borrow();
@@ -174,8 +185,14 @@ fn fault_event_mid_burst_bounds_the_burst() {
     };
     let burst = observe(false);
     let stepped = observe(true);
-    assert_eq!(burst.0, T, "callback ran at its scheduled cycle, not a burst boundary");
-    assert_eq!(burst, stepped, "mid-burst state identical to single-stepped reference");
+    assert_eq!(
+        burst.0, T,
+        "callback ran at its scheduled cycle, not a burst boundary"
+    );
+    assert_eq!(
+        burst, stepped,
+        "mid-burst state identical to single-stepped reference"
+    );
     assert!(burst.1 > 1_000, "spinner actually executed a long stretch");
 }
 
@@ -189,17 +206,27 @@ fn watchdog_fires_exactly_at_deadline_cycle() {
     let mut m = small();
     let mb = m.alloc(64);
     let edp = m.alloc(32);
-    let tid = m.load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap()).unwrap();
+    let tid = m
+        .load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap())
+        .unwrap();
     m.set_thread_edp(tid, edp);
     m.set_thread_watchdog(tid, Some(Cycles(W)));
     m.start_thread(tid);
     assert!(m.run_until_state(tid, ThreadState::Waiting, Cycles(100_000)));
     let parked = m.now().0; // the watchdog epoch is armed at the park cycle
     m.run_until(Cycles(parked + W - 1));
-    assert_eq!(m.thread_state(tid), ThreadState::Waiting, "one cycle early: untouched");
+    assert_eq!(
+        m.thread_state(tid),
+        ThreadState::Waiting,
+        "one cycle early: untouched"
+    );
     assert_eq!(m.counters().get("watchdog.fired"), 0);
     m.run_until(Cycles(parked + W));
-    assert_eq!(m.thread_state(tid), ThreadState::Disabled, "fires exactly at deadline");
+    assert_eq!(
+        m.thread_state(tid),
+        ThreadState::Disabled,
+        "fires exactly at deadline"
+    );
     assert_eq!(m.counters().get("watchdog.fired"), 1);
     assert_eq!(m.peek_u64(edp), ExceptionKind::WatchdogExpired.code());
     assert_eq!(m.thread_fault_time(tid), Some(Cycles(parked + W)));
@@ -215,7 +242,9 @@ fn wake_on_deadline_cycle_loses_to_watchdog() {
     let mut m = small();
     let mb = m.alloc(64);
     let edp = m.alloc(32);
-    let tid = m.load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap()).unwrap();
+    let tid = m
+        .load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap())
+        .unwrap();
     m.set_thread_edp(tid, edp);
     m.set_thread_watchdog(tid, Some(Cycles(W)));
     m.start_thread(tid);
@@ -227,7 +256,11 @@ fn wake_on_deadline_cycle_loses_to_watchdog() {
     });
     m.run_until(Cycles(deadline + 50_000));
     assert_eq!(m.counters().get("watchdog.fired"), 1);
-    assert_eq!(m.thread_state(tid), ThreadState::Disabled, "late wake cannot resurrect");
+    assert_eq!(
+        m.thread_state(tid),
+        ThreadState::Disabled,
+        "late wake cannot resurrect"
+    );
     assert_eq!(m.peek_u64(edp), ExceptionKind::WatchdogExpired.code());
 }
 
@@ -238,7 +271,9 @@ fn wake_one_cycle_before_deadline_saves_the_thread() {
     const W: u64 = 10_000;
     let mut m = small();
     let mb = m.alloc(64);
-    let tid = m.load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap()).unwrap();
+    let tid = m
+        .load_program(0, &assemble(&worker_src(0x10000, mb)).unwrap())
+        .unwrap();
     m.set_thread_watchdog(tid, Some(Cycles(W)));
     m.start_thread(tid);
     assert!(m.run_until_state(tid, ThreadState::Waiting, Cycles(100_000)));
@@ -249,6 +284,14 @@ fn wake_one_cycle_before_deadline_saves_the_thread() {
     // Run just past the stale timer — but well short of the fresh deadline
     // armed by the re-park, which would (correctly) fire if left wedged.
     m.run_until(Cycles(deadline + W / 2));
-    assert_eq!(m.counters().get("watchdog.fired"), 0, "stale epoch timer is inert");
-    assert_eq!(m.thread_state(tid), ThreadState::Waiting, "served and re-parked");
+    assert_eq!(
+        m.counters().get("watchdog.fired"),
+        0,
+        "stale epoch timer is inert"
+    );
+    assert_eq!(
+        m.thread_state(tid),
+        ThreadState::Waiting,
+        "served and re-parked"
+    );
 }

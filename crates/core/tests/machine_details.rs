@@ -43,8 +43,12 @@ fn vector_state_threads_pay_bigger_transfers() {
         let mut m = Machine::new(cfg);
         let mb_a = m.alloc(64);
         let mb_b = m.alloc(64);
-        let a = m.load_program(0, &assemble(&worker_src(0x10000, mb_a)).unwrap()).unwrap();
-        let b = m.load_program(0, &assemble(&worker_src(0x20000, mb_b)).unwrap()).unwrap();
+        let a = m
+            .load_program(0, &assemble(&worker_src(0x10000, mb_a)).unwrap())
+            .unwrap();
+        let b = m
+            .load_program(0, &assemble(&worker_src(0x20000, mb_b)).unwrap())
+            .unwrap();
         m.set_thread_vector_state(a, vector);
         m.set_thread_vector_state(b, vector);
         m.start_thread(a);
@@ -82,8 +86,12 @@ fn dirty_tracking_shrinks_vector_transfer_back_down() {
         let mut m = Machine::new(cfg);
         let mb_a = m.alloc(64);
         let mb_b = m.alloc(64);
-        let a = m.load_program(0, &assemble(&worker_src(0x10000, mb_a)).unwrap()).unwrap();
-        let b = m.load_program(0, &assemble(&worker_src(0x20000, mb_b)).unwrap()).unwrap();
+        let a = m
+            .load_program(0, &assemble(&worker_src(0x10000, mb_a)).unwrap())
+            .unwrap();
+        let b = m
+            .load_program(0, &assemble(&worker_src(0x20000, mb_b)).unwrap())
+            .unwrap();
         m.set_thread_vector_state(a, vector);
         m.set_thread_vector_state(b, vector);
         m.start_thread(a);
@@ -242,7 +250,11 @@ fn work_bursts_do_not_monopolize_a_slot_pair() {
         m.run_until_state(tn, ThreadState::Halted, Cycles(20_000)),
         "nimble thread should finish on the second slot long before the burst ends"
     );
-    assert_eq!(m.thread_state(tb), ThreadState::Runnable, "burst still going");
+    assert_eq!(
+        m.thread_state(tb),
+        ThreadState::Runnable,
+        "burst still going"
+    );
 }
 
 #[test]
@@ -315,7 +327,11 @@ fn byte_loads_and_stores_work() {
     m.start_thread(tid);
     assert!(m.run_until_state(tid, ThreadState::Halted, Cycles(100_000)));
     assert_eq!(m.thread_reg(tid, 1), 0xa0);
-    assert_eq!(m.peek_u64(buf + 56) >> 56, 0xa0, "checksum byte landed at offset 63");
+    assert_eq!(
+        m.peek_u64(buf + 56) >> 56,
+        0xa0,
+        "checksum byte landed at offset 63"
+    );
 }
 
 #[test]
@@ -335,8 +351,16 @@ fn byte_store_wakes_monitor() {
     let tp = m.load_program(0, &poker).unwrap();
     m.start_thread(tp);
     m.run_for(Cycles(50_000));
-    assert_eq!(m.thread_reg(tid, 1), 5, "woken by the byte store and served it");
-    assert_eq!(m.thread_state(tid), ThreadState::Waiting, "re-parked after serving");
+    assert_eq!(
+        m.thread_reg(tid, 1),
+        5,
+        "woken by the byte store and served it"
+    );
+    assert_eq!(
+        m.thread_state(tid),
+        ThreadState::Waiting,
+        "re-parked after serving"
+    );
     assert_eq!(m.counters().get("monitor.wakes"), 1);
 }
 
@@ -344,10 +368,7 @@ fn byte_store_wakes_monitor() {
 fn byte_access_out_of_bounds_faults() {
     let mut m = small();
     let edp = m.alloc(32);
-    let prog = assemble(
-        "entry:\n movi r3, 0x3fffff8\n ldb r1, r3, 100\n halt\n",
-    )
-    .unwrap();
+    let prog = assemble("entry:\n movi r3, 0x3fffff8\n ldb r1, r3, 100\n halt\n").unwrap();
     let tid = m.load_program(0, &prog).unwrap();
     m.set_thread_edp(tid, edp);
     m.start_thread(tid);

@@ -216,7 +216,11 @@ fn user_mode_start_without_permission_faults() {
     m.start_thread(t_start);
     run(&mut m, 100_000);
     assert_eq!(m.thread_state(t_start), ThreadState::Disabled);
-    assert_eq!(m.thread_state(t_tgt), ThreadState::Disabled, "target must not start");
+    assert_eq!(
+        m.thread_state(t_tgt),
+        ThreadState::Disabled,
+        "target must not start"
+    );
     assert_eq!(m.thread_reg(t_start, 9), 0);
     let desc = Descriptor::decode([
         m.peek_u64(edp),
@@ -447,9 +451,8 @@ fn div_zero_writes_descriptor_and_wakes_handler() {
         "#,
     )
     .unwrap();
-    let handler = assemble(
-        &format!(
-            r#"
+    let handler = assemble(&format!(
+        r#"
         .base 0x20000
         entry:
             monitor {edp}
@@ -458,10 +461,9 @@ fn div_zero_writes_descriptor_and_wakes_handler() {
             ld r2, {edp_pc}     ; faulting pc
             halt
         "#,
-            edp = edp,
-            edp_pc = edp + 16,
-        ),
-    )
+        edp = edp,
+        edp_pc = edp + 16,
+    ))
     .unwrap();
     let f = m.load_program(0, &faulter).unwrap();
     let h = m.load_program(0, &handler).unwrap();
@@ -514,9 +516,8 @@ fn consecutive_exceptions_chain_through_handlers() {
         "#,
     )
     .unwrap();
-    let b = assemble(
-        &format!(
-            r#"
+    let b = assemble(&format!(
+        r#"
         .base 0x20000
         entry:
             monitor {edp_a}
@@ -525,12 +526,10 @@ fn consecutive_exceptions_chain_through_handlers() {
             div r1, r1, r2    ; handler faults too (§3.2's example)
             halt
         "#
-        ),
-    )
+    ))
     .unwrap();
-    let c = assemble(
-        &format!(
-            r#"
+    let c = assemble(&format!(
+        r#"
         .base 0x30000
         entry:
             monitor {edp_b}
@@ -538,8 +537,7 @@ fn consecutive_exceptions_chain_through_handlers() {
             ld r1, {edp_b}
             halt
         "#
-        ),
-    )
+    ))
     .unwrap();
     let ta = m.load_program(0, &a).unwrap();
     let tb = m.load_program(0, &b).unwrap();
@@ -551,7 +549,10 @@ fn consecutive_exceptions_chain_through_handlers() {
     run(&mut m, 5_000);
     m.start_thread(ta);
     run(&mut m, 200_000);
-    assert!(m.halted_reason().is_none(), "chain ends at C, no machine halt");
+    assert!(
+        m.halted_reason().is_none(),
+        "chain ends at C, no machine halt"
+    );
     assert_eq!(m.thread_state(tc), ThreadState::Halted);
     assert_eq!(m.thread_reg(tc, 1), ExceptionKind::DivZero.code());
     assert_eq!(m.counters().get("exception.div_zero"), 2);
@@ -585,7 +586,13 @@ fn syscall_descriptor_mode_disables_and_delivers() {
     assert_eq!(d.kind, ExceptionKind::SyscallTrap);
     assert_eq!(d.info, 7);
     // The saved pc points past the syscall: restarting resumes after it.
-    assert_eq!(m.thread_pc(ThreadId { core: 0, ptid: tid.ptid }), 0x10000 + 8);
+    assert_eq!(
+        m.thread_pc(ThreadId {
+            core: 0,
+            ptid: tid.ptid
+        }),
+        0x10000 + 8
+    );
     m.start_thread(tid);
     run(&mut m, 10_000);
     assert_eq!(m.thread_state(tid), ThreadState::Halted);

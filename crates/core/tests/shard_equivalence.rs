@@ -1,0 +1,329 @@
+//! Cross-engine equivalence: the core-sharded epoch engine
+//! (`--machine-jobs N`) must be **bit-identical** to the serial engine —
+//! same memory, same architectural state, same counters, same cache and
+//! wake statistics, same `now` — for any job count, on workloads that
+//! commit epochs, bail out of them, and fall back to serial replay.
+
+use std::fmt::Write as _;
+
+use switchless_core::machine::{Machine, MachineConfig};
+use switchless_core::ThreadId;
+use switchless_isa::asm::assemble;
+use switchless_sim::time::Cycles;
+
+/// Folds every observable surface of a machine into one string: thread
+/// architectural state, billed cycles, wake statistics, all nonzero
+/// counters, cache/TLB-visible statistics, the wake-latency histogram
+/// (bucket-exact), and an FNV fold of the memory spans of interest.
+/// Two machines with equal fingerprints are observably identical.
+fn fingerprint(m: &Machine, tids: &[ThreadId], spans: &[(u64, u64)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "now={:?} halted={:?}", m.now(), m.halted_reason());
+    for (name, v) in m.counters().iter() {
+        let _ = writeln!(s, "ctr {name}={v}");
+    }
+    for (i, &tid) in tids.iter().enumerate() {
+        let regs: Vec<u64> = (0..16).map(|r| m.thread_reg(tid, r)).collect();
+        let _ = writeln!(
+            s,
+            "t{i} state={:?} pc={:#x} billed={} wake={:?} regs={regs:?}",
+            m.thread_state(tid),
+            m.thread_pc(tid),
+            m.billed_cycles(tid).0,
+            m.thread_wake_stats(tid),
+        );
+    }
+    let cores = m.config().cores;
+    for c in 0..cores {
+        let _ = writeln!(s, "store{c}={:?}", m.store_stats(c));
+    }
+    let _ = writeln!(
+        s,
+        "cache={:?} wb={:?}",
+        m.cache_stats(),
+        m.cache_writebacks()
+    );
+    let _ = writeln!(s, "hist={:?}", m.wake_latency());
+    let _ = writeln!(s, "last_wake={:?}", m.last_wake_latency());
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(base, len) in spans {
+        let mut a = base;
+        while a + 8 <= base + len {
+            h = (h ^ m.peek_u64(a)).wrapping_mul(0x0000_0100_0000_01b3);
+            a += 8;
+        }
+    }
+    let _ = writeln!(s, "mem={h:#x}");
+    s
+}
+
+/// Per-core compute loops over disjoint memory domains, deliberately
+/// staggered (different strides, work amounts and loop lengths) so the
+/// cores' event streams do not stay phase-locked.
+fn build_compute(cores: usize, jobs: usize) -> (Machine, Vec<ThreadId>, Vec<(u64, u64)>) {
+    let mut cfg = MachineConfig::small();
+    cfg.cores = cores;
+    let mut m = Machine::new(cfg);
+    m.set_machine_jobs(jobs);
+    let mut tids = Vec::new();
+    let mut spans = Vec::new();
+    for c in 0..cores {
+        let buf = m.alloc(4096);
+        let prog = assemble(&format!(
+            r#"
+            .base {base:#x}
+            entry:
+                movi r3, {buf}
+                movi r4, {end}
+                movi r6, 0
+            pass:
+                ld r2, r3, 0
+                addi r2, r2, {inc}
+                st r2, r3, 0
+                work {wk}
+                addi r3, r3, {stride}
+                addi r6, r6, 1
+                blt r3, r4, pass
+                movi r3, {buf}
+                jmp pass
+            "#,
+            base = 0x10000 + (c as u64) * 0x4000,
+            buf = buf,
+            end = buf + 4096,
+            inc = c + 1,
+            wk = 7 + 6 * c,
+            stride = 8 * (c as u64 + 1),
+        ))
+        .expect("compute program");
+        let tid = m.load_program(c, &prog).expect("load");
+        m.set_core_domain(c, buf, 4096);
+        m.start_thread(tid);
+        tids.push(tid);
+        spans.push((buf, 4096));
+    }
+    (m, tids, spans)
+}
+
+/// Runs a machine to `t` in uneven increments (exercises epoch retries,
+/// the serial floor, and the `now = t` tail on every segment boundary).
+fn run_chunked(m: &mut Machine, t: u64) {
+    let cuts = [t / 3, t / 3 + 1, 2 * t / 3, t];
+    for &c in &cuts {
+        m.run_until(Cycles(c));
+    }
+}
+
+#[test]
+fn sharded_matches_serial_on_domain_compute() {
+    let t = 300_000;
+    let (mut serial, tids_s, spans) = build_compute(4, 1);
+    run_chunked(&mut serial, t);
+    let want = fingerprint(&serial, &tids_s, &spans);
+
+    for jobs in [2, 4] {
+        let (mut par, tids_p, spans_p) = build_compute(4, jobs);
+        run_chunked(&mut par, t);
+        let got = fingerprint(&par, &tids_p, &spans_p);
+        assert_eq!(want, got, "machine-jobs {jobs} diverged from serial");
+        let st = par.shard_stats();
+        assert!(
+            st.committed > 0 && st.insts_parallel > 1_000,
+            "expected real parallel epochs, got {st:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_is_deterministic_across_runs() {
+    let t = 150_000;
+    let (mut a, tids_a, spans_a) = build_compute(4, 4);
+    run_chunked(&mut a, t);
+    let (mut b, tids_b, spans_b) = build_compute(4, 4);
+    run_chunked(&mut b, t);
+    assert_eq!(
+        fingerprint(&a, &tids_a, &spans_a),
+        fingerprint(&b, &tids_b, &spans_b),
+    );
+    assert_eq!(
+        a.shard_stats(),
+        b.shard_stats(),
+        "epoch schedule must be deterministic"
+    );
+}
+
+/// Monitor/mwait wake traffic driven by host callbacks: callbacks
+/// truncate every epoch window, wakes produce cross-record effects
+/// (histogram samples, `last_wake`), and threads repeatedly park —
+/// the engine must interleave serial replay with epochs and still match.
+fn build_wakers(jobs: usize) -> (Machine, Vec<ThreadId>, Vec<(u64, u64)>) {
+    let mut cfg = MachineConfig::small();
+    cfg.cores = 2;
+    let mut m = Machine::new(cfg);
+    m.set_machine_jobs(jobs);
+    let mut tids = Vec::new();
+    let mut spans = Vec::new();
+    for c in 0..2usize {
+        let word = m.alloc(64);
+        let prog = assemble(&format!(
+            r#"
+            .base {base:#x}
+            entry:
+                movi r3, {word}
+            loop:
+                monitor r3
+                mwait
+                ld r2, r3, 0
+                addi r5, r5, 1
+                work {wk}
+                jmp loop
+            "#,
+            base = 0x20000 + (c as u64) * 0x4000,
+            word = word,
+            wk = 11 + 8 * c,
+        ))
+        .expect("waker program");
+        let tid = m.load_program(c, &prog).expect("load");
+        m.start_thread(tid);
+        tids.push(tid);
+        spans.push((word, 64));
+        for i in 0..40u64 {
+            let at = Cycles(2_000 + i * 1_700 + (c as u64) * 531);
+            let v = i + 1;
+            m.at(at, move |mach| {
+                mach.poke_u64(word, v);
+            });
+        }
+    }
+    (m, tids, spans)
+}
+
+#[test]
+fn sharded_matches_serial_under_wake_traffic() {
+    let t = 120_000;
+    let (mut serial, tids_s, spans) = build_wakers(1);
+    serial.run_until(Cycles(t));
+    let want = fingerprint(&serial, &tids_s, &spans);
+
+    let (mut par, tids_p, spans_p) = build_wakers(4);
+    par.run_until(Cycles(t));
+    let got = fingerprint(&par, &tids_p, &spans_p);
+    assert_eq!(want, got, "wake-heavy workload diverged under machine-jobs");
+}
+
+/// Without registered domains every store leaves the shard, so epochs
+/// containing stores bail and replay serially — slower, never wrong.
+#[test]
+fn sharded_matches_serial_without_domains() {
+    let t = 60_000;
+    let build = |jobs: usize| {
+        let mut cfg = MachineConfig::small();
+        cfg.cores = 2;
+        let mut m = Machine::new(cfg);
+        m.set_machine_jobs(jobs);
+        let mut tids = Vec::new();
+        let mut spans = Vec::new();
+        for c in 0..2usize {
+            let buf = m.alloc(1024);
+            let prog = assemble(&format!(
+                r#"
+                .base {base:#x}
+                entry:
+                    movi r3, {buf}
+                    movi r2, 0
+                loop:
+                    addi r2, r2, {inc}
+                    st r2, r3, 0
+                    work {wk}
+                    jmp loop
+                "#,
+                base = 0x30000 + (c as u64) * 0x4000,
+                buf = buf,
+                inc = c + 1,
+                wk = 9 + 5 * c,
+            ))
+            .expect("store program");
+            let tid = m.load_program(c, &prog).expect("load");
+            m.start_thread(tid);
+            tids.push(tid);
+            spans.push((buf, 1024));
+        }
+        (m, tids, spans)
+    };
+    let (mut serial, tids_s, spans) = build(1);
+    serial.run_until(Cycles(t));
+    let (mut par, tids_p, spans_p) = build(4);
+    par.run_until(Cycles(t));
+    assert_eq!(
+        fingerprint(&serial, &tids_s, &spans),
+        fingerprint(&par, &tids_p, &spans_p),
+    );
+    assert!(
+        par.shard_stats().bailed > 0,
+        "undomained stores should be bailing epochs: {:?}",
+        par.shard_stats()
+    );
+}
+
+/// Two enrolled threads per core: bursts are ineligible (no sole
+/// runnable), so workers replay per-event scheduler rotation.
+#[test]
+fn sharded_matches_serial_with_scheduler_rotation() {
+    let t = 80_000;
+    let build = |jobs: usize| {
+        let mut cfg = MachineConfig::small();
+        cfg.cores = 2;
+        let mut m = Machine::new(cfg);
+        m.set_machine_jobs(jobs);
+        let mut tids = Vec::new();
+        let mut spans = Vec::new();
+        for c in 0..2usize {
+            let buf = m.alloc(2048);
+            m.set_core_domain(c, buf, 2048);
+            spans.push((buf, 2048));
+            for k in 0..2u64 {
+                let prog = assemble(&format!(
+                    r#"
+                    .base {base:#x}
+                    entry:
+                        movi r3, {slot}
+                        movi r2, 0
+                    loop:
+                        addi r2, r2, 1
+                        st r2, r3, 0
+                        work {wk}
+                        jmp loop
+                    "#,
+                    base = 0x40000 + (c as u64) * 0x8000 + k * 0x4000,
+                    slot = buf + k * 512,
+                    wk = 5 + 3 * (c as u64) + 2 * k,
+                ))
+                .expect("pair program");
+                let tid = m.load_program(c, &prog).expect("load");
+                m.start_thread(tid);
+                tids.push(tid);
+            }
+        }
+        (m, tids, spans)
+    };
+    let (mut serial, tids_s, spans) = build(1);
+    run_chunked(&mut serial, t);
+    let (mut par, tids_p, spans_p) = build(3);
+    run_chunked(&mut par, t);
+    assert_eq!(
+        fingerprint(&serial, &tids_s, &spans),
+        fingerprint(&par, &tids_p, &spans_p),
+    );
+}
+
+#[test]
+fn machine_jobs_one_is_the_serial_engine() {
+    let (mut m, tids, spans) = build_compute(4, 1);
+    m.run_until(Cycles(50_000));
+    let st = m.shard_stats();
+    assert_eq!(
+        (st.committed, st.bailed, st.too_few, st.serial_events),
+        (0, 0, 0, 0)
+    );
+    // And produces work: the fingerprint is non-trivial.
+    assert!(fingerprint(&m, &tids, &spans).contains("ctr "));
+}

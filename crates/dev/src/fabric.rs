@@ -117,7 +117,9 @@ mod tests {
                 .with_rate(FaultKind::FabricReorder, 1.0)
                 .with_delay(FaultKind::FabricReorder, Cycles(20_000), Cycles(20_000)),
         );
-        let f = Fabric { one_way: Cycles(1_000) };
+        let f = Fabric {
+            one_way: Cycles(1_000),
+        };
         let resp = m.alloc(8);
         f.rpc(&mut m, Cycles(0), Cycles(500), resp, 42);
         m.run_for(Cycles(10_000));

@@ -116,8 +116,7 @@ mod tests {
     fn lost_interrupt_skips_routed_write() {
         let mut m = Machine::new(MachineConfig::small());
         m.install_fault_plan(
-            switchless_sim::fault::FaultPlan::new(10)
-                .with_rate(FaultKind::MsixLostInterrupt, 1.0),
+            switchless_sim::fault::FaultPlan::new(10).with_rate(FaultKind::MsixLostInterrupt, 1.0),
         );
         let addr = m.alloc(8);
         let mut bridge = MsixBridge::new();
@@ -138,10 +137,7 @@ mod tests {
         let addr = m.alloc(8);
         let mut bridge = MsixBridge::new();
         bridge.route(7, addr);
-        let prog = assemble(&format!(
-            "entry:\n monitor {addr}\n mwait\n halt\n"
-        ))
-        .unwrap();
+        let prog = assemble(&format!("entry:\n monitor {addr}\n mwait\n halt\n")).unwrap();
         let tid = m.load_program(0, &prog).unwrap();
         m.start_thread(tid);
         m.run_for(Cycles(2000));

@@ -295,7 +295,11 @@ mod tests {
                 nic.schedule_rx(&mut m, Cycles(500 * seq), seq, &[seq as u8; 32]);
             }
             m.run_for(Cycles(100_000));
-            (nic.tail(&m), m.counters().get("nic.rx.packets"), m.peek_u64(nic.buf_addr(7)))
+            (
+                nic.tail(&m),
+                m.counters().get("nic.rx.packets"),
+                m.peek_u64(nic.buf_addr(7)),
+            )
         };
         assert_eq!(run(false), run(true));
     }
@@ -303,7 +307,13 @@ mod tests {
     #[test]
     fn bad_config_is_a_structured_error() {
         let mut m = Machine::new(MachineConfig::small());
-        let err = Nic::try_attach(&mut m, NicConfig { rx_slots: 3, ..NicConfig::default() });
+        let err = Nic::try_attach(
+            &mut m,
+            NicConfig {
+                rx_slots: 3,
+                ..NicConfig::default()
+            },
+        );
         assert!(err.is_err());
         let msg = err.err().map(|e| e.to_string()).unwrap_or_default();
         assert!(msg.contains("rx_slots 3"), "{msg}");
@@ -512,7 +522,11 @@ mod tx_tests {
         assert_eq!(tx.done(&m), 1);
         // Billed cycles are setup costs (cold caches), not busy-waiting:
         // well under send setup + wire latency.
-        assert!(m.billed_cycles(tid).0 < 2_000, "driver burned {} cycles", m.billed_cycles(tid).0);
+        assert!(
+            m.billed_cycles(tid).0 < 2_000,
+            "driver burned {} cycles",
+            m.billed_cycles(tid).0
+        );
     }
 
     #[test]

@@ -131,8 +131,7 @@ impl Ssd {
         if m.fault_draw(FaultKind::SsdLatencySpike) {
             latency += m.fault_delay(FaultKind::SsdLatencySpike);
         }
-        let read_error =
-            matches!(op, SsdOp::Read { .. }) && m.fault_draw(FaultKind::SsdReadError);
+        let read_error = matches!(op, SsdOp::Read { .. }) && m.fault_draw(FaultKind::SsdReadError);
         let torn_delay = if m.fault_draw(FaultKind::SsdTornCompletion) {
             Some(m.fault_delay(FaultKind::SsdTornCompletion))
         } else {
@@ -144,12 +143,15 @@ impl Ssd {
                     mach.counters_mut().inc("ssd.read_errors");
                 } else {
                     // Synthetic data: a repeating pattern derived from seq.
-                    let data: Vec<u8> =
-                        (0..len).map(|i| ((seq + i) & 0xff) as u8).collect();
+                    let data: Vec<u8> = (0..len).map(|i| ((seq + i) & 0xff) as u8).collect();
                     mach.dma_write(buf_addr, &data);
                 }
             }
-            let status_seq = if read_error { seq | CQ_STATUS_ERROR } else { seq };
+            let status_seq = if read_error {
+                seq | CQ_STATUS_ERROR
+            } else {
+                seq
+            };
             match torn_delay {
                 None => {
                     let mut entry = [0u8; CQ_ENTRY_BYTES as usize];
@@ -199,7 +201,10 @@ mod tests {
             &mut m,
             Cycles(0),
             0,
-            SsdOp::Read { buf_addr: buf, len: 512 },
+            SsdOp::Read {
+                buf_addr: buf,
+                len: 512,
+            },
             0xdead,
         );
         m.run_for(Cycles(100_000));
@@ -222,7 +227,16 @@ mod tests {
             },
         );
         let buf = m.alloc(512);
-        ssd.submit(&mut m, Cycles(1000), 0, SsdOp::Read { buf_addr: buf, len: 8 }, 1);
+        ssd.submit(
+            &mut m,
+            Cycles(1000),
+            0,
+            SsdOp::Read {
+                buf_addr: buf,
+                len: 8,
+            },
+            1,
+        );
         m.run_for(Cycles(5999));
         assert_eq!(ssd.tail(&m), 0, "not yet complete");
         m.run_for(Cycles(2));
@@ -235,7 +249,16 @@ mod tests {
         m.install_fault_plan(FaultPlan::new(4).with_rate(FaultKind::SsdReadError, 1.0));
         let ssd = Ssd::attach(&mut m, SsdConfig::default());
         let buf = m.alloc(512);
-        ssd.submit(&mut m, Cycles(0), 0, SsdOp::Read { buf_addr: buf, len: 64 }, 0xc0de);
+        ssd.submit(
+            &mut m,
+            Cycles(0),
+            0,
+            SsdOp::Read {
+                buf_addr: buf,
+                len: 64,
+            },
+            0xc0de,
+        );
         m.run_for(Cycles(100_000));
         assert_eq!(ssd.tail(&m), 1, "errored command still completes");
         assert_eq!(m.peek_u64(buf), 0, "no data DMA on a media error");
@@ -256,10 +279,22 @@ mod tests {
         );
         let ssd = Ssd::attach(
             &mut m,
-            SsdConfig { read_latency: Cycles(5_000), ..SsdConfig::default() },
+            SsdConfig {
+                read_latency: Cycles(5_000),
+                ..SsdConfig::default()
+            },
         );
         let buf = m.alloc(512);
-        ssd.submit(&mut m, Cycles(0), 0, SsdOp::Read { buf_addr: buf, len: 8 }, 1);
+        ssd.submit(
+            &mut m,
+            Cycles(0),
+            0,
+            SsdOp::Read {
+                buf_addr: buf,
+                len: 8,
+            },
+            1,
+        );
         m.run_for(Cycles(104_000));
         assert_eq!(ssd.tail(&m), 0, "still inside the spike");
         m.run_for(Cycles(2_000));

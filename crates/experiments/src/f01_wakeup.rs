@@ -27,8 +27,8 @@ use crate::common::{cy_ns, FREQ};
 /// parked handler thread; returns the machine's wake histogram.
 fn measure_hwt(n_events: usize, mean_gap: f64) -> Histogram {
     let mut m = Machine::new(MachineConfig::small());
-    let set = EventHandlerSet::install(&mut m, 0, &[("ev", 500, 7)], 0x40000)
-        .expect("install handler");
+    let set =
+        EventHandlerSet::install(&mut m, 0, &[("ev", 500, 7)], 0x40000).expect("install handler");
     m.run_for(Cycles(20_000));
     m.reset_wake_latency();
     let mut rng = Rng::seed_from(11);

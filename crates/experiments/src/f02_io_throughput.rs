@@ -95,7 +95,11 @@ fn measure_hwt(seed: u64, rho: f64, n: usize) -> Point {
         m.run_for(Cycles(100_000));
         guard += 1;
     }
-    assert!(eng.completed() >= target, "engine did not drain: {}", eng.completed());
+    assert!(
+        eng.completed() >= target,
+        "engine did not drain: {}",
+        eng.completed()
+    );
     let elapsed = m.now() - t0;
     let busy1: u64 = eng
         .workers
@@ -220,7 +224,11 @@ mod tests {
     fn hwt_cores_scale_with_load_unlike_polling() {
         let lo = measure_hwt(SEED, 0.1, 800);
         let hi = measure_hwt(SEED, 0.7, 800);
-        assert!(lo.cores_used < 0.4, "low load burned {} cores", lo.cores_used);
+        assert!(
+            lo.cores_used < 0.4,
+            "low load burned {} cores",
+            lo.cores_used
+        );
         assert!(hi.cores_used > lo.cores_used * 3.0);
     }
 
@@ -236,7 +244,11 @@ mod tests {
     #[test]
     fn f2_tables_identical_for_any_job_count() {
         let serial = run(&crate::RunCtx::serial(true));
-        let par = run(&crate::RunCtx { quick: true, jobs: 4 });
+        let par = run(&crate::RunCtx {
+            quick: true,
+            jobs: 4,
+            machine_jobs: 1,
+        });
         assert_eq!(serial.len(), par.len());
         for (s, p) in serial.iter().zip(&par) {
             assert_eq!(s.to_csv(), p.to_csv());

@@ -61,8 +61,7 @@ fn measure_sync_trap(kernel_work: u32, iters: u32) -> u64 {
 /// Measures per-call cycles of the dedicated-hardware-thread design.
 fn measure_hwt_service(kernel_work: u32, iters: u32) -> u64 {
     let mut m = Machine::new(MachineConfig::small());
-    let svc = SyscallService::install(&mut m, 0, 1, kernel_work.max(1), 0x40000)
-        .expect("service");
+    let svc = SyscallService::install(&mut m, 0, 1, kernel_work.max(1), 0x40000).expect("service");
     let client = assemble(&svc.client_program(0, iters, 0x60000)).expect("client");
     let app = m.load_program_user(0, &client).expect("load");
     m.run_for(Cycles(30_000));
@@ -84,18 +83,18 @@ pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
 
     let mut t = Table::new(
         "F4: per-system-call cost by design (cycles incl. kernel work)",
-        &["syscall class", "sync-trap", "flexsc (batch 32)", "hwt-service"],
+        &[
+            "syscall class",
+            "sync-trap",
+            "flexsc (batch 32)",
+            "hwt-service",
+        ],
     );
     for (name, work) in classes {
         let trap = measure_sync_trap(work, iters);
         let flex = flexsc.call().round_trip_overhead.0 + u64::from(work);
         let hwt = measure_hwt_service(work, iters);
-        t.row_owned(vec![
-            name.to_owned(),
-            cy_ns(trap),
-            cy_ns(flex),
-            cy_ns(hwt),
-        ]);
+        t.row_owned(vec![name.to_owned(), cy_ns(trap), cy_ns(flex), cy_ns(hwt)]);
     }
     t.caption(
         "expected shape: hwt-service removes the 300-cycle mode switch and \

@@ -83,7 +83,12 @@ pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
 
     let mut t = Table::new(
         "F6: isolated-service call cost (cycles incl. service work)",
-        &["service", "monolithic syscall", "microkernel+scheduler", "hwt direct switch"],
+        &[
+            "service",
+            "monolithic syscall",
+            "microkernel+scheduler",
+            "hwt direct switch",
+        ],
     );
     for (name, work) in services {
         let mono = measure_monolithic(work, iters);

@@ -11,11 +11,11 @@
 //! * **hwt-ps**: thread-per-request on hardware fine-grain RR
 //!   (processor sharing), wake cost calibrated from the machine.
 
+use switchless_legacy::swsched::SwScheduler;
 use switchless_sim::par::par_map;
 use switchless_sim::report::{fnum, Table};
 use switchless_sim::rng::mix_seed;
 use switchless_sim::time::Cycles;
-use switchless_legacy::swsched::SwScheduler;
 use switchless_wl::dist::ServiceDist;
 use switchless_wl::queue::{Discipline, QueueConfig};
 use switchless_wl::sweep::{make_jobs, run_point};
@@ -46,7 +46,9 @@ pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
     let os_threads = SwScheduler::default().to_queue_config(SERVERS, 16 * 1024);
     let hwt_ps = QueueConfig {
         servers: SERVERS,
-        discipline: Discipline::Rr { quantum: Cycles(200) },
+        discipline: Discipline::Rr {
+            quantum: Cycles(200),
+        },
         wakeup_overhead: hwt_wake,
         dispatch_overhead: Cycles::ZERO,
     };
@@ -86,8 +88,7 @@ pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
         );
         let points = par_map(ctx.jobs, &RHOS, |i, &rho| {
             let grid_index = (di * RHOS.len() + i) as u64;
-            let mut rng =
-                switchless_sim::rng::Rng::seed_from(mix_seed(SEED, grid_index));
+            let mut rng = switchless_sim::rng::Rng::seed_from(mix_seed(SEED, grid_index));
             let jobs = make_jobs(&mut rng, &dist, SERVERS, rho, n);
             let pf = run_point(&fcfs, &jobs, 0.1, rho);
             let po = run_point(&os_threads, &jobs, 0.1, rho);
@@ -138,7 +139,9 @@ mod tests {
         };
         let hwt = QueueConfig {
             servers: SERVERS,
-            discipline: Discipline::Rr { quantum: Cycles(200) },
+            discipline: Discipline::Rr {
+                quantum: Cycles(200),
+            },
             wakeup_overhead: Cycles(40),
             dispatch_overhead: Cycles::ZERO,
         };

@@ -10,9 +10,9 @@
 use switchless_core::machine::{Machine, MachineConfig};
 use switchless_core::sched::SchedPolicy;
 use switchless_isa::asm::assemble;
+use switchless_sim::report::Table;
 use switchless_sim::stats::Histogram;
 use switchless_sim::time::Cycles;
-use switchless_sim::report::Table;
 
 use crate::common::cy_ns;
 

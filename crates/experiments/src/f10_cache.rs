@@ -70,7 +70,16 @@ fn stream(
         let buf = vec![0xaau8; (lines * 64) as usize];
         mach.dma_write(base + (c % span), &buf);
         cursor.set(c + lines * 64);
-        stream(mach, at + period, cursor.clone(), base, span, lines, period, remaining - 1);
+        stream(
+            mach,
+            at + period,
+            cursor.clone(),
+            base,
+            span,
+            lines,
+            period,
+            remaining - 1,
+        );
     });
 }
 

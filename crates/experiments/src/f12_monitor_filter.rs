@@ -21,10 +21,7 @@ fn drive(filter: &mut dyn MonitorFilter, n: u64, stride: u64, stores: u64) -> (f
     let base = 0x10000u64;
     let mut armed = 0;
     for i in 0..n {
-        if filter
-            .arm(WatchId(i), PAddr(base + i * stride), 8)
-            .is_ok()
-        {
+        if filter.arm(WatchId(i), PAddr(base + i * stride), 8).is_ok() {
             armed += 1;
         }
     }
@@ -136,7 +133,10 @@ pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
         &["metric", "count"],
     );
     t2.row_owned(vec!["wakes delivered".into(), wakes.to_string()]);
-    t2.row_owned(vec!["of which false (same line, other word)".into(), false_wakes.to_string()]);
+    t2.row_owned(vec![
+        "of which false (same line, other word)".into(),
+        false_wakes.to_string(),
+    ]);
     t2.caption("the woken thread re-checks its predicate and re-parks: correct, just wasteful");
     vec![t, t2]
 }

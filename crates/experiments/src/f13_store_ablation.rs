@@ -15,7 +15,12 @@ use crate::common::{cy_ns, FREQ};
 
 const WORKERS: usize = 32;
 
-fn measure(dirty: bool, criticality: bool, prefetch: bool, rounds: usize) -> (Histogram, Histogram) {
+fn measure(
+    dirty: bool,
+    criticality: bool,
+    prefetch: bool,
+    rounds: usize,
+) -> (Histogram, Histogram) {
     let mut cfg = MachineConfig::small();
     cfg.ptids_per_core = WORKERS + 8;
     cfg.store.rf_threads = 8;

@@ -68,10 +68,8 @@ fn run_chain(depth: usize, last_has_handler: bool) -> (bool, u64) {
         edps.push(m.alloc(DESCRIPTOR_BYTES));
     }
     // Thread 0 faults immediately.
-    let first = assemble(
-        ".base 0x20000\nentry:\n movi r2, 0\n div r1, r1, r2\n halt\n",
-    )
-    .expect("first");
+    let first =
+        assemble(".base 0x20000\nentry:\n movi r2, 0\n div r1, r1, r2\n halt\n").expect("first");
     let t0id = m.load_program(0, &first).expect("load");
     m.set_thread_edp(t0id, edps[0]);
 
@@ -163,7 +161,12 @@ pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
 
     let mut t2 = Table::new(
         "F14b: consecutive-exception chains (§3.2)",
-        &["chain depth", "last handler has EDP", "outcome", "resolution (cy)"],
+        &[
+            "chain depth",
+            "last handler has EDP",
+            "outcome",
+            "resolution (cy)",
+        ],
     );
     for &depth in &[1usize, 2, 4, 8] {
         let (halted, cycles) = run_chain(depth, true);

@@ -320,10 +320,8 @@ mod tests {
         assert_eq!(a.faults, b.faults);
         assert_eq!(a.recovery.p50(), b.recovery.p50());
         assert_eq!(a.recovery.p99(), b.recovery.p99());
-        let ca: Vec<(String, u64)> =
-            a.counters.iter().map(|(k, v)| (k.to_owned(), v)).collect();
-        let cb: Vec<(String, u64)> =
-            b.counters.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        let ca: Vec<(String, u64)> = a.counters.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        let cb: Vec<(String, u64)> = b.counters.iter().map(|(k, v)| (k.to_owned(), v)).collect();
         assert_eq!(ca, cb, "every counter identical");
         assert!(a.faults > 0, "the storm actually stormed");
     }

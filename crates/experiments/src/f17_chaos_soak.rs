@@ -30,6 +30,7 @@ use switchless_kern::ioengine::RetryPolicy;
 use switchless_kern::nointr::Supervisor;
 use switchless_legacy::costs::LegacyCosts;
 use switchless_sim::chaos::{shrink, ChaosConfig, ChaosPlan, Digest};
+use switchless_sim::error::SimError;
 use switchless_sim::fault::FaultKind;
 use switchless_sim::report::{counters_table, fnum, Table};
 use switchless_sim::rng::Rng;
@@ -63,6 +64,7 @@ const HCALL_ISSUE: u16 = 130;
 const HCALL_DONE: u16 = 131;
 
 /// Everything one storm run produces.
+#[derive(Debug)]
 pub struct StormOutcome {
     /// RPCs issued by the clients.
     pub issued: u64,
@@ -106,7 +108,10 @@ fn pump_ssd(m: &mut Machine, ssd: Ssd, buf: u64, seq: u64, at: Cycles, until: Cy
     }
     m.at(at, move |mach| {
         let op = if seq.is_multiple_of(2) {
-            SsdOp::Read { buf_addr: buf, len: 64 }
+            SsdOp::Read {
+                buf_addr: buf,
+                len: 64,
+            }
         } else {
             SsdOp::Write
         };
@@ -150,19 +155,35 @@ fn parker_src(base: u64, watch: u64) -> String {
 /// Runs one chaos plan on the full stack. `sabotage` registers a
 /// deliberately broken invariant (test fixture for the shrinker): it
 /// trips as soon as the fabric loses a single response.
-fn run_storm(plan: &ChaosPlan, sabotage: bool) -> StormOutcome {
+///
+/// # Errors
+///
+/// An invalid plan (degenerate window, out-of-range rate/device — e.g.
+/// from a corrupted replay artifact or a hand-built plan) is a
+/// structured [`SimError`], never a panic.
+fn run_storm(
+    plan: &ChaosPlan,
+    sabotage: bool,
+    machine_jobs: usize,
+) -> Result<StormOutcome, SimError> {
+    let fault_plan = plan.to_fault_plan()?;
     let duration = plan.duration;
     let mut cfg = MachineConfig::small();
     cfg.ptids_per_core = CLIENTS + 8;
     let mut m = Machine::new(cfg);
     m.enable_invariants(true);
+    // The invariant checker wants eyes on every event boundary, so the
+    // machine falls back to the serial engine whichever `machine_jobs`
+    // is requested — chaos digests are identical across job counts by
+    // construction, and `digests_do_not_depend_on_machine_jobs` pins it.
+    m.set_machine_jobs(machine_jobs);
     if sabotage {
         m.register_invariant("fixture.fabric_never_loses", |m| {
             let n = m.counters().get("fault.fabric.loss");
             (n > 0).then(|| format!("{n} fabric losses observed"))
         });
     }
-    m.install_fault_plan(plan.to_fault_plan().expect("chaos plan validates"));
+    m.install_fault_plan(fault_plan);
 
     let sup = Supervisor::install(
         &mut m,
@@ -185,12 +206,12 @@ fn run_storm(plan: &ChaosPlan, sabotage: bool) -> StormOutcome {
     let msix_word = m.alloc(8);
     let mut bridge = MsixBridge::new();
     bridge.route(7, msix_word);
-    for (i, watch) in [nic.rx_tail, ssd.cq_tail, msix_word].into_iter().enumerate() {
-        let prog = switchless_isa::asm::assemble(&parker_src(
-            0x58000 + i as u64 * 0x1000,
-            watch,
-        ))
-        .expect("parker template is valid");
+    for (i, watch) in [nic.rx_tail, ssd.cq_tail, msix_word]
+        .into_iter()
+        .enumerate()
+    {
+        let prog = switchless_isa::asm::assemble(&parker_src(0x58000 + i as u64 * 0x1000, watch))
+            .expect("parker template is valid");
         let tid = m.load_program(0, &prog).expect("parker loads");
         m.start_thread(tid);
     }
@@ -277,8 +298,11 @@ fn run_storm(plan: &ChaosPlan, sabotage: bool) -> StormOutcome {
     // final clock and the recovery histogram. Replaying a serialized
     // plan must land on exactly this value.
     let mut d = Digest::new();
-    let mut all: Vec<(String, u64)> =
-        m.counters().iter().map(|(k, v)| (k.to_owned(), v)).collect();
+    let mut all: Vec<(String, u64)> = m
+        .counters()
+        .iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect();
     all.sort();
     for (k, v) in &all {
         d.push_str(k);
@@ -300,7 +324,7 @@ fn run_storm(plan: &ChaosPlan, sabotage: bool) -> StormOutcome {
     d.push_u64(recovery.p99());
     d.push_u64(recovery.max());
 
-    StormOutcome {
+    Ok(StormOutcome {
         issued: s.issued,
         goodput: s.goodput,
         faults,
@@ -311,13 +335,31 @@ fn run_storm(plan: &ChaosPlan, sabotage: bool) -> StormOutcome {
         first_violation: report.violations().first().map(|v| v.to_string()),
         digest: d.finish(),
         counters: m.counters().clone(),
-    }
+    })
 }
 
 /// Runs one chaos plan with invariants on (the soak/replay entry point).
-#[must_use]
-pub fn run_plan(plan: &ChaosPlan) -> StormOutcome {
-    run_storm(plan, false)
+///
+/// # Errors
+///
+/// Returns a structured [`SimError`] for a plan that fails
+/// [`ChaosPlan::to_fault_plan`] validation.
+pub fn run_plan(plan: &ChaosPlan) -> Result<StormOutcome, SimError> {
+    run_storm(plan, false, 1)
+}
+
+/// [`run_plan`] with an explicit core-sharded engine budget
+/// (`--machine-jobs`). Digests are identical for every value: storms run
+/// with the invariant checker enabled, which pins the serial engine.
+///
+/// # Errors
+///
+/// Same contract as [`run_plan`].
+pub fn run_plan_with_machine_jobs(
+    plan: &ChaosPlan,
+    machine_jobs: usize,
+) -> Result<StormOutcome, SimError> {
+    run_storm(plan, false, machine_jobs)
 }
 
 /// The strongest active fabric-loss rate at time `t` under `plan`.
@@ -369,7 +411,7 @@ fn replay_round_trip(plan: &ChaosPlan, digest: u64) -> Result<(), String> {
     stamped.digest = Some(digest);
     let parsed = ChaosPlan::parse(&stamped.to_text())
         .map_err(|e| format!("serialized plan failed to parse: {e}"))?;
-    let rerun = run_plan(&parsed);
+    let rerun = run_plan(&parsed).map_err(|e| format!("replayed plan failed to run: {e}"))?;
     if rerun.digest != digest {
         return Err(format!(
             "replay digest {:016x} != recorded {:016x}",
@@ -411,9 +453,9 @@ pub fn soak(
     for i in 0..n {
         let seed = base_seed.wrapping_add(i);
         let plan = ChaosPlan::generate(seed, &cfg);
-        let out = run_plan(&plan);
+        let out = run_plan(&plan).map_err(|e| format!("plan seed={seed}: {e}"))?;
         if out.violations > 0 {
-            let (min, stats) = shrink(&plan, |p| run_plan(p).violations > 0);
+            let (min, stats) = shrink(&plan, |p| run_plan(p).is_ok_and(|o| o.violations > 0));
             let mut artifact = min.clone();
             artifact.digest = None;
             return Err(format!(
@@ -425,8 +467,7 @@ pub fn soak(
                 artifact.to_text(),
             ));
         }
-        replay_round_trip(&plan, out.digest)
-            .map_err(|e| format!("plan seed={seed}: {e}"))?;
+        replay_round_trip(&plan, out.digest).map_err(|e| format!("plan seed={seed}: {e}"))?;
         sum.plans += 1;
         sum.checks += out.checks;
         sum.faults += out.faults;
@@ -447,25 +488,32 @@ pub fn soak(
 ///
 /// # Errors
 ///
-/// Errors on a malformed artifact, an invariant violation, or — when the
-/// artifact records a digest — a digest mismatch.
-pub fn replay_text(text: &str) -> Result<String, String> {
-    let plan = ChaosPlan::parse(text).map_err(|e| e.to_string())?;
-    let out = run_plan(&plan);
+/// Returns a structured [`SimError`] — never panics — for a malformed or
+/// corrupted artifact ([`SimError::Parse`] names the offending line and
+/// field, [`SimError::FaultPlan`] the invalid burst), an invariant
+/// violation, or — when the artifact records a digest — a digest
+/// mismatch.
+pub fn replay_text(text: &str) -> Result<String, SimError> {
+    let plan = ChaosPlan::parse(text)?;
+    let out = run_plan(&plan)?;
+    let fail = |detail: String| SimError::Machine {
+        context: "chaos replay",
+        detail,
+    };
     if out.violations > 0 {
-        return Err(format!(
+        return Err(fail(format!(
             "{} invariant violations; first: {}",
             out.violations,
             out.first_violation.unwrap_or_default()
-        ));
+        )));
     }
     let verdict = match plan.digest {
         Some(d) if d == out.digest => " digest=match",
         Some(d) => {
-            return Err(format!(
+            return Err(fail(format!(
                 "digest mismatch: run {:016x}, artifact {d:016x}",
                 out.digest
-            ))
+            )))
         }
         None => "",
     };
@@ -524,7 +572,8 @@ pub fn run(ctx: &crate::RunCtx) -> Vec<Table> {
     for i in 0..seeds {
         let seed = 1700 + i;
         let plan = ChaosPlan::generate(seed, &cfg);
-        let sw = run_plan(&plan);
+        let sw = run_plan_with_machine_jobs(&plan, ctx.machine_jobs)
+            .expect("generated chaos plans always validate");
         let lg = run_legacy(&plan);
         let (p50, p99) = pcts(&sw.recovery);
         let (lp50, _) = pcts(&lg.recovery);
@@ -604,13 +653,26 @@ mod tests {
             bursts: Vec::new(),
             digest: None,
         };
-        let a = run_plan(&plan);
-        let b = run_plan(&plan);
+        let a = run_plan(&plan).expect("calm plan runs");
+        let b = run_plan(&plan).expect("calm plan runs");
         assert_eq!(a.faults, 0, "no bursts, no faults");
         assert_eq!(a.violations, 0);
         assert!(a.checks > 0, "invariants actually ran");
         assert!(a.goodput > 50, "clients actually ran: {}", a.goodput);
         assert_eq!(a.digest, b.digest, "same plan, same digest");
+    }
+
+    #[test]
+    fn digests_do_not_depend_on_machine_jobs() {
+        let plan = ChaosPlan::generate(23, &test_cfg());
+        let serial = run_plan(&plan).expect("plan runs serially");
+        let sharded = run_plan_with_machine_jobs(&plan, 4).expect("plan runs with machine-jobs 4");
+        assert_eq!(
+            serial.digest, sharded.digest,
+            "chaos digests must be identical across --machine-jobs values"
+        );
+        assert_eq!(serial.violations, sharded.violations);
+        assert_eq!(serial.goodput, sharded.goodput);
     }
 
     #[test]
@@ -627,7 +689,7 @@ mod tests {
     #[test]
     fn replay_text_round_trips_with_digest() {
         let plan = ChaosPlan::generate(7, &test_cfg());
-        let out = run_plan(&plan);
+        let out = run_plan(&plan).expect("generated plan runs");
         let mut stamped = plan.clone();
         stamped.digest = Some(out.digest);
         let msg = replay_text(&stamped.to_text()).expect("replay succeeds");
@@ -635,7 +697,93 @@ mod tests {
         // A corrupted digest must be rejected.
         stamped.digest = Some(out.digest ^ 1);
         let err = replay_text(&stamped.to_text()).unwrap_err();
-        assert!(err.contains("digest mismatch"), "{err}");
+        assert!(err.to_string().contains("digest mismatch"), "{err}");
+    }
+
+    #[test]
+    fn replay_rejects_truncated_artifact_with_line_info() {
+        let mut plan = ChaosPlan::generate(11, &test_cfg());
+        plan.digest = Some(0xabcd);
+        let text = plan.to_text();
+        // Cut the artifact mid-way through its last burst line: keep
+        // "burst <kind> <device> <from>" and drop the window end and rate.
+        let burst_at = text.rfind("burst ").expect("plan has bursts");
+        let kept: Vec<&str> = text[burst_at..].split_ascii_whitespace().take(4).collect();
+        let truncated = format!("{}{}", &text[..burst_at], kept.join(" "));
+        let err = replay_text(&truncated).unwrap_err();
+        let line = 1 + text[..burst_at].matches('\n').count();
+        match err {
+            SimError::Parse {
+                line: l,
+                ref detail,
+            } => {
+                assert_eq!(l, line, "error names the truncated line: {detail}");
+            }
+            other => panic!("expected a parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn replay_rejects_bit_flipped_rate_without_panicking() {
+        let plan = ChaosPlan::generate(13, &test_cfg());
+        let text = plan.to_text();
+        // Flip the f64 sign bit of the first burst's rate: the artifact
+        // still parses field-wise but now encodes a negative probability.
+        let line_start = text.find("burst ").expect("plan has bursts");
+        let line_end = text[line_start..].find('\n').unwrap() + line_start;
+        let line = &text[line_start..line_end];
+        let mut fields: Vec<&str> = line
+            .split('#')
+            .next()
+            .unwrap()
+            .split_ascii_whitespace()
+            .collect();
+        let bits = u64::from_str_radix(fields[5], 16).unwrap();
+        let corrupt = format!("{:016x}", bits ^ (1 << 63));
+        fields[5] = &corrupt;
+        let mut flipped = text.clone();
+        flipped.replace_range(line_start..line_end, &fields.join(" "));
+        let err = replay_text(&flipped).unwrap_err();
+        assert!(
+            matches!(err, SimError::FaultPlan(_)),
+            "negative rate must surface as a fault-plan error: {err}"
+        );
+    }
+
+    #[test]
+    fn replay_rejects_wrong_version_header() {
+        let plan = ChaosPlan::generate(17, &test_cfg());
+        let text = plan.to_text().replace("chaos-plan/v1", "chaos-plan/v2");
+        let err = replay_text(&text).unwrap_err();
+        match err {
+            SimError::Parse {
+                line: 1,
+                ref detail,
+            } => {
+                assert!(detail.contains("chaos-plan/v1"), "{detail}");
+            }
+            other => panic!("expected a line-1 parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_hand_built_plan_is_an_error_not_a_panic() {
+        // Pre-fix, run_plan unwrapped to_fault_plan and panicked here.
+        let plan = ChaosPlan {
+            seed: 1,
+            duration: TEST_DURATION,
+            devices: 1,
+            bursts: vec![ChaosBurst {
+                kind: FaultKind::NicDrop,
+                device: 0,
+                rate: 0.5,
+                from: Cycles(100),
+                to: Cycles(100), // degenerate window
+            }],
+            digest: None,
+        };
+        let err = run_plan(&plan).unwrap_err();
+        assert!(matches!(err, SimError::FaultPlan(_)), "{err}");
     }
 
     #[test]
@@ -663,9 +811,10 @@ mod tests {
             ],
             digest: None,
         };
-        let fails = |p: &ChaosPlan| run_storm(p, true).violations > 0;
+        let fails = |p: &ChaosPlan| run_storm(p, true, 1).is_ok_and(|o| o.violations > 0);
         assert!(fails(&plan), "fixture trips on the full storm");
-        assert_eq!(run_plan(&plan).violations, 0, "healthy invariants stay silent");
+        let healthy = run_plan(&plan).expect("plan validates");
+        assert_eq!(healthy.violations, 0, "healthy invariants stay silent");
         let (min, stats) = shrink(&plan, fails);
         assert!(fails(&min), "shrunk plan still reproduces");
         assert_eq!(min.bursts.len(), 1, "only the loss burst survives: {min:?}");
@@ -694,7 +843,7 @@ mod tests {
             }],
             digest: None,
         };
-        let out = run_plan(&plan);
+        let out = run_plan(&plan).expect("plan validates");
         assert!(out.faults > 0);
         assert_eq!(out.violations, 0, "{:?}", out.first_violation);
         assert!(out.pardons > 0, "pardon fallback exercised");
@@ -704,7 +853,7 @@ mod tests {
     #[test]
     fn switchless_recovery_beats_legacy_under_storms() {
         let plan = ChaosPlan::generate(1701, &ChaosConfig::new(Cycles(4_000_000)));
-        let sw = run_plan(&plan);
+        let sw = run_plan(&plan).expect("generated plan validates");
         let lg = run_legacy(&plan);
         if sw.recovery.count() == 0 || lg.recovery.count() == 0 {
             return; // this seed's storm never hit the fabric

@@ -5,6 +5,7 @@
 //! ```text
 //! experiments all [--quick] [--jobs N] [--out DIR]   # run everything
 //! experiments f1 f7 [--quick]                        # run selected experiments
+//! experiments f15 --machine-jobs 4                   # core-sharded machine engine
 //! experiments list                                   # list experiment ids
 //! experiments --soak 100 [--soak-seed S] [--quick]   # chaos soak, invariants on
 //! experiments --replay storm.txt                     # re-execute a chaos artifact
@@ -22,6 +23,15 @@
 //! CSV tree are bit-identical for every `--jobs` value. A wall-clock
 //! timing table is appended to the run log so speedups are measured, not
 //! asserted; it is deliberately never written to `results/`.
+//!
+//! `--machine-jobs N` additionally runs each *single simulated machine*
+//! on the core-sharded epoch engine (`switchless_core::shard`) with up
+//! to `N` workers, one per simulated core. The engine is conservative:
+//! every epoch either commits bit-identically to the serial engine or is
+//! discarded and replayed serially, so simulated results — and therefore
+//! the CSV tree — are bit-identical for every `--machine-jobs` value;
+//! only wall-clock time changes. Experiments that run with the invariant
+//! checker enabled (F17) fall back to the serial engine automatically.
 
 use std::path::PathBuf;
 
@@ -56,13 +66,22 @@ pub struct RunCtx {
     /// Worker-thread budget for in-experiment parallelism (load sweeps).
     /// Results are bit-identical for any value; 1 means fully serial.
     pub jobs: usize,
+    /// Worker-thread budget for the core-sharded machine engine (one
+    /// worker per simulated core, see [`switchless_core::shard`]).
+    /// Results are bit-identical for any value; 1 means the serial
+    /// engine.
+    pub machine_jobs: usize,
 }
 
 impl RunCtx {
     /// A serial context, the default for unit tests.
     #[must_use]
     pub fn serial(quick: bool) -> RunCtx {
-        RunCtx { quick, jobs: 1 }
+        RunCtx {
+            quick,
+            jobs: 1,
+            machine_jobs: 1,
+        }
     }
 }
 
@@ -179,6 +198,9 @@ pub struct Cli {
     pub quick: bool,
     /// Explicit `--jobs N`; `None` defers to `SWITCHLESS_JOBS`/host.
     pub jobs: Option<usize>,
+    /// Explicit `--machine-jobs N` for the core-sharded machine engine;
+    /// `None` means 1 (serial engine).
+    pub machine_jobs: Option<usize>,
     /// Explicit `--out DIR` for the CSV tree; `None` means `results/`.
     pub out: Option<PathBuf>,
     /// `--replay FILE`: re-execute a `chaos-plan/v1` artifact
@@ -226,6 +248,15 @@ pub fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 return Err("--jobs must be at least 1".to_owned());
             }
             cli.jobs = Some(n);
+        } else if a == "--machine-jobs" || a.starts_with("--machine-jobs=") {
+            let v = flag_value("--machine-jobs")?;
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--machine-jobs expects a positive integer, got {v:?}"))?;
+            if n == 0 {
+                return Err("--machine-jobs must be at least 1".to_owned());
+            }
+            cli.machine_jobs = Some(n);
         } else if a == "--out" || a.starts_with("--out=") {
             cli.out = Some(PathBuf::from(flag_value("--out")?));
         } else if a == "--replay" || a.starts_with("--replay=") {
@@ -291,11 +322,7 @@ pub fn run_cli() {
         return;
     }
     if let Some(n) = cli.soak {
-        let duration = switchless_sim::time::Cycles(if cli.quick {
-            1_500_000
-        } else {
-            6_000_000
-        });
+        let duration = switchless_sim::time::Cycles(if cli.quick { 1_500_000 } else { 6_000_000 });
         match f17_chaos_soak::soak(n, cli.soak_seed, duration, |line| println!("{line}")) {
             Ok(sum) => println!(
                 "soak clean: {} plans, {} invariant checks, {} faults injected, \
@@ -333,7 +360,11 @@ pub fn run_cli() {
         .collect();
 
     let jobs = par::resolve_jobs(cli.jobs);
-    let ctx = RunCtx { quick: cli.quick, jobs };
+    let ctx = RunCtx {
+        quick: cli.quick,
+        jobs,
+        machine_jobs: cli.machine_jobs.unwrap_or(1),
+    };
     let dir = cli.out.clone().unwrap_or_else(results_dir);
     let mut sink = CsvSink::new(&dir);
     let mut timings: Vec<(&'static str, f64)> = Vec::new();
@@ -406,10 +437,23 @@ mod tests {
     }
 
     #[test]
+    fn parse_cli_machine_jobs_both_forms() {
+        assert_eq!(
+            parse(&["--machine-jobs", "4"]).unwrap().machine_jobs,
+            Some(4)
+        );
+        assert_eq!(parse(&["--machine-jobs=2"]).unwrap().machine_jobs, Some(2));
+        assert_eq!(parse(&["f15"]).unwrap().machine_jobs, None);
+    }
+
+    #[test]
     fn parse_cli_rejects_bad_input() {
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--jobs", "zero"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--machine-jobs"]).is_err());
+        assert!(parse(&["--machine-jobs", "0"]).is_err());
+        assert!(parse(&["--machine-jobs", "four"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
     }
 

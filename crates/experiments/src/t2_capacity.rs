@@ -48,10 +48,7 @@ pub fn run(_ctx: &crate::RunCtx) -> Vec<Table> {
     t.row_owned(vec![
         "threads in 64KB V100-style RF (base state)".into(),
         "224".into(),
-        format!(
-            "{} (240 unaligned; 224 at 288B-aligned slots)",
-            v100 / 288
-        ),
+        format!("{} (240 unaligned; 224 at 288B-aligned slots)", v100 / 288),
     ]);
     t.row_owned(vec![
         "RF bytes for 100 cores (MB)".into(),
@@ -122,7 +119,9 @@ mod tests {
     fn l3_transfer_in_paper_window() {
         // 10-50 cycles => 3.3-16.7ns at 3GHz.
         let store = StateStore::new(StoreConfig::default());
-        let xfer = store.activation_cost(Tier::L3, ArchState::base_state_bytes()).0
+        let xfer = store
+            .activation_cost(Tier::L3, ArchState::base_state_bytes())
+            .0
             - store.config().rf_start.0;
         assert!((10..=50).contains(&xfer), "L3 transfer {xfer} cycles");
     }

@@ -130,10 +130,21 @@ fn strip_comment(line: &str) -> &str {
 
 #[derive(Clone, Debug)]
 enum Item {
-    Inst { line: usize, mnemonic: String, operands: Vec<String> },
-    Word { line: usize, value: String },
-    Zero { words: u64 },
-    Ascii { bytes: Vec<u8> },
+    Inst {
+        line: usize,
+        mnemonic: String,
+        operands: Vec<String>,
+    },
+    Word {
+        line: usize,
+        value: String,
+    },
+    Zero {
+        words: u64,
+    },
+    Ascii {
+        bytes: Vec<u8>,
+    },
 }
 
 struct Parsed {
@@ -223,7 +234,10 @@ fn parse_source(src: &str) -> Result<Parsed, AsmError> {
                 if rest.is_empty() {
                     return Err(err(line_number, ".word needs a value"));
                 }
-                items.push(Item::Word { line: line_number, value: rest });
+                items.push(Item::Word {
+                    line: line_number,
+                    value: rest,
+                });
                 offset_words += 1;
             }
             ".ascii" => {
@@ -281,7 +295,11 @@ fn parse_source(src: &str) -> Result<Parsed, AsmError> {
             return Err(err(line, format!("duplicate symbol '{name}'")));
         }
     }
-    Ok(Parsed { base, items, symbols })
+    Ok(Parsed {
+        base,
+        items,
+        symbols,
+    })
 }
 
 struct Ctx<'a> {
@@ -319,7 +337,10 @@ impl Ctx<'_> {
             "tdtr" => Ok(CtrlReg::Tdtr),
             "mode" => Ok(CtrlReg::Mode),
             "prio" => Ok(CtrlReg::Prio),
-            _ => Err(err(self.line, format!("expected control register, got '{tok}'"))),
+            _ => Err(err(
+                self.line,
+                format!("expected control register, got '{tok}'"),
+            )),
         }
     }
 
@@ -331,14 +352,20 @@ impl Ctx<'_> {
         if let Some(&v) = self.symbols.get(tok) {
             return Ok(v as i64);
         }
-        Err(err(self.line, format!("undefined symbol or bad number '{tok}'")))
+        Err(err(
+            self.line,
+            format!("undefined symbol or bad number '{tok}'"),
+        ))
     }
 
     /// An absolute 44-bit address (number or symbol).
     fn addr(&self, tok: &str) -> Result<u64, AsmError> {
         let v = self.imm(tok)?;
         if v < 0 || v as u64 > IMM44_MAX {
-            return Err(err(self.line, format!("address '{tok}' out of 44-bit range")));
+            return Err(err(
+                self.line,
+                format!("address '{tok}' out of 44-bit range"),
+            ));
         }
         Ok(v as u64)
     }
@@ -347,15 +374,17 @@ impl Ctx<'_> {
         let v = self.imm(tok)?;
         let lim = 1i64 << 43;
         if v < -lim || v >= lim {
-            return Err(err(self.line, format!("immediate '{tok}' out of signed 44-bit range")));
+            return Err(err(
+                self.line,
+                format!("immediate '{tok}' out of signed 44-bit range"),
+            ));
         }
         Ok(v)
     }
 
     fn u16imm(&self, tok: &str) -> Result<u16, AsmError> {
         let v = self.imm(tok)?;
-        u16::try_from(v)
-            .map_err(|_| err(self.line, format!("immediate '{tok}' out of u16 range")))
+        u16::try_from(v).map_err(|_| err(self.line, format!("immediate '{tok}' out of u16 range")))
     }
 
     fn is_reg(&self, tok: &str) -> bool {
@@ -371,11 +400,7 @@ fn expect_n(line: usize, ops: &[String], n: usize, usage: &str) -> Result<(), As
     }
 }
 
-fn encode_item(
-    mnemonic: &str,
-    ops: &[String],
-    ctx: &Ctx<'_>,
-) -> Result<Inst, AsmError> {
+fn encode_item(mnemonic: &str, ops: &[String], ctx: &Ctx<'_>) -> Result<Inst, AsmError> {
     let line = ctx.line;
     let three_reg = |f: fn(Reg, Reg, Reg) -> Inst| -> Result<Inst, AsmError> {
         expect_n(line, ops, 3, "d, a, b")?;
@@ -459,11 +484,15 @@ fn encode_item(
         },
         "jmp" => {
             expect_n(line, ops, 1, "target")?;
-            Ok(Inst::Jmp { addr: ctx.addr(&ops[0])? })
+            Ok(Inst::Jmp {
+                addr: ctx.addr(&ops[0])?,
+            })
         }
         "jr" => {
             expect_n(line, ops, 1, "a")?;
-            Ok(Inst::Jr { a: ctx.reg(&ops[0])? })
+            Ok(Inst::Jr {
+                a: ctx.reg(&ops[0])?,
+            })
         }
         // Pseudo-instructions.
         "call" => {
@@ -506,28 +535,37 @@ fn encode_item(
         "work" => {
             expect_n(line, ops, 1, "cycles")?;
             let v = ctx.imm(&ops[0])?;
-            let cycles = u32::try_from(v)
-                .map_err(|_| err(line, "work cycles out of u32 range"))?;
+            let cycles = u32::try_from(v).map_err(|_| err(line, "work cycles out of u32 range"))?;
             Ok(Inst::Work { cycles })
         }
         "syscall" => {
             expect_n(line, ops, 1, "num")?;
-            Ok(Inst::Syscall { num: ctx.u16imm(&ops[0])? })
+            Ok(Inst::Syscall {
+                num: ctx.u16imm(&ops[0])?,
+            })
         }
         "vmcall" => {
             expect_n(line, ops, 1, "num")?;
-            Ok(Inst::VmCall { num: ctx.u16imm(&ops[0])? })
+            Ok(Inst::VmCall {
+                num: ctx.u16imm(&ops[0])?,
+            })
         }
         "hcall" => {
             expect_n(line, ops, 1, "num")?;
-            Ok(Inst::HCall { num: ctx.u16imm(&ops[0])? })
+            Ok(Inst::HCall {
+                num: ctx.u16imm(&ops[0])?,
+            })
         }
         "monitor" => {
             expect_n(line, ops, 1, "reg-or-symbol")?;
             if ctx.is_reg(&ops[0]) {
-                Ok(Inst::Monitor { a: ctx.reg(&ops[0])? })
+                Ok(Inst::Monitor {
+                    a: ctx.reg(&ops[0])?,
+                })
             } else {
-                Ok(Inst::MonitorA { addr: ctx.addr(&ops[0])? })
+                Ok(Inst::MonitorA {
+                    addr: ctx.addr(&ops[0])?,
+                })
             }
         }
         "mwait" => {
@@ -537,17 +575,25 @@ fn encode_item(
         "start" => {
             expect_n(line, ops, 1, "reg-or-vtid")?;
             if ctx.is_reg(&ops[0]) {
-                Ok(Inst::Start { vt: ctx.reg(&ops[0])? })
+                Ok(Inst::Start {
+                    vt: ctx.reg(&ops[0])?,
+                })
             } else {
-                Ok(Inst::StartI { vtid: ctx.u16imm(&ops[0])? })
+                Ok(Inst::StartI {
+                    vtid: ctx.u16imm(&ops[0])?,
+                })
             }
         }
         "stop" => {
             expect_n(line, ops, 1, "reg-or-vtid")?;
             if ctx.is_reg(&ops[0]) {
-                Ok(Inst::Stop { vt: ctx.reg(&ops[0])? })
+                Ok(Inst::Stop {
+                    vt: ctx.reg(&ops[0])?,
+                })
             } else {
-                Ok(Inst::StopI { vtid: ctx.u16imm(&ops[0])? })
+                Ok(Inst::StopI {
+                    vtid: ctx.u16imm(&ops[0])?,
+                })
             }
         }
         "rpull" => {
@@ -568,7 +614,9 @@ fn encode_item(
         }
         "invtid" => {
             expect_n(line, ops, 1, "vt")?;
-            Ok(Inst::InvTid { vt: ctx.reg(&ops[0])? })
+            Ok(Inst::InvTid {
+                vt: ctx.reg(&ops[0])?,
+            })
         }
         "csrr" => {
             expect_n(line, ops, 2, "d, csr")?;
@@ -614,22 +662,28 @@ pub fn assemble(src: &str) -> Result<Program, AsmError> {
                 }
             }
             Item::Word { line, value } => {
-                let ctx = Ctx { symbols: &parsed.symbols, line: *line };
+                let ctx = Ctx {
+                    symbols: &parsed.symbols,
+                    line: *line,
+                };
                 let v = ctx.imm(value)?;
                 words.push(v as u64);
             }
-            Item::Inst { line, mnemonic, operands } => {
-                let ctx = Ctx { symbols: &parsed.symbols, line: *line };
+            Item::Inst {
+                line,
+                mnemonic,
+                operands,
+            } => {
+                let ctx = Ctx {
+                    symbols: &parsed.symbols,
+                    line: *line,
+                };
                 let inst = encode_item(mnemonic, operands, &ctx)?;
                 words.push(inst.encode());
             }
         }
     }
-    let entry = parsed
-        .symbols
-        .get("entry")
-        .copied()
-        .unwrap_or(parsed.base);
+    let entry = parsed.symbols.get("entry").copied().unwrap_or(parsed.base);
     Ok(Program {
         base: parsed.base,
         words,
@@ -662,14 +716,15 @@ mod tests {
         assert_eq!(p.symbol("count"), Some(DEFAULT_BASE));
         assert_eq!(p.entry, DEFAULT_BASE + 8);
         assert_eq!(p.words.len(), 6);
-        assert_eq!(
-            p.inst_at(p.entry),
-            Some(Inst::Movi { d: Reg(1), imm: 5 })
-        );
+        assert_eq!(p.inst_at(p.entry), Some(Inst::Movi { d: Reg(1), imm: 5 }));
         // The branch targets `loop` = base + 16.
         assert_eq!(
             p.inst_at(DEFAULT_BASE + 24),
-            Some(Inst::Bne { a: Reg(1), b: Reg(0), addr: DEFAULT_BASE + 16 })
+            Some(Inst::Bne {
+                a: Reg(1),
+                b: Reg(0),
+                addr: DEFAULT_BASE + 16
+            })
         );
     }
 
@@ -720,7 +775,9 @@ mod tests {
         let p = assemble("m: .word 0\nentry: monitor m\nmwait\nhalt\n").unwrap();
         assert_eq!(
             p.inst_at(p.entry),
-            Some(Inst::MonitorA { addr: p.symbol("m").unwrap() })
+            Some(Inst::MonitorA {
+                addr: p.symbol("m").unwrap()
+            })
         );
     }
 
@@ -737,7 +794,11 @@ mod tests {
         let p = assemble("entry: rpull r1, r2, pc\nrpush r1, tdtr, r3\nhalt\n").unwrap();
         assert_eq!(
             p.inst_at(p.entry),
-            Some(Inst::RPull { vt: Reg(1), local: Reg(2), remote: RegSel::Pc })
+            Some(Inst::RPull {
+                vt: Reg(1),
+                local: Reg(2),
+                remote: RegSel::Pc
+            })
         );
         assert_eq!(
             p.inst_at(p.entry + 8),
@@ -788,20 +849,27 @@ mod tests {
 
     #[test]
     fn comments_all_styles() {
-        let p = assemble(
-            "entry: nop ; semicolon\nnop # hash\nnop // slashes\nhalt\n",
-        )
-        .unwrap();
+        let p = assemble("entry: nop ; semicolon\nnop # hash\nnop // slashes\nhalt\n").unwrap();
         assert_eq!(p.words.len(), 4);
     }
 
     #[test]
     fn negative_and_hex_numbers() {
         let p = assemble("entry: movi r1, -0x10\naddi r1, r1, 1_000\nhalt\n").unwrap();
-        assert_eq!(p.inst_at(p.entry), Some(Inst::Movi { d: Reg(1), imm: -16 }));
+        assert_eq!(
+            p.inst_at(p.entry),
+            Some(Inst::Movi {
+                d: Reg(1),
+                imm: -16
+            })
+        );
         assert_eq!(
             p.inst_at(p.entry + 8),
-            Some(Inst::Addi { d: Reg(1), a: Reg(1), imm: 1000 })
+            Some(Inst::Addi {
+                d: Reg(1),
+                a: Reg(1),
+                imm: 1000
+            })
         );
     }
 
@@ -848,7 +916,10 @@ mod pseudo_tests {
         let helper = p.symbol("helper").unwrap();
         assert_eq!(
             p.inst_at(p.entry + 8),
-            Some(Inst::Jal { d: Reg(14), addr: helper })
+            Some(Inst::Jal {
+                d: Reg(14),
+                addr: helper
+            })
         );
         assert_eq!(p.inst_at(helper + 8), Some(Inst::Jr { a: Reg(14) }));
     }

@@ -555,46 +555,128 @@ impl Inst {
         let ui = imm_unsigned(word);
         use Inst::*;
         Ok(match opc {
-            op::ADD => Add { d: rd, a: rs1, b: rs2 },
-            op::SUB => Sub { d: rd, a: rs1, b: rs2 },
-            op::AND => And { d: rd, a: rs1, b: rs2 },
-            op::OR => Or { d: rd, a: rs1, b: rs2 },
-            op::XOR => Xor { d: rd, a: rs1, b: rs2 },
-            op::SHL => Shl { d: rd, a: rs1, b: rs2 },
-            op::SHR => Shr { d: rd, a: rs1, b: rs2 },
-            op::MUL => Mul { d: rd, a: rs1, b: rs2 },
-            op::DIV => Div { d: rd, a: rs1, b: rs2 },
-            op::ADDI => Addi { d: rd, a: rs1, imm: si },
+            op::ADD => Add {
+                d: rd,
+                a: rs1,
+                b: rs2,
+            },
+            op::SUB => Sub {
+                d: rd,
+                a: rs1,
+                b: rs2,
+            },
+            op::AND => And {
+                d: rd,
+                a: rs1,
+                b: rs2,
+            },
+            op::OR => Or {
+                d: rd,
+                a: rs1,
+                b: rs2,
+            },
+            op::XOR => Xor {
+                d: rd,
+                a: rs1,
+                b: rs2,
+            },
+            op::SHL => Shl {
+                d: rd,
+                a: rs1,
+                b: rs2,
+            },
+            op::SHR => Shr {
+                d: rd,
+                a: rs1,
+                b: rs2,
+            },
+            op::MUL => Mul {
+                d: rd,
+                a: rs1,
+                b: rs2,
+            },
+            op::DIV => Div {
+                d: rd,
+                a: rs1,
+                b: rs2,
+            },
+            op::ADDI => Addi {
+                d: rd,
+                a: rs1,
+                imm: si,
+            },
             op::MOVI => Movi { d: rd, imm: si },
             op::MOV => Mov { d: rd, a: rs1 },
-            op::LD => Ld { d: rd, a: rs1, off: si },
-            op::ST => St { s: rd, a: rs1, off: si },
+            op::LD => Ld {
+                d: rd,
+                a: rs1,
+                off: si,
+            },
+            op::ST => St {
+                s: rd,
+                a: rs1,
+                off: si,
+            },
             op::LDA => LdA { d: rd, addr: ui },
             op::STA => StA { s: rd, addr: ui },
-            op::LDB => LdB { d: rd, a: rs1, off: si },
-            op::STB => StB { s: rd, a: rs1, off: si },
+            op::LDB => LdB {
+                d: rd,
+                a: rs1,
+                off: si,
+            },
+            op::STB => StB {
+                s: rd,
+                a: rs1,
+                off: si,
+            },
             op::JMP => Jmp { addr: ui },
             op::JR => Jr { a: rs1 },
             op::JAL => Jal { d: rd, addr: ui },
-            op::BEQ => Beq { a: rs1, b: rs2, addr: ui },
-            op::BNE => Bne { a: rs1, b: rs2, addr: ui },
-            op::BLT => Blt { a: rs1, b: rs2, addr: ui },
-            op::BGE => Bge { a: rs1, b: rs2, addr: ui },
+            op::BEQ => Beq {
+                a: rs1,
+                b: rs2,
+                addr: ui,
+            },
+            op::BNE => Bne {
+                a: rs1,
+                b: rs2,
+                addr: ui,
+            },
+            op::BLT => Blt {
+                a: rs1,
+                b: rs2,
+                addr: ui,
+            },
+            op::BGE => Bge {
+                a: rs1,
+                b: rs2,
+                addr: ui,
+            },
             op::HALT => Halt,
             op::NOP => Nop,
             op::WORK => Work {
                 cycles: (ui & 0xffff_ffff) as u32,
             },
-            op::SYSCALL => Syscall { num: (ui & 0xffff) as u16 },
-            op::VMCALL => VmCall { num: (ui & 0xffff) as u16 },
-            op::HCALL => HCall { num: (ui & 0xffff) as u16 },
+            op::SYSCALL => Syscall {
+                num: (ui & 0xffff) as u16,
+            },
+            op::VMCALL => VmCall {
+                num: (ui & 0xffff) as u16,
+            },
+            op::HCALL => HCall {
+                num: (ui & 0xffff) as u16,
+            },
             op::MONITOR => Monitor { a: rs1 },
             op::MONITORA => MonitorA { addr: ui },
             op::MWAIT => MWait,
             op::START => Start { vt: rs1 },
             op::STOP => Stop { vt: rs1 },
-            op::STARTI => StartI { vtid: (ui & 0xffff) as u16 },
-            op::STOPI => StopI { vtid: (ui & 0xffff) as u16 },
+            op::STARTI => StartI {
+                vtid: (ui & 0xffff) as u16,
+            },
+            op::STOPI => StopI {
+                vtid: (ui & 0xffff) as u16,
+            },
             op::RPULL => RPull {
                 vt: rs1,
                 local: rd,
@@ -654,10 +736,7 @@ impl Inst {
     /// filter).
     #[must_use]
     pub fn is_store(&self) -> bool {
-        matches!(
-            self,
-            Inst::St { .. } | Inst::StA { .. } | Inst::StB { .. }
-        )
+        matches!(self, Inst::St { .. } | Inst::StA { .. } | Inst::StB { .. })
     }
 }
 
@@ -668,32 +747,122 @@ mod tests {
     fn all_representative() -> Vec<Inst> {
         use Inst::*;
         vec![
-            Add { d: Reg(1), a: Reg(2), b: Reg(3) },
-            Sub { d: Reg(15), a: Reg(0), b: Reg(7) },
-            And { d: Reg(4), a: Reg(5), b: Reg(6) },
-            Or { d: Reg(4), a: Reg(5), b: Reg(6) },
-            Xor { d: Reg(4), a: Reg(5), b: Reg(6) },
-            Shl { d: Reg(1), a: Reg(1), b: Reg(2) },
-            Shr { d: Reg(1), a: Reg(1), b: Reg(2) },
-            Mul { d: Reg(9), a: Reg(10), b: Reg(11) },
-            Div { d: Reg(9), a: Reg(10), b: Reg(11) },
-            Addi { d: Reg(1), a: Reg(2), imm: -12345 },
-            Movi { d: Reg(3), imm: 1 << 40 },
-            Movi { d: Reg(3), imm: -(1 << 40) },
-            Mov { d: Reg(3), a: Reg(4) },
-            Ld { d: Reg(1), a: Reg(2), off: -8 },
-            St { s: Reg(1), a: Reg(2), off: 16 },
-            LdA { d: Reg(1), addr: 0xdead_beef },
-            StA { s: Reg(1), addr: 0xbeef },
-            LdB { d: Reg(2), a: Reg(3), off: 13 },
-            StB { s: Reg(2), a: Reg(3), off: -13 },
+            Add {
+                d: Reg(1),
+                a: Reg(2),
+                b: Reg(3),
+            },
+            Sub {
+                d: Reg(15),
+                a: Reg(0),
+                b: Reg(7),
+            },
+            And {
+                d: Reg(4),
+                a: Reg(5),
+                b: Reg(6),
+            },
+            Or {
+                d: Reg(4),
+                a: Reg(5),
+                b: Reg(6),
+            },
+            Xor {
+                d: Reg(4),
+                a: Reg(5),
+                b: Reg(6),
+            },
+            Shl {
+                d: Reg(1),
+                a: Reg(1),
+                b: Reg(2),
+            },
+            Shr {
+                d: Reg(1),
+                a: Reg(1),
+                b: Reg(2),
+            },
+            Mul {
+                d: Reg(9),
+                a: Reg(10),
+                b: Reg(11),
+            },
+            Div {
+                d: Reg(9),
+                a: Reg(10),
+                b: Reg(11),
+            },
+            Addi {
+                d: Reg(1),
+                a: Reg(2),
+                imm: -12345,
+            },
+            Movi {
+                d: Reg(3),
+                imm: 1 << 40,
+            },
+            Movi {
+                d: Reg(3),
+                imm: -(1 << 40),
+            },
+            Mov {
+                d: Reg(3),
+                a: Reg(4),
+            },
+            Ld {
+                d: Reg(1),
+                a: Reg(2),
+                off: -8,
+            },
+            St {
+                s: Reg(1),
+                a: Reg(2),
+                off: 16,
+            },
+            LdA {
+                d: Reg(1),
+                addr: 0xdead_beef,
+            },
+            StA {
+                s: Reg(1),
+                addr: 0xbeef,
+            },
+            LdB {
+                d: Reg(2),
+                a: Reg(3),
+                off: 13,
+            },
+            StB {
+                s: Reg(2),
+                a: Reg(3),
+                off: -13,
+            },
             Jmp { addr: 0x10000 },
             Jr { a: Reg(5) },
-            Jal { d: Reg(14), addr: 0x2000 },
-            Beq { a: Reg(1), b: Reg(2), addr: 0x3000 },
-            Bne { a: Reg(1), b: Reg(2), addr: 0x3000 },
-            Blt { a: Reg(1), b: Reg(2), addr: 0x3000 },
-            Bge { a: Reg(1), b: Reg(2), addr: 0x3000 },
+            Jal {
+                d: Reg(14),
+                addr: 0x2000,
+            },
+            Beq {
+                a: Reg(1),
+                b: Reg(2),
+                addr: 0x3000,
+            },
+            Bne {
+                a: Reg(1),
+                b: Reg(2),
+                addr: 0x3000,
+            },
+            Blt {
+                a: Reg(1),
+                b: Reg(2),
+                addr: 0x3000,
+            },
+            Bge {
+                a: Reg(1),
+                b: Reg(2),
+                addr: 0x3000,
+            },
             Halt,
             Nop,
             Work { cycles: 1000 },
@@ -707,11 +876,25 @@ mod tests {
             Stop { vt: Reg(1) },
             StartI { vtid: 9 },
             StopI { vtid: 9 },
-            RPull { vt: Reg(1), local: Reg(2), remote: RegSel::Pc },
-            RPush { vt: Reg(1), remote: RegSel::Ctrl(CtrlReg::Tdtr), local: Reg(2) },
+            RPull {
+                vt: Reg(1),
+                local: Reg(2),
+                remote: RegSel::Pc,
+            },
+            RPush {
+                vt: Reg(1),
+                remote: RegSel::Ctrl(CtrlReg::Tdtr),
+                local: Reg(2),
+            },
             InvTid { vt: Reg(3) },
-            CsrR { d: Reg(1), csr: CtrlReg::Edp },
-            CsrW { csr: CtrlReg::Mode, a: Reg(1) },
+            CsrR {
+                d: Reg(1),
+                csr: CtrlReg::Edp,
+            },
+            CsrW {
+                csr: CtrlReg::Mode,
+                a: Reg(1),
+            },
             Fence,
         ]
     }
@@ -746,7 +929,12 @@ mod tests {
 
     #[test]
     fn negative_imm_sign_extends() {
-        let w = Inst::Addi { d: Reg(1), a: Reg(1), imm: -1 }.encode();
+        let w = Inst::Addi {
+            d: Reg(1),
+            a: Reg(1),
+            imm: -1,
+        }
+        .encode();
         match Inst::decode(w).unwrap() {
             Inst::Addi { imm, .. } => assert_eq!(imm, -1),
             other => panic!("{other:?}"),
@@ -755,8 +943,16 @@ mod tests {
 
     #[test]
     fn privileged_classification() {
-        assert!(Inst::CsrW { csr: CtrlReg::Tdtr, a: Reg(0) }.is_privileged());
-        assert!(!Inst::CsrR { d: Reg(0), csr: CtrlReg::Tdtr }.is_privileged());
+        assert!(Inst::CsrW {
+            csr: CtrlReg::Tdtr,
+            a: Reg(0)
+        }
+        .is_privileged());
+        assert!(!Inst::CsrR {
+            d: Reg(0),
+            csr: CtrlReg::Tdtr
+        }
+        .is_privileged());
         assert!(!Inst::StartI { vtid: 0 }.is_privileged());
         assert!(!Inst::MWait.is_privileged());
     }
@@ -764,15 +960,33 @@ mod tests {
     #[test]
     fn base_costs() {
         assert_eq!(Inst::Nop.base_cost(), 1);
-        assert_eq!(Inst::Div { d: Reg(0), a: Reg(0), b: Reg(0) }.base_cost(), 20);
+        assert_eq!(
+            Inst::Div {
+                d: Reg(0),
+                a: Reg(0),
+                b: Reg(0)
+            }
+            .base_cost(),
+            20
+        );
         assert_eq!(Inst::Work { cycles: 500 }.base_cost(), 500);
         assert_eq!(Inst::Work { cycles: 0 }.base_cost(), 1);
     }
 
     #[test]
     fn store_classification() {
-        assert!(Inst::St { s: Reg(0), a: Reg(0), off: 0 }.is_store());
+        assert!(Inst::St {
+            s: Reg(0),
+            a: Reg(0),
+            off: 0
+        }
+        .is_store());
         assert!(Inst::StA { s: Reg(0), addr: 0 }.is_store());
-        assert!(!Inst::Ld { d: Reg(0), a: Reg(0), off: 0 }.is_store());
+        assert!(!Inst::Ld {
+            d: Reg(0),
+            a: Reg(0),
+            off: 0
+        }
+        .is_store());
     }
 }

@@ -176,8 +176,7 @@ mod tests {
         let run = |threads: usize| {
             let mut m = Machine::new(MachineConfig::small());
             let rt =
-                DistRt::install(&mut m, 0, cfg(threads, total / threads as u32), 0x40000)
-                    .unwrap();
+                DistRt::install(&mut m, 0, cfg(threads, total / threads as u32), 0x40000).unwrap();
             rt.run_to_completion(&mut m, Cycles(100_000_000))
                 .expect("completes")
                 .0
@@ -257,10 +256,7 @@ impl FanoutRt {
             // compare every response word against the round sequence;
             // only if all match proceed. A straggler landing mid-check
             // trips the armed trigger and mwait falls through.
-            let arms: String = legs
-                .iter()
-                .map(|r| format!("    monitor {r}\n"))
-                .collect();
+            let arms: String = legs.iter().map(|r| format!("    monitor {r}\n")).collect();
             let checks: String = legs
                 .iter()
                 .map(|r| format!("    ld r2, {r}\n    bne r2, r1, park\n"))
@@ -379,8 +375,14 @@ mod fanout_tests {
         // Slowest leg = 3x base = 9k + rtt 12k = 21k; serial sum would be
         // ~4 x (12k + ~6k) = 72k per round. Assert well under serial.
         let per_round = elapsed.0 / 8;
-        assert!(per_round < 40_000, "per round {per_round} (not overlapped?)");
-        assert!(per_round >= 21_000, "per round {per_round} (faster than physics)");
+        assert!(
+            per_round < 40_000,
+            "per round {per_round} (not overlapped?)"
+        );
+        assert!(
+            per_round >= 21_000,
+            "per round {per_round} (faster than physics)"
+        );
     }
 
     #[test]

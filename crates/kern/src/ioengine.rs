@@ -71,7 +71,10 @@ impl RetryPolicy {
         }
         let mult = 1u64.checked_shl(retries_done).unwrap_or(u64::MAX);
         Some(Cycles(
-            self.initial_backoff.0.saturating_mul(mult).min(self.max_backoff.0),
+            self.initial_backoff
+                .0
+                .saturating_mul(mult)
+                .min(self.max_backoff.0),
         ))
     }
 }
@@ -85,9 +88,7 @@ impl RetryPolicy {
 pub fn checksum_seal(payload: &mut [u8]) {
     let n = payload.len();
     assert!(n >= 2, "checksummed payloads need >= 2 bytes");
-    payload[n - 1] = payload[..n - 1]
-        .iter()
-        .fold(0u8, |a, &b| a.wrapping_add(b));
+    payload[n - 1] = payload[..n - 1].iter().fold(0u8, |a, &b| a.wrapping_add(b));
 }
 
 /// Whether a sealed payload still checks out. Payloads under 2 bytes
@@ -98,10 +99,7 @@ pub fn checksum_ok(payload: &[u8]) -> bool {
     if n < 2 {
         return true;
     }
-    payload[..n - 1]
-        .iter()
-        .fold(0u8, |a, &b| a.wrapping_add(b))
-        == payload[n - 1]
+    payload[..n - 1].iter().fold(0u8, |a, &b| a.wrapping_add(b)) == payload[n - 1]
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -292,7 +290,12 @@ impl IoEngine {
                     .get(&seq)
                     .copied()
                     .unwrap_or((mach.now(), Cycles(1000)));
-                let pkt = Packet { seq, arrival, service, attempt: 0 };
+                let pkt = Packet {
+                    seq,
+                    arrival,
+                    service,
+                    attempt: 0,
+                };
                 charged += s.dispatch_cost;
                 if let Some(w) = s.idle.pop() {
                     s.assign_to(mach, w, pkt);
@@ -323,15 +326,17 @@ impl IoEngine {
                 // dropped or stalled packet leaves its ring slot stale
                 // (zeroed, or holding an older wrap's sequence).
                 let meta = mach.peek_u64(s.nic.desc_addr(pkt.seq) + 8);
-                let valid =
-                    (meta >> 32) != 0 && (meta & 0xffff_ffff) == (pkt.seq & 0xffff_ffff);
+                let valid = (meta >> 32) != 0 && (meta & 0xffff_ffff) == (pkt.seq & 0xffff_ffff);
                 if !valid {
                     if let Some(d) = fh.policy.backoff(pkt.attempt) {
                         // Re-check after a capped backoff; the worker
                         // stays reserved for the retry (it parks, and
                         // the reassignment's mailbox bump rewakes it).
                         mach.counters_mut().inc("engine.rx.retries");
-                        let retry = Packet { attempt: pkt.attempt + 1, ..pkt };
+                        let retry = Packet {
+                            attempt: pkt.attempt + 1,
+                            ..pkt
+                        };
                         let st2 = Rc::clone(&st);
                         let at = mach.now() + d;
                         mach.at(at, move |inner| {
@@ -386,10 +391,7 @@ impl IoEngine {
     /// Registers a packet's arrival time (tail-bump time) and service
     /// cost; call before (or when) scheduling the NIC RX.
     pub fn note_packet(&self, seq: u64, arrival: Cycles, service: Cycles) {
-        self.state
-            .borrow_mut()
-            .meta
-            .insert(seq, (arrival, service));
+        self.state.borrow_mut().meta.insert(seq, (arrival, service));
     }
 
     /// Completed-request latency histogram (arrival → service done).
@@ -518,7 +520,10 @@ mod tests {
         assert_eq!(p.backoff(3), Some(Cycles(5_000)), "capped");
         assert_eq!(p.backoff(4), None, "budget spent");
         // Huge retry counts must not overflow the shift.
-        let wide = RetryPolicy { max_retries: u32::MAX, ..p };
+        let wide = RetryPolicy {
+            max_retries: u32::MAX,
+            ..p
+        };
         assert_eq!(wide.backoff(200), Some(Cycles(5_000)));
     }
 

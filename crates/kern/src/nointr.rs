@@ -225,8 +225,7 @@ fn schedule_restart(
 fn sweep(s: &mut SupState, mach: &mut Machine, st: &Rc<RefCell<SupState>>) {
     let wards = s.wards.clone();
     for tid in wards {
-        if mach.thread_state(tid) == ThreadState::Disabled
-            && mach.thread_fault_time(tid).is_some()
+        if mach.thread_state(tid) == ThreadState::Disabled && mach.thread_fault_time(tid).is_some()
         {
             schedule_restart(s, mach, st, tid);
         }
@@ -295,8 +294,11 @@ impl Supervisor {
                 let ptid = mach.peek_u64(s.edp + 8);
                 mach.poke_u64(s.edp, 0); // ack: reopen the slot
                 mach.charge(Cycles(50)); // triage bookkeeping
-                if let Some(tid) =
-                    s.wards.iter().copied().find(|t| u64::from(t.ptid.0) == ptid)
+                if let Some(tid) = s
+                    .wards
+                    .iter()
+                    .copied()
+                    .find(|t| u64::from(t.ptid.0) == ptid)
                 {
                     schedule_restart(&mut s, mach, &st, tid);
                 }
@@ -354,8 +356,7 @@ mod tests {
     #[test]
     fn handler_wakes_per_event_and_reparks() {
         let mut m = Machine::new(MachineConfig::small());
-        let set =
-            EventHandlerSet::install(&mut m, 0, &[("timer", 500, 7)], 0x40000).unwrap();
+        let set = EventHandlerSet::install(&mut m, 0, &[("timer", 500, 7)], 0x40000).unwrap();
         m.run_for(Cycles(5_000));
         assert_eq!(
             m.thread_state(set.handlers[0].tid),
@@ -375,8 +376,7 @@ mod tests {
         // Events fired while the handler is mid-work must not be lost:
         // the counter-drain loop catches them.
         let mut m = Machine::new(MachineConfig::small());
-        let set =
-            EventHandlerSet::install(&mut m, 0, &[("nic", 2_000, 7)], 0x40000).unwrap();
+        let set = EventHandlerSet::install(&mut m, 0, &[("nic", 2_000, 7)], 0x40000).unwrap();
         m.run_for(Cycles(5_000));
         for _ in 0..5 {
             set.fire(&mut m, 0); // all at once
@@ -409,8 +409,7 @@ mod tests {
         // the "kernel scheduler" hardware thread wakes per tick.
         let mut m = Machine::new(MachineConfig::small());
         let set =
-            EventHandlerSet::install(&mut m, 0, &[("sched-tick", 1_000, 7)], 0x40000)
-                .unwrap();
+            EventHandlerSet::install(&mut m, 0, &[("sched-tick", 1_000, 7)], 0x40000).unwrap();
         m.run_for(Cycles(2_000));
         ApicTimer::start_periodic(
             &mut m,
@@ -458,7 +457,11 @@ mod tests {
         // turns it into a descriptor, the supervisor restarts it (and it
         // wedges again — the cycle is the point).
         m.run_for(Cycles(100_000));
-        assert!(sup.restarts() >= 2, "restart cycle running: {}", sup.restarts());
+        assert!(
+            sup.restarts() >= 2,
+            "restart cycle running: {}",
+            sup.restarts()
+        );
         assert_eq!(
             sup.recovery_latency().count(),
             sup.restarts(),
@@ -514,7 +517,11 @@ mod tests {
         m.start_thread(tb);
         m.run_for(Cycles(100_000));
         assert_eq!(m.peek_u64(ctr_a), 2, "ward A got its second life");
-        assert_eq!(m.peek_u64(ctr_b), 2, "ward B recovered despite no descriptor");
+        assert_eq!(
+            m.peek_u64(ctr_b),
+            2,
+            "ward B recovered despite no descriptor"
+        );
         assert_eq!(m.thread_state(ta), ThreadState::Halted);
         assert_eq!(m.thread_state(tb), ThreadState::Halted);
         assert_eq!(sup.restarts(), 2);
@@ -602,8 +609,7 @@ mod tests {
         // Core 99 does not exist: the error is a structured SimError
         // (machine layer), not a panic.
         let mut m = Machine::new(MachineConfig::small());
-        let Err(err) = Supervisor::install(&mut m, 99, RetryPolicy::default(), 0x40000)
-        else {
+        let Err(err) = Supervisor::install(&mut m, 99, RetryPolicy::default(), 0x40000) else {
             panic!("install on a nonexistent core must fail")
         };
         assert!(matches!(err, SimError::Machine { .. }), "{err}");

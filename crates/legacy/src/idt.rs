@@ -93,7 +93,10 @@ impl Idt {
         self.busy_until = done;
         self.delivered += 1;
         self.latency.record((handler_start - now).0);
-        Some(Delivery { handler_start, done })
+        Some(Delivery {
+            handler_start,
+            done,
+        })
     }
 
     /// `(delivered, dropped)` counts.

@@ -69,9 +69,8 @@ impl FlexScSyscalls {
     #[must_use]
     pub fn call(&self) -> SyscallCost {
         // A call waits on average for half the remaining batch to fill.
-        let fill_wait = Cycles(
-            self.mean_interarrival.0 * u64::from(self.batch.saturating_sub(1)) / 2,
-        );
+        let fill_wait =
+            Cycles(self.mean_interarrival.0 * u64::from(self.batch.saturating_sub(1)) / 2);
         let amortized_switch = Cycles(
             (self.costs.syscall_mode_switch.0 + self.costs.ctx_switch_direct.0)
                 / u64::from(self.batch),
@@ -116,8 +115,7 @@ mod tests {
         let costs = LegacyCosts::default();
         let f = FlexScSyscalls::new(costs, 64, Cycles(5));
         let sync = SyncSyscalls { costs };
-        let f_cpu_per_call =
-            (costs.syscall_mode_switch.0 + costs.ctx_switch_direct.0) / 64;
+        let f_cpu_per_call = (costs.syscall_mode_switch.0 + costs.ctx_switch_direct.0) / 64;
         assert!(f_cpu_per_call < sync.call().round_trip_overhead.0 / 4);
         // And yet its *latency* is worse — the paper's "unnecessary
         // trade-off".

@@ -49,7 +49,10 @@ impl CacheGeom {
             way_bytes
         );
         let sets = self.size_bytes / way_bytes;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         sets
     }
 

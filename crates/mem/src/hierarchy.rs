@@ -109,6 +109,62 @@ impl HierarchyConfig {
     }
 }
 
+/// A detached copy of one core's private cache levels (L1 + L2), used by
+/// the shard engine's epoch workers.
+///
+/// In the serial engine, only instructions executing on core `c` touch
+/// `l1[c]`/`l2[c]` (cross-core effects like DMA invalidates go through
+/// the machine and end the epoch), so a worker may run against a clone
+/// and the owner can splice it back verbatim at the epoch barrier —
+/// LRU stamps, dirty bits, and hit/miss counts land exactly as if the
+/// accesses had run serially. Accesses that would escalate to the shared
+/// L3 return `None`; the worker abandons the epoch instead.
+#[derive(Clone, Debug)]
+pub struct CoreCaches {
+    l1: Cache,
+    l2: Cache,
+    lat_l1: Cycles,
+    lat_l2: Cycles,
+    wb_l1: u64,
+    wb_l2: u64,
+}
+
+impl CoreCaches {
+    /// Serves one access from the private levels alone, mirroring the
+    /// L1/L2 prefix of [`Hierarchy::access`] exactly. `None` means the
+    /// line is in neither level and the access needs the shared L3.
+    pub fn try_access(
+        &mut self,
+        addr: PAddr,
+        kind: AccessKind,
+        part: PartitionId,
+    ) -> Option<AccessResult> {
+        let write = kind == AccessKind::Write;
+        if self.l1.access(addr, write) {
+            return Some(AccessResult {
+                latency: self.lat_l1,
+                level: HitLevel::L1,
+            });
+        }
+        if self.l2.access(addr, write) {
+            if self.l1.fill(addr, part, write).is_some() {
+                self.wb_l1 += 1;
+            }
+            return Some(AccessResult {
+                latency: self.lat_l2,
+                level: HitLevel::L2,
+            });
+        }
+        None
+    }
+
+    /// Whether the view's L1 holds the line (no LRU/statistics effect).
+    #[must_use]
+    pub fn l1_contains(&self, addr: PAddr) -> bool {
+        self.l1.contains(addr)
+    }
+}
+
 /// A multi-core cache hierarchy.
 #[derive(Clone, Debug)]
 pub struct Hierarchy {
@@ -207,6 +263,37 @@ impl Hierarchy {
             latency: self.config.lat_l3 + dram_lat,
             level: HitLevel::Dram,
         }
+    }
+
+    /// Clones `core`'s private levels into a [`CoreCaches`] view an epoch
+    /// worker can mutate off-thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn core_view(&self, core: usize) -> CoreCaches {
+        CoreCaches {
+            l1: self.l1[core].clone(),
+            l2: self.l2[core].clone(),
+            lat_l1: self.config.lat_l1,
+            lat_l2: self.config.lat_l2,
+            wb_l1: 0,
+            wb_l2: 0,
+        }
+    }
+
+    /// Splices a worker's [`CoreCaches`] view back as `core`'s private
+    /// levels and folds its write-back deltas into the machine totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn commit_core_view(&mut self, core: usize, view: CoreCaches) {
+        self.l1[core] = view.l1;
+        self.l2[core] = view.l2;
+        self.writebacks.0 += view.wb_l1;
+        self.writebacks.1 += view.wb_l2;
     }
 
     /// Dirty lines written back on eviction, per level `(l1, l2, l3)`.

@@ -55,7 +55,11 @@ impl core::fmt::Display for MonitorError {
 impl std::error::Error for MonitorError {}
 
 /// Common interface of monitor-filter implementations.
-pub trait MonitorFilter {
+///
+/// `Send + Sync` because the shard engine's epoch workers consult the
+/// filter read-only (via [`MonitorFilter::would_wake`]) from worker
+/// threads while the owning machine is parked at the epoch barrier.
+pub trait MonitorFilter: Send + Sync {
     /// Arms a watch on the byte range `[addr, addr + len)`.
     ///
     /// One watcher may arm multiple ranges (§3.1: "a hardware thread can
@@ -78,6 +82,21 @@ pub trait MonitorFilter {
     /// parked thread whose filter entries have vanished can never be woken
     /// by a store again.
     fn is_armed(&self, watcher: WatchId) -> bool;
+
+    /// Whether a store to `[addr, addr + len)` would produce at least one
+    /// wakeup (exact or false), without performing it. Pure: no statistics
+    /// move, so epoch workers may consult it through a shared reference.
+    fn would_wake(&self, addr: PAddr, len: u64) -> bool;
+
+    /// The cost [`MonitorFilter::on_store`] charges a store that wakes
+    /// nobody (`would_wake` false). Epoch workers charge this locally and
+    /// report the store count at commit via
+    /// [`MonitorFilter::note_quiet_stores`].
+    fn store_lookup_cost(&self) -> Cycles;
+
+    /// Accounts `count` stores that were checked off-thread and woke
+    /// nobody, so filter statistics match the serial engine's.
+    fn note_quiet_stores(&mut self, count: u64);
 }
 
 fn ranges_overlap(a_start: u64, a_len: u64, b_start: u64, b_len: u64) -> bool {
@@ -159,7 +178,10 @@ impl MonitorFilter for CamFilter {
         // semantics): software loops that arm before every condition
         // check must not leak filter entries.
         if let Some(ids) = self.by_watcher.get(&watcher) {
-            if ids.iter().any(|id| self.entries[id] == (watcher, addr, len)) {
+            if ids
+                .iter()
+                .any(|id| self.entries[id] == (watcher, addr, len))
+            {
                 return Ok(());
             }
         }
@@ -243,6 +265,30 @@ impl MonitorFilter for CamFilter {
         self.by_watcher
             .get(&watcher)
             .is_some_and(|ids| !ids.is_empty())
+    }
+
+    fn would_wake(&self, addr: PAddr, len: u64) -> bool {
+        let len = len.max(1);
+        if self.entries.is_empty() {
+            return false;
+        }
+        let hit = |id: &u64| {
+            let (_, a, l) = self.entries[id];
+            ranges_overlap(addr.0, len, a.0, l)
+        };
+        lines_covering(addr, len).any(|line| {
+            self.by_line
+                .get(&line.0)
+                .is_some_and(|ids| ids.iter().any(hit))
+        }) || self.large.iter().any(hit)
+    }
+
+    fn store_lookup_cost(&self) -> Cycles {
+        self.lookup_cost
+    }
+
+    fn note_quiet_stores(&mut self, count: u64) {
+        self.stores_checked += count;
     }
 }
 
@@ -362,6 +408,21 @@ impl MonitorFilter for HashFilter {
             .get(&watcher)
             .is_some_and(|lines| !lines.is_empty())
     }
+
+    fn would_wake(&self, addr: PAddr, len: u64) -> bool {
+        // Line-granular: any armed entry on a stored line wakes, even if
+        // the byte ranges are disjoint (a false wakeup is still a wakeup).
+        let len = len.max(1);
+        lines_covering(addr, len).any(|line| self.lines.contains_key(&line.0))
+    }
+
+    fn store_lookup_cost(&self) -> Cycles {
+        // Empty buckets are removed on disarm, so a store that wakes
+        // nobody scans zero entries and pays only the base probe.
+        self.base_cost
+    }
+
+    fn note_quiet_stores(&mut self, _count: u64) {}
 }
 
 #[cfg(test)]
@@ -689,7 +750,7 @@ mod index_equivalence {
             2 => 8,
             3 => 16,
             4 => 100,
-            5 => 0, // zero-len: treated as one byte
+            5 => 0,                          // zero-len: treated as one byte
             6 => 64 * (INDEX_MAX_LINES + 2), // forces the `large` path
             _ => 48,
         };

@@ -110,6 +110,61 @@ impl WakePrefetcher {
     pub fn captured_len(&self, thread: WatchId) -> usize {
         self.sets.get(&thread).map_or(0, |s| s.lines.len())
     }
+
+    /// Clones the capture state for `threads` into a [`PrefetchView`] an
+    /// epoch worker can record into off-thread. Wake replay never happens
+    /// inside a committed epoch (a wake ends it), so only capture state
+    /// travels.
+    pub fn core_view<I: IntoIterator<Item = WatchId>>(&self, threads: I) -> PrefetchView {
+        let mut sets = FxHashMap::default();
+        for t in threads {
+            if let Some(ws) = self.sets.get(&t) {
+                sets.insert(t, ws.clone());
+            }
+        }
+        PrefetchView {
+            sets,
+            capacity: self.capacity,
+            enabled: self.enabled,
+        }
+    }
+
+    /// Folds a worker's [`PrefetchView`] back in: each thread's captured
+    /// set is replaced wholesale (per-thread state, so per-key overwrite
+    /// reproduces the serial outcome regardless of merge order).
+    pub fn absorb(&mut self, view: PrefetchView) {
+        for (t, ws) in view.sets {
+            self.sets.insert(t, ws);
+        }
+    }
+}
+
+/// A detached slice of [`WakePrefetcher`] capture state for the threads
+/// enrolled on one core, mutated by an epoch worker and folded back with
+/// [`WakePrefetcher::absorb`] at commit.
+#[derive(Clone, Debug)]
+pub struct PrefetchView {
+    sets: FxHashMap<WatchId, WorkingSet>,
+    capacity: usize,
+    enabled: bool,
+}
+
+impl PrefetchView {
+    /// Notes that `thread` touched `addr`; identical recency/eviction
+    /// behaviour to [`WakePrefetcher::record_access`].
+    pub fn record_access(&mut self, thread: WatchId, addr: PAddr) {
+        if !self.enabled {
+            return;
+        }
+        let set = self.sets.entry(thread).or_default();
+        let line = addr.line();
+        if let Some(pos) = set.lines.iter().position(|&l| l == line) {
+            set.lines.remove(pos);
+        } else if set.lines.len() >= self.capacity {
+            set.lines.remove(0);
+        }
+        set.lines.push(line);
+    }
 }
 
 #[cfg(test)]

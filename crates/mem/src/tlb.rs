@@ -139,7 +139,11 @@ mod tests {
         t.access(0, 0);
         t.access(0, 99); // evicts page 1
         assert_eq!(t.access(0, 0), Cycles::ZERO);
-        assert_eq!(t.access(0, 1), Cycles(100), "page 1 should have been evicted");
+        assert_eq!(
+            t.access(0, 1),
+            Cycles(100),
+            "page 1 should have been evicted"
+        );
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl ChaosPlan {
                     let step = (to - from) / 3;
                     for (i, r) in [rate / 4.0, rate / 2.0, rate].iter().enumerate() {
                         let f = from + step * i as u64;
-                        let t = if i == 2 { to } else { from + step * (i as u64 + 1) };
+                        let t = if i == 2 {
+                            to
+                        } else {
+                            from + step * (i as u64 + 1)
+                        };
                         bursts.push(ChaosBurst {
                             kind,
                             device,
@@ -167,8 +171,12 @@ impl ChaosPlan {
     /// the plan always passes [`FaultPlan`] validation.
     fn canonicalise(&mut self) {
         self.bursts.sort_by(|a, b| {
-            (a.kind.index(), a.device, a.from.0, a.to.0)
-                .cmp(&(b.kind.index(), b.device, b.from.0, b.to.0))
+            (a.kind.index(), a.device, a.from.0, a.to.0).cmp(&(
+                b.kind.index(),
+                b.device,
+                b.from.0,
+                b.to.0,
+            ))
         });
         let mut out: Vec<ChaosBurst> = Vec::with_capacity(self.bursts.len());
         let mut cursor: Option<(usize, u8, u64)> = None;
@@ -214,7 +222,12 @@ impl ChaosPlan {
             let _ = writeln!(
                 s,
                 "burst {} {} {} {} {:016x} # rate≈{:.2e}",
-                b.kind, b.device, b.from.0, b.to.0, b.rate.to_bits(), b.rate
+                b.kind,
+                b.device,
+                b.from.0,
+                b.to.0,
+                b.rate.to_bits(),
+                b.rate
             );
         }
         if let Some(d) = self.digest {
@@ -246,12 +259,7 @@ impl ChaosPlan {
             bursts: Vec::new(),
             digest: None,
         };
-        fn take_u64<'a, I>(
-            f: &mut I,
-            n: usize,
-            what: &str,
-            radix: u32,
-        ) -> Result<u64, SimError>
+        fn take_u64<'a, I>(f: &mut I, n: usize, what: &str, radix: u32) -> Result<u64, SimError>
         where
             I: Iterator<Item = &'a str>,
         {

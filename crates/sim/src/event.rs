@@ -319,10 +319,7 @@ impl<E> EventQueue<E> {
             // Slot FIFOs are kept in seq order; the restored entry is
             // older than anything scheduled after it was popped, so it
             // re-enters ahead of those.
-            let pos = fifo
-                .iter()
-                .position(|e| e.seq > seq)
-                .unwrap_or(fifo.len());
+            let pos = fifo.iter().position(|e| e.seq > seq).unwrap_or(fifo.len());
             fifo.insert(pos, entry);
             self.occupied[slot >> 6] |= 1 << (slot & 63);
         } else {
@@ -381,10 +378,7 @@ impl<E> EventQueue<E> {
             let e = self.wheel[slot].front().expect("occupied slot");
             (e.at, e.seq, slot)
         });
-        let over = self
-            .overflow
-            .peek()
-            .map(|Reverse(e)| (e.at, e.seq));
+        let over = self.overflow.peek().map(|Reverse(e)| (e.at, e.seq));
         match (wheel, over) {
             (None, None) => None,
             (Some((at, seq, slot)), None) => Some((Src::Wheel(slot), at, seq)),
@@ -457,7 +451,9 @@ impl<E> EventQueue<E> {
     /// pops see a live minimum.
     fn drop_cancelled(&mut self) {
         while self.cancelled_queued != 0 {
-            let Some((src, _, seq)) = self.min_src() else { break };
+            let Some((src, _, seq)) = self.min_src() else {
+                break;
+            };
             let head_cancelled = if seq >= self.ring_base {
                 self.ring[(seq - self.ring_base) as usize] == CANCELLED
             } else {
@@ -643,8 +639,14 @@ mod tests {
         // Both original events are now far behind the ring window.
         assert_eq!(q.len(), 1);
         assert_eq!(q.cancelled_backlog(), 1);
-        assert!(!q.cancel(old_cancel), "second cancel stays false when spilled");
-        assert!(q.cancel(old_live), "spilled live event is still cancellable");
+        assert!(
+            !q.cancel(old_cancel),
+            "second cancel stays false when spilled"
+        );
+        assert!(
+            q.cancel(old_live),
+            "spilled live event is still cancellable"
+        );
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
         assert_eq!(q.cancelled_backlog(), 0, "lazy removal drains spilled seqs");
@@ -660,7 +662,10 @@ mod tests {
         }
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop(), Some((Cycles(u64::MAX), "survivor")));
-        assert!(!q.cancel(survivor), "cancel after pop is false for spilled seq");
+        assert!(
+            !q.cancel(survivor),
+            "cancel after pop is false for spilled seq"
+        );
         assert_eq!(q.len(), 0);
     }
 

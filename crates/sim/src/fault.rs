@@ -121,12 +121,10 @@ impl FaultKind {
     #[must_use]
     pub fn component(self) -> FaultComponent {
         match self {
-            FaultKind::NicDrop | FaultKind::NicCorrupt | FaultKind::NicStall => {
-                FaultComponent::Nic
+            FaultKind::NicDrop | FaultKind::NicCorrupt | FaultKind::NicStall => FaultComponent::Nic,
+            FaultKind::SsdReadError | FaultKind::SsdLatencySpike | FaultKind::SsdTornCompletion => {
+                FaultComponent::Ssd
             }
-            FaultKind::SsdReadError
-            | FaultKind::SsdLatencySpike
-            | FaultKind::SsdTornCompletion => FaultComponent::Ssd,
             FaultKind::FabricLoss | FaultKind::FabricReorder => FaultComponent::Fabric,
             FaultKind::MsixLostInterrupt => FaultComponent::Msix,
         }
@@ -237,11 +235,9 @@ pub enum FaultPlanError {
 impl core::fmt::Display for FaultPlanError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            FaultPlanError::EmptyWindow { kind, from, to } => write!(
-                f,
-                "{kind}: window [{}, {}) is empty",
-                from.0, to.0
-            ),
+            FaultPlanError::EmptyWindow { kind, from, to } => {
+                write!(f, "{kind}: window [{}, {}) is empty", from.0, to.0)
+            }
             FaultPlanError::OverlappingWindows {
                 kind,
                 device,
@@ -601,11 +597,7 @@ mod tests {
 
     #[test]
     fn delay_in_configured_range() {
-        let mut p = FaultPlan::new(5).with_delay(
-            FaultKind::FabricReorder,
-            Cycles(10),
-            Cycles(20),
-        );
+        let mut p = FaultPlan::new(5).with_delay(FaultKind::FabricReorder, Cycles(10), Cycles(20));
         for _ in 0..1_000 {
             let d = p.draw_delay(FaultKind::FabricReorder);
             assert!((10..=20).contains(&d.0), "delay {d:?}");
@@ -675,7 +667,13 @@ mod tests {
         let err = FaultPlan::new(1)
             .try_with_burst(FaultKind::NicDrop, 2, 0.1, Cycles(0), Cycles(10))
             .unwrap_err();
-        assert_eq!(err, FaultPlanError::DeviceOutOfRange { device: 2, count: 1 });
+        assert_eq!(
+            err,
+            FaultPlanError::DeviceOutOfRange {
+                device: 2,
+                count: 1
+            }
+        );
         FaultPlan::new(1)
             .with_devices(3)
             .try_with_burst(FaultKind::NicDrop, 2, 0.1, Cycles(0), Cycles(10))
@@ -688,7 +686,10 @@ mod tests {
             let err = FaultPlan::new(1)
                 .try_with_burst(FaultKind::NicDrop, 0, bad, Cycles(0), Cycles(10))
                 .unwrap_err();
-            assert!(matches!(err, FaultPlanError::RateOutOfRange { .. }), "{bad}");
+            assert!(
+                matches!(err, FaultPlanError::RateOutOfRange { .. }),
+                "{bad}"
+            );
         }
     }
 
@@ -743,8 +744,12 @@ mod tests {
             .with_rate(FaultKind::NicDrop, 0.5)
             .try_with_burst(FaultKind::NicDrop, 0, 0.0, Cycles(10), Cycles(20))
             .unwrap();
-        let a: Vec<bool> = (0..10).map(|i| plain.draw(Cycles(i), FaultKind::NicDrop)).collect();
-        let b: Vec<bool> = (0..10).map(|i| calmed.draw(Cycles(i), FaultKind::NicDrop)).collect();
+        let a: Vec<bool> = (0..10)
+            .map(|i| plain.draw(Cycles(i), FaultKind::NicDrop))
+            .collect();
+        let b: Vec<bool> = (0..10)
+            .map(|i| calmed.draw(Cycles(i), FaultKind::NicDrop))
+            .collect();
         assert_eq!(a, b);
         // Querying inside the calm window fires nothing and draws nothing…
         for i in 10..20 {
@@ -752,8 +757,12 @@ mod tests {
         }
         // …so after the window the calmed plan's stream matches a plan
         // that was simply never queried during [10, 20).
-        let a: Vec<bool> = (20..40).map(|i| plain.draw(Cycles(i), FaultKind::NicDrop)).collect();
-        let b: Vec<bool> = (20..40).map(|i| calmed.draw(Cycles(i), FaultKind::NicDrop)).collect();
+        let a: Vec<bool> = (20..40)
+            .map(|i| plain.draw(Cycles(i), FaultKind::NicDrop))
+            .collect();
+        let b: Vec<bool> = (20..40)
+            .map(|i| calmed.draw(Cycles(i), FaultKind::NicDrop))
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -27,7 +27,11 @@ pub struct Violation {
 
 impl core::fmt::Display for Violation {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "[{}] {} at cycle {}", self.invariant, self.detail, self.at.0)
+        write!(
+            f,
+            "[{}] {} at cycle {}",
+            self.invariant, self.detail, self.at.0
+        )
     }
 }
 

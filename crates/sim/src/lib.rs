@@ -67,11 +67,12 @@ pub mod chaos;
 pub mod error;
 pub mod event;
 pub mod fault;
-pub mod invariant;
 pub mod hash;
+pub mod invariant;
 pub mod par;
 pub mod report;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;

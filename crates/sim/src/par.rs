@@ -21,20 +21,48 @@ use std::sync::mpsc;
 /// worker count is requested.
 pub const JOBS_ENV: &str = "SWITCHLESS_JOBS";
 
+/// Parses a `SWITCHLESS_JOBS` value: `Ok(Some(n))` for a positive count,
+/// `Ok(None)` for "auto" (empty/whitespace or an explicit `0`, deferring
+/// to the host's available parallelism), `Err` for anything else.
+///
+/// Malformed values are errors, never silently ignored: a typo like
+/// `SWITCHLESS_JOBS=4x` in CI would otherwise fall back to host
+/// parallelism and quietly change what a determinism diff covers.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the variable and the rejected
+/// value.
+pub fn parse_jobs_env(raw: &str) -> Result<Option<usize>, String> {
+    let v = raw.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    match v.parse::<usize>() {
+        Ok(0) => Ok(None), // explicit "auto"
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "{JOBS_ENV} must be a worker count (0 means auto), got {v:?}"
+        )),
+    }
+}
+
 /// Resolves a worker count: `requested` (a CLI `--jobs N`) wins, then the
-/// `SWITCHLESS_JOBS` environment variable, then the host's available
-/// parallelism. The result is always at least 1.
+/// `SWITCHLESS_JOBS` environment variable (`0` or empty means "auto"),
+/// then the host's available parallelism. The result is always at least 1.
+///
+/// # Panics
+///
+/// Panics on a malformed `SWITCHLESS_JOBS` value (see [`parse_jobs_env`]).
 #[must_use]
 pub fn resolve_jobs(requested: Option<usize>) -> usize {
-    let n = requested
-        .or_else(|| {
-            std::env::var(JOBS_ENV)
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-        })
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        });
+    let from_env = || match std::env::var(JOBS_ENV) {
+        Ok(raw) => parse_jobs_env(&raw).unwrap_or_else(|msg| panic!("{msg}")),
+        Err(_) => None,
+    };
+    let n = requested.or_else(from_env).unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
     n.max(1)
 }
 
@@ -132,6 +160,67 @@ where
     });
 }
 
+/// Like [`par_map`], but each worker takes **ownership** of its item —
+/// for per-item state that is `Send` but not `Sync`, or that `f` must
+/// consume (e.g. a shard worker consuming its per-core staging state).
+/// Results are returned in input order; with `jobs <= 1` (or fewer than
+/// two items) everything runs inline with no threads spawned.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn par_map_owned<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let slots: Vec<std::sync::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| std::sync::Mutex::new(Some(t)))
+        .collect();
+    let workers = jobs.min(n);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (cursor, slots, f) = (&cursor, &slots, &f);
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("item claimed twice");
+                if tx.send((i, f(i, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut pending: BTreeMap<usize, R> = BTreeMap::new();
+        for _ in 0..n {
+            let (i, r) = rx
+                .recv()
+                .expect("worker thread died before finishing its items");
+            pending.insert(i, r);
+        }
+        pending.into_values().collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +255,35 @@ mod tests {
         assert_eq!(resolve_jobs(Some(3)), 3);
         assert_eq!(resolve_jobs(Some(0)), 1);
         assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn parse_jobs_env_accepts_counts_and_auto() {
+        assert_eq!(parse_jobs_env("4"), Ok(Some(4)));
+        assert_eq!(parse_jobs_env(" 16 "), Ok(Some(16)));
+        assert_eq!(parse_jobs_env("0"), Ok(None), "0 means auto");
+        assert_eq!(parse_jobs_env(""), Ok(None));
+        assert_eq!(parse_jobs_env("   "), Ok(None));
+    }
+
+    #[test]
+    fn parse_jobs_env_rejects_malformed_values() {
+        for bad in ["4x", "x4", "-1", "1.5", "four", "0x4"] {
+            let err = parse_jobs_env(bad).unwrap_err();
+            assert!(err.contains(JOBS_ENV), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
+    }
+
+    #[test]
+    fn par_map_owned_matches_serial_for_any_worker_count() {
+        // Items are owned (and not Copy) to exercise the move path.
+        let mk = || -> Vec<String> { (0..40).map(|i| format!("item-{i}")).collect() };
+        let seq = par_map_owned(1, mk(), |i, s| format!("{s}/{i}"));
+        for jobs in [2, 4, 9, 64] {
+            assert_eq!(par_map_owned(jobs, mk(), |i, s| format!("{s}/{i}")), seq);
+        }
+        assert!(par_map_owned(4, Vec::<String>::new(), |_, s| s).is_empty());
     }
 
     #[test]

@@ -335,10 +335,7 @@ mod tests {
         t.row(&["only-one"]);
         t.row(&["1", "2", "3", "4"]); // longer than the header
         let csv = t.to_csv();
-        let widths: Vec<usize> = csv
-            .lines()
-            .map(|l| l.split(',').count())
-            .collect();
+        let widths: Vec<usize> = csv.lines().map(|l| l.split(',').count()).collect();
         assert_eq!(widths, vec![4, 4, 4], "every line padded to the widest");
         assert!(csv.contains("only-one,,,"));
         assert!(csv.starts_with("a,b,c,\n"));

@@ -1,0 +1,257 @@
+//! Deterministic merge machinery for conservative parallel
+//! discrete-event execution (the core-sharded epoch engine).
+//!
+//! An *epoch* runs one worker per simulated core on a disjoint slice of
+//! machine state. Each worker replays the events staged for its core —
+//! plus any events it creates for itself — strictly in the serial
+//! engine's order *restricted to that core*. To commit the epoch, the
+//! host must reconstruct the **global** serial order (so cross-record
+//! effects such as wake-latency samples and `now` evolution land in the
+//! right sequence) and assign every worker-created event the queue
+//! sequence number the serial engine would have given it.
+//!
+//! That reconstruction is [`merge_epoch`]: a k-way merge keyed by
+//! `(time, virtual sequence)`, where the virtual sequence of a staged
+//! event is its staging index (staging pops events in `(time, seq)`
+//! order, so staging order *is* relative seq order) and worker-created
+//! events receive fresh sequences — `staged_total + n` — in merged
+//! creation order, which equals serial creation order by induction:
+//! a record's creations are assigned when the record merges, and the
+//! record merges exactly at its serial position.
+
+use crate::time::Cycles;
+
+/// Identity of one event popped by an epoch worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PopKey {
+    /// An event staged out of the real queue before the epoch; the
+    /// payload is its staging index (0-based, in staging pop order).
+    Staged(u64),
+    /// An event the worker created during the epoch; the payload is the
+    /// worker's local creation index (0-based, in creation order).
+    Fresh(u64),
+}
+
+/// One pop performed by an epoch worker, in local execution order.
+pub trait EpochRecord {
+    /// Simulated time the event was due (and was handled).
+    fn time(&self) -> Cycles;
+    /// Which event was popped.
+    fn key(&self) -> PopKey;
+    /// How many fresh events handling this pop scheduled.
+    fn creates(&self) -> u64;
+}
+
+/// Reconstructs the global serial order of per-core record streams.
+///
+/// `streams[c]` is core `c`'s pops in local order; `staged_total` is the
+/// number of events staged out of the real queue for the whole epoch.
+/// Returns the records in global serial order (tagged with their core)
+/// and, per core, the global virtual sequence assigned to each of its
+/// fresh creations (index = local creation index).
+///
+/// Virtual sequences order exactly like the serial queue's sequence
+/// numbers: events alive at epoch start predate anything scheduled
+/// during the epoch, and staging order / creation order preserve
+/// relative sequence order within each class.
+///
+/// # Panics
+///
+/// Panics if a stream references a fresh event whose creating record has
+/// not merged yet — impossible for well-formed worker output (a worker
+/// can only pop events it already created) and a bug worth halting on.
+pub fn merge_epoch<R: EpochRecord>(
+    staged_total: u64,
+    streams: Vec<Vec<R>>,
+) -> (Vec<(usize, R)>, Vec<Vec<u64>>) {
+    let ncores = streams.len();
+    let mut iters: Vec<std::vec::IntoIter<R>> = streams.into_iter().map(Vec::into_iter).collect();
+    // One-slot lookahead per stream (heads under comparison).
+    let mut heads: Vec<Option<R>> = iters.iter_mut().map(Iterator::next).collect();
+    let mut fresh_seq: Vec<Vec<u64>> = vec![Vec::new(); ncores];
+    let mut next_fresh = staged_total;
+    let total: usize =
+        iters.iter().map(|i| i.len()).sum::<usize>() + heads.iter().filter(|h| h.is_some()).count();
+    let mut merged: Vec<(usize, R)> = Vec::with_capacity(total);
+
+    loop {
+        // Resolve each live head to its (time, vseq) sort key. Heads are
+        // always resolvable: every earlier record of the same core has
+        // merged, so every fresh event this core popped has its seq.
+        let mut best: Option<(Cycles, u64, usize)> = None;
+        for (core, head) in heads.iter().enumerate() {
+            let Some(r) = head else { continue };
+            let vseq = match r.key() {
+                PopKey::Staged(i) => {
+                    debug_assert!(i < staged_total, "staging index out of range");
+                    i
+                }
+                PopKey::Fresh(local) => *fresh_seq[core].get(local as usize).unwrap_or_else(|| {
+                    panic!("core {core} popped fresh event {local} before creating it")
+                }),
+            };
+            let key = (r.time(), vseq, core);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, core)) = best else { break };
+        let r = heads[core].take().expect("best head exists");
+        for _ in 0..r.creates() {
+            fresh_seq[core].push(next_fresh);
+            next_fresh += 1;
+        }
+        merged.push((core, r));
+        heads[core] = iters[core].next();
+    }
+    (merged, fresh_seq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Rec {
+        time: Cycles,
+        key: PopKey,
+        creates: u64,
+    }
+
+    impl Rec {
+        fn new(time: u64, key: PopKey, creates: u64) -> Rec {
+            Rec {
+                time: Cycles(time),
+                key,
+                creates,
+            }
+        }
+    }
+
+    impl EpochRecord for Rec {
+        fn time(&self) -> Cycles {
+            self.time
+        }
+        fn key(&self) -> PopKey {
+            self.key
+        }
+        fn creates(&self) -> u64 {
+            self.creates
+        }
+    }
+
+    fn keys(merged: &[(usize, Rec)]) -> Vec<(usize, PopKey)> {
+        merged.iter().map(|(c, r)| (*c, r.key())).collect()
+    }
+
+    #[test]
+    fn staged_interleave_by_time_then_staging_index() {
+        // Staging order: idx 0 @ t=5 (core 0), idx 1 @ t=5 (core 1),
+        // idx 2 @ t=3 (core 1). Global order sorts by (time, idx).
+        let c0 = vec![Rec::new(5, PopKey::Staged(0), 0)];
+        let c1 = vec![
+            Rec::new(3, PopKey::Staged(2), 0),
+            Rec::new(5, PopKey::Staged(1), 0),
+        ];
+        let (merged, fresh) = merge_epoch(3, vec![c0, c1]);
+        assert_eq!(
+            keys(&merged),
+            vec![
+                (1, PopKey::Staged(2)),
+                (0, PopKey::Staged(0)),
+                (1, PopKey::Staged(1)),
+            ]
+        );
+        assert!(fresh.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn fresh_chain_gets_sequences_in_merged_creation_order() {
+        // Core 0: staged pop at t=10 creates one event, popped at t=20
+        // (creating another, left unpopped). Core 1: staged pop at t=15
+        // creating one event popped at t=16.
+        let c0 = vec![
+            Rec::new(10, PopKey::Staged(0), 1),
+            Rec::new(20, PopKey::Fresh(0), 1),
+        ];
+        let c1 = vec![
+            Rec::new(15, PopKey::Staged(1), 1),
+            Rec::new(16, PopKey::Fresh(0), 0),
+        ];
+        let (merged, fresh) = merge_epoch(2, vec![c0, c1]);
+        assert_eq!(
+            keys(&merged),
+            vec![
+                (0, PopKey::Staged(0)),
+                (1, PopKey::Staged(1)),
+                (1, PopKey::Fresh(0)),
+                (0, PopKey::Fresh(0)),
+            ]
+        );
+        // Creation order: core 0's first (t=10 record), core 1's (t=15),
+        // core 0's second (t=20). Sequences continue after the 2 staged.
+        assert_eq!(fresh[0], vec![2, 4]);
+        assert_eq!(fresh[1], vec![3]);
+    }
+
+    #[test]
+    fn staged_beats_fresh_on_time_tie() {
+        // Core 0 creates an event then pops it at t=7; core 1 pops a
+        // staged event also due at t=7. Staged seqs predate any epoch
+        // creation, so core 1 goes first.
+        let c0 = vec![
+            Rec::new(3, PopKey::Staged(0), 1),
+            Rec::new(7, PopKey::Fresh(0), 0),
+        ];
+        let c1 = vec![Rec::new(7, PopKey::Staged(1), 0)];
+        let (merged, _) = merge_epoch(2, vec![c0, c1]);
+        assert_eq!(
+            keys(&merged),
+            vec![
+                (0, PopKey::Staged(0)),
+                (1, PopKey::Staged(1)),
+                (0, PopKey::Fresh(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn fresh_tie_resolved_by_creation_order() {
+        // Both cores create at their first (staged) record; core 1's
+        // record merges first (earlier time), so its creation gets the
+        // lower sequence and wins the t=9 tie.
+        let c0 = vec![
+            Rec::new(5, PopKey::Staged(1), 1),
+            Rec::new(9, PopKey::Fresh(0), 0),
+        ];
+        let c1 = vec![
+            Rec::new(4, PopKey::Staged(0), 1),
+            Rec::new(9, PopKey::Fresh(0), 0),
+        ];
+        let (merged, fresh) = merge_epoch(2, vec![c0, c1]);
+        assert_eq!(
+            keys(&merged),
+            vec![
+                (1, PopKey::Staged(0)),
+                (0, PopKey::Staged(1)),
+                (1, PopKey::Fresh(0)),
+                (0, PopKey::Fresh(0)),
+            ]
+        );
+        assert_eq!(fresh[0], vec![3]);
+        assert_eq!(fresh[1], vec![2]);
+    }
+
+    #[test]
+    fn empty_streams_merge_to_nothing() {
+        let (merged, fresh) = merge_epoch::<Rec>(0, vec![Vec::new(), Vec::new()]);
+        assert!(merged.is_empty());
+        assert_eq!(fresh, vec![Vec::<u64>::new(), Vec::new()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before creating it")]
+    fn popping_uncreated_fresh_event_panics() {
+        let c0 = vec![Rec::new(1, PopKey::Fresh(0), 0)];
+        let _ = merge_epoch(0, vec![c0]);
+    }
+}

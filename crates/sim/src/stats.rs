@@ -118,9 +118,7 @@ impl Summary {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -380,9 +378,7 @@ impl Counters {
     /// Current value of `name` (0 if never bumped).
     #[must_use]
     pub fn get(&self, name: &str) -> u64 {
-        self.index
-            .get(name)
-            .map_or(0, |&i| self.slots[i as usize])
+        self.index.get(name).map_or(0, |&i| self.slots[i as usize])
     }
 
     /// Iterates `(name, value)` of every nonzero counter, in name order

@@ -22,7 +22,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>10}] {:<8} {}", self.at.0, self.category, self.message)
+        write!(
+            f,
+            "[{:>10}] {:<8} {}",
+            self.at.0, self.category, self.message
+        )
     }
 }
 
@@ -77,7 +81,11 @@ impl TraceRing {
         if !self.enabled {
             return;
         }
-        let ev = TraceEvent { at, category, message };
+        let ev = TraceEvent {
+            at,
+            category,
+            message,
+        };
         if self.events.len() < self.capacity {
             self.events.push(ev);
         } else {
@@ -91,7 +99,12 @@ impl TraceRing {
     /// lazily: `message()` runs only when the ring will actually store
     /// it. Use this on hot paths — with tracing disabled (the default)
     /// the call is a single branch, no formatting, no allocation.
-    pub fn record_with(&mut self, at: Cycles, category: &'static str, message: impl FnOnce() -> String) {
+    pub fn record_with(
+        &mut self,
+        at: Cycles,
+        category: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
         if !self.enabled {
             return;
         }

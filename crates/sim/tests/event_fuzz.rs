@@ -1,0 +1,203 @@
+//! Differential fuzz for `EventQueue`: random interleavings of
+//! `schedule` / `cancel` / `pop_due` / `pop_keyed` / `restore` with times
+//! spanning well past the 4096-cycle wheel horizon, checked against a
+//! naive reference model (a flat list ordered by the same `(time, issue
+//! order)` key). This is exactly the API surface the burst engine and the
+//! shard engine lean on; wheel-cursor and overflow-spill bugs hide here.
+
+use std::collections::BTreeSet;
+
+use switchless_sim::event::{EventQueue, EventToken};
+use switchless_sim::rng::Rng;
+use switchless_sim::time::Cycles;
+
+/// Where a scheduled event currently is, from the model's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Where {
+    /// In the queue, poppable.
+    Live,
+    /// Removed with `pop_keyed`, restorable.
+    Held,
+    /// Popped for good or cancelled.
+    Gone,
+}
+
+struct Rec {
+    at: Cycles,
+    token: EventToken,
+    val: u64,
+    site: Where,
+}
+
+/// The reference model. The queue orders by `(time, schedule order)` and
+/// `restore` preserves the original key, so an ordered set of
+/// `(time, issue index)` pairs — the textbook priority-queue semantics —
+/// is the whole specification.
+struct Model {
+    recs: Vec<Rec>,
+    live: BTreeSet<(Cycles, usize)>,
+}
+
+impl Model {
+    fn min_live(&self) -> Option<usize> {
+        self.live.first().map(|&(_, i)| i)
+    }
+
+    fn live_len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn set_site(&mut self, i: usize, site: Where) {
+        let key = (self.recs[i].at, i);
+        if site == Where::Live {
+            self.live.insert(key);
+        } else {
+            self.live.remove(&key);
+        }
+        self.recs[i].site = site;
+    }
+}
+
+fn fuzz_once(seed: u64, ops: u32) {
+    let mut rng = Rng::seed_from(seed);
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut model = Model {
+        recs: Vec::new(),
+        live: BTreeSet::new(),
+    };
+    // The clock only moves forward (as in the machine): events are always
+    // scheduled at or after the highest time handed out by `pop_due`.
+    let mut now = Cycles(0);
+    let mut next_val = 0u64;
+
+    for step in 0..ops {
+        let ctx = |what: &str| format!("seed {seed} step {step}: {what}");
+        match rng.next_below(100) {
+            // schedule: spread times across several wheel horizons.
+            0..=39 => {
+                let at = now + Cycles(rng.next_below(3 * 4096));
+                let val = next_val;
+                next_val += 1;
+                let token = q.schedule(at, val);
+                let i = model.recs.len();
+                model.recs.push(Rec {
+                    at,
+                    token,
+                    val,
+                    site: Where::Live,
+                });
+                model.live.insert((at, i));
+            }
+            // pop_due: bounded pop, advances the clock.
+            40..=64 => {
+                let bound = now + Cycles(rng.next_below(2 * 4096));
+                let got = q.pop_due(bound);
+                let want = model.min_live().filter(|&i| model.recs[i].at <= bound);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some((at, val)), Some(i)) => {
+                        let r = &model.recs[i];
+                        assert_eq!((at, val), (r.at, r.val), "{}", ctx("pop_due"));
+                        model.set_site(i, Where::Gone);
+                        now = now.max(at);
+                    }
+                    (got, want) => panic!(
+                        "{}: queue {:?} vs model {:?}",
+                        ctx("pop_due diverged"),
+                        got,
+                        want.map(|i| (model.recs[i].at, model.recs[i].val)),
+                    ),
+                }
+            }
+            // pop_keyed: unbounded pop that can be restored.
+            65..=79 => {
+                let got = q.pop_keyed();
+                match (got, model.min_live()) {
+                    (None, None) => {}
+                    (Some((at, token, val)), Some(i)) => {
+                        let r = &model.recs[i];
+                        assert_eq!(
+                            (at, token, val),
+                            (r.at, r.token, r.val),
+                            "{}",
+                            ctx("pop_keyed")
+                        );
+                        model.set_site(i, Where::Held);
+                    }
+                    (got, want) => panic!(
+                        "{}: queue {:?} vs model {:?}",
+                        ctx("pop_keyed diverged"),
+                        got,
+                        want.map(|i| (model.recs[i].at, model.recs[i].val)),
+                    ),
+                }
+            }
+            // restore: put a held entry back under its original key.
+            80..=89 => {
+                let held: Vec<usize> = (0..model.recs.len())
+                    .filter(|&i| model.recs[i].site == Where::Held)
+                    .collect();
+                if held.is_empty() {
+                    continue;
+                }
+                let i = held[rng.next_below(held.len() as u64) as usize];
+                let r = &model.recs[i];
+                q.restore(r.at, r.token, r.val);
+                model.set_site(i, Where::Live);
+            }
+            // cancel: any token ever issued; must report whether it was
+            // actually live (popped/cancelled tokens are refused).
+            _ => {
+                if model.recs.is_empty() {
+                    continue;
+                }
+                let i = rng.next_below(model.recs.len() as u64) as usize;
+                let r = &model.recs[i];
+                let want = r.site == Where::Live;
+                assert_eq!(q.cancel(r.token), want, "{}", ctx("cancel"));
+                if want {
+                    model.set_site(i, Where::Gone);
+                }
+            }
+        }
+        assert_eq!(q.len(), model.live_len(), "{}", ctx("len"));
+        let want_deadline = model.min_live().map(|i| model.recs[i].at);
+        assert_eq!(q.peek_time(), want_deadline, "{}", ctx("peek_time"));
+        if let Some(t) = q.next_deadline() {
+            // next_deadline may report a stale (cancelled) earlier time —
+            // it is a cheap lower bound — but never a later one.
+            assert!(
+                want_deadline.is_some_and(|w| t <= w) || want_deadline.is_none(),
+                "{}",
+                ctx("next_deadline above true min")
+            );
+        }
+    }
+
+    // Drain what is left in the queue and check full order agreement.
+    while let Some((at, val)) = q.pop_due(Cycles(u64::MAX)) {
+        let i = model.min_live().expect("queue has more events than model");
+        let r = &model.recs[i];
+        assert_eq!((at, val), (r.at, r.val), "seed {seed}: drain order");
+        model.set_site(i, Where::Gone);
+    }
+    assert_eq!(
+        model.live_len(),
+        0,
+        "seed {seed}: model has leftover events"
+    );
+}
+
+#[test]
+fn event_queue_matches_reference_model_across_wheel_horizon() {
+    for seed in 0..12 {
+        fuzz_once(seed, 6_000);
+    }
+}
+
+#[test]
+fn event_queue_matches_reference_model_long_run() {
+    // One long run so the wheel window wraps many times and the recency
+    // ring (4096 entries) spills into its old_live/old_cancelled sets.
+    fuzz_once(0xfeed, 40_000);
+}

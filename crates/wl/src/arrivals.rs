@@ -70,10 +70,7 @@ mod tests {
     #[test]
     fn uniform_spacing_exact() {
         let ts = uniform_arrivals(Cycles(100), Cycles(50), 4);
-        assert_eq!(
-            ts,
-            vec![Cycles(100), Cycles(150), Cycles(200), Cycles(250)]
-        );
+        assert_eq!(ts, vec![Cycles(100), Cycles(150), Cycles(200), Cycles(250)]);
     }
 
     #[test]
@@ -125,7 +122,10 @@ mod closed_loop_tests {
         let span = (ts.last().unwrap().0 - ts[0].0).max(1);
         let rate = ts.len() as f64 / span as f64;
         let expect = 4.0 / 1500.0;
-        assert!((rate - expect).abs() / expect < 0.05, "rate {rate} vs {expect}");
+        assert!(
+            (rate - expect).abs() / expect < 0.05,
+            "rate {rate} vs {expect}"
+        );
     }
 
     #[test]

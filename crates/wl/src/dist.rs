@@ -35,6 +35,15 @@ pub enum ServiceDist {
     },
 }
 
+/// Normalized `(lo, hi)` bounds for a bounded Pareto: the scale is at
+/// least 1 and the truncation point strictly above it, even for
+/// degenerate configs (`max <= min`). `sample` and `mean` must agree on
+/// these or the analytic mean silently diverges from the sampler.
+fn pareto_bounds(min: u64, max: u64) -> (u64, u64) {
+    let lo = min.max(1);
+    (lo, max.max(lo + 1))
+}
+
 impl ServiceDist {
     /// Draws one service time.
     pub fn sample(&self, rng: &mut Rng) -> Cycles {
@@ -43,7 +52,11 @@ impl ServiceDist {
             ServiceDist::Exponential { mean } => {
                 Cycles((rng.next_exp(mean as f64).round() as u64).max(1))
             }
-            ServiceDist::Bimodal { p_short, short, long } => {
+            ServiceDist::Bimodal {
+                p_short,
+                short,
+                long,
+            } => {
                 if rng.chance(p_short) {
                     Cycles(short.max(1))
                 } else {
@@ -52,12 +65,13 @@ impl ServiceDist {
             }
             ServiceDist::BoundedPareto { min, max, alpha } => {
                 // Inverse-CDF sampling of a Pareto truncated at max.
-                let (l, h) = (min.max(1) as f64, max.max(min + 1) as f64);
+                let (lo, hi) = pareto_bounds(min, max);
+                let (l, h) = (lo as f64, hi as f64);
                 let u = rng.next_f64();
                 let la = l.powf(alpha);
                 let ha = h.powf(alpha);
                 let x = (-(u * (1.0 - la / ha) - 1.0)).powf(-1.0 / alpha) * l;
-                Cycles((x.round() as u64).clamp(min.max(1), max))
+                Cycles((x.round() as u64).clamp(lo, hi))
             }
         }
     }
@@ -69,17 +83,21 @@ impl ServiceDist {
         match *self {
             ServiceDist::Fixed(c) => c.max(1) as f64,
             ServiceDist::Exponential { mean } => mean as f64,
-            ServiceDist::Bimodal { p_short, short, long } => {
-                p_short * short as f64 + (1.0 - p_short) * long as f64
-            }
+            ServiceDist::Bimodal {
+                p_short,
+                short,
+                long,
+            } => p_short * short as f64 + (1.0 - p_short) * long as f64,
             ServiceDist::BoundedPareto { min, max, alpha } => {
-                let (l, h) = (min.max(1) as f64, max as f64);
+                let (lo, hi) = pareto_bounds(min, max);
+                let (l, h) = (lo as f64, hi as f64);
                 if (alpha - 1.0).abs() < 1e-9 {
                     // α = 1: mean = ln(h/l) / (1/l - 1/h)
                     (h / l).ln() / (1.0 / l - 1.0 / h)
                 } else {
                     let num = l.powf(alpha) / (1.0 - (l / h).powf(alpha));
-                    num * alpha / (alpha - 1.0) * (1.0 / l.powf(alpha - 1.0) - 1.0 / h.powf(alpha - 1.0))
+                    num * alpha / (alpha - 1.0)
+                        * (1.0 / l.powf(alpha - 1.0) - 1.0 / h.powf(alpha - 1.0))
                 }
             }
         }
@@ -91,7 +109,11 @@ impl ServiceDist {
         match *self {
             ServiceDist::Fixed(c) => format!("fixed({c})"),
             ServiceDist::Exponential { mean } => format!("exp({mean})"),
-            ServiceDist::Bimodal { p_short, short, long } => {
+            ServiceDist::Bimodal {
+                p_short,
+                short,
+                long,
+            } => {
                 format!("bimodal({p_short:.2}:{short},{long})")
             }
             ServiceDist::BoundedPareto { min, max, alpha } => {
@@ -134,9 +156,7 @@ mod tests {
             long: 100_000,
         };
         let n = 100_000;
-        let shorts = (0..n)
-            .filter(|_| d.sample(&mut r) == Cycles(1000))
-            .count();
+        let shorts = (0..n).filter(|_| d.sample(&mut r) == Cycles(1000)).count();
         let frac = shorts as f64 / n as f64;
         assert!((frac - 0.9).abs() < 0.01, "short fraction {frac}");
         assert!((d.mean() - (0.9 * 1000.0 + 0.1 * 100_000.0)).abs() < 1e-9);
@@ -184,12 +204,57 @@ mod tests {
     }
 
     #[test]
+    fn pareto_degenerate_bounds_agree_between_sample_and_mean() {
+        // max <= min used to normalize differently in sample() (which
+        // lifted max above min) and mean() (which used raw max, giving a
+        // nonsensical or negative analytic mean — and min=0, max=0 even
+        // panicked in sample's clamp). Both must use the same bounds.
+        for d in [
+            ServiceDist::BoundedPareto {
+                min: 0,
+                max: 0,
+                alpha: 1.5,
+            },
+            ServiceDist::BoundedPareto {
+                min: 500,
+                max: 500,
+                alpha: 1.5,
+            },
+            ServiceDist::BoundedPareto {
+                min: 500,
+                max: 100,
+                alpha: 1.5,
+            },
+            ServiceDist::BoundedPareto {
+                min: 500,
+                max: 100,
+                alpha: 1.0,
+            },
+        ] {
+            let mut r = Rng::seed_from(7);
+            let n = 50_000;
+            let sum: u64 = (0..n).map(|_| d.sample(&mut r).0).sum();
+            let emp = sum as f64 / n as f64;
+            let ana = d.mean();
+            assert!(ana.is_finite() && ana > 0.0, "{d:?}: analytic mean {ana}");
+            let err = (emp - ana).abs() / ana;
+            // Tolerance covers integer-rounding bias, which dominates
+            // when the normalized range collapses to a couple of cycles.
+            assert!(err < 0.10, "{d:?}: empirical {emp} vs analytic {ana}");
+        }
+    }
+
+    #[test]
     fn samples_never_zero() {
         let mut r = Rng::seed_from(6);
         for d in [
             ServiceDist::Fixed(0),
             ServiceDist::Exponential { mean: 1 },
-            ServiceDist::Bimodal { p_short: 0.5, short: 0, long: 0 },
+            ServiceDist::Bimodal {
+                p_short: 0.5,
+                short: 0,
+                long: 0,
+            },
         ] {
             for _ in 0..100 {
                 assert!(d.sample(&mut r).0 >= 1);

@@ -132,32 +132,31 @@ impl QueueSim {
             busy_cycles: 0,
         };
 
-        let dispatch =
-            |now: Cycles,
-             ready: &mut VecDeque<usize>,
-             free: &mut Vec<usize>,
-             state: &mut Vec<Job>,
-             q: &mut EventQueue<Ev>,
-             busy: &mut u64| {
-                while let (Some(&job), true) = (ready.front(), !free.is_empty()) {
-                    ready.pop_front();
-                    let server = free.pop().expect("checked non-empty");
-                    let j = &mut state[job];
-                    let mut cost = cfg.dispatch_overhead;
-                    if !j.woken {
-                        j.woken = true;
-                        cost += cfg.wakeup_overhead;
-                    }
-                    let segment = match cfg.discipline {
-                        Discipline::Fcfs => j.remaining,
-                        Discipline::Rr { quantum } => j.remaining.min(quantum),
-                    };
-                    j.remaining -= segment;
-                    let total = cost + segment;
-                    *busy += total.0;
-                    q.schedule(now + total, Ev::Done { server, job });
+        let dispatch = |now: Cycles,
+                        ready: &mut VecDeque<usize>,
+                        free: &mut Vec<usize>,
+                        state: &mut Vec<Job>,
+                        q: &mut EventQueue<Ev>,
+                        busy: &mut u64| {
+            while let (Some(&job), true) = (ready.front(), !free.is_empty()) {
+                ready.pop_front();
+                let server = free.pop().expect("checked non-empty");
+                let j = &mut state[job];
+                let mut cost = cfg.dispatch_overhead;
+                if !j.woken {
+                    j.woken = true;
+                    cost += cfg.wakeup_overhead;
                 }
-            };
+                let segment = match cfg.discipline {
+                    Discipline::Fcfs => j.remaining,
+                    Discipline::Rr { quantum } => j.remaining.min(quantum),
+                };
+                j.remaining -= segment;
+                let total = cost + segment;
+                *busy += total.0;
+                q.schedule(now + total, Ev::Done { server, job });
+            }
+        };
 
         while let Some((now, ev)) = q.pop() {
             match ev {
@@ -177,7 +176,14 @@ impl QueueSim {
                     }
                 }
             }
-            dispatch(now, &mut ready, &mut free, &mut state, &mut q, &mut result.busy_cycles);
+            dispatch(
+                now,
+                &mut ready,
+                &mut free,
+                &mut state,
+                &mut q,
+                &mut result.busy_cycles,
+            );
         }
         result
     }
@@ -229,7 +235,9 @@ mod tests {
     fn wakeup_overhead_charged_once_dispatch_every_time() {
         let cfg = QueueConfig {
             servers: 1,
-            discipline: Discipline::Rr { quantum: Cycles(50) },
+            discipline: Discipline::Rr {
+                quantum: Cycles(50),
+            },
             wakeup_overhead: Cycles(10),
             dispatch_overhead: Cycles(5),
         };
@@ -247,7 +255,9 @@ mod tests {
         let jobs = [(Cycles(0), Cycles(1000)), (Cycles(0), Cycles(1000))];
         let ps = QueueConfig {
             servers: 1,
-            discipline: Discipline::Rr { quantum: Cycles(10) },
+            discipline: Discipline::Rr {
+                quantum: Cycles(10),
+            },
             wakeup_overhead: Cycles::ZERO,
             dispatch_overhead: Cycles::ZERO,
         };
@@ -279,7 +289,9 @@ mod tests {
         let r_fcfs = QueueSim::run(&fcfs(1), &jobs, warmup);
         let ps = QueueConfig {
             servers: 1,
-            discipline: Discipline::Rr { quantum: Cycles(200) },
+            discipline: Discipline::Rr {
+                quantum: Cycles(200),
+            },
             wakeup_overhead: Cycles(50),
             dispatch_overhead: Cycles::ZERO,
         };
@@ -307,9 +319,7 @@ mod tests {
 
     #[test]
     fn all_jobs_complete_even_overloaded() {
-        let jobs: Vec<(Cycles, Cycles)> = (0..100)
-            .map(|i| (Cycles(i), Cycles(10_000)))
-            .collect();
+        let jobs: Vec<(Cycles, Cycles)> = (0..100).map(|i| (Cycles(i), Cycles(10_000))).collect();
         let r = QueueSim::run(&fcfs(1), &jobs, Cycles::ZERO);
         assert_eq!(r.completed, 100);
         assert!(r.makespan >= Cycles(1_000_000));
@@ -317,10 +327,7 @@ mod tests {
 
     #[test]
     fn warmup_excludes_early_jobs() {
-        let jobs = [
-            (Cycles(0), Cycles(10)),
-            (Cycles(1_000), Cycles(10)),
-        ];
+        let jobs = [(Cycles(0), Cycles(10)), (Cycles(1_000), Cycles(10))];
         let r = QueueSim::run(&fcfs(1), &jobs, Cycles(500));
         assert_eq!(r.completed, 2);
         assert_eq!(r.sojourn.count(), 1);
@@ -331,7 +338,9 @@ mod tests {
     fn zero_quantum_rejected() {
         let cfg = QueueConfig {
             servers: 1,
-            discipline: Discipline::Rr { quantum: Cycles::ZERO },
+            discipline: Discipline::Rr {
+                quantum: Cycles::ZERO,
+            },
             wakeup_overhead: Cycles::ZERO,
             dispatch_overhead: Cycles::ZERO,
         };

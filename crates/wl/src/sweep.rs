@@ -128,20 +128,23 @@ mod tests {
             &[0.3, 0.9],
             20_000,
         );
-        assert!(pts[1].p99 > pts[0].p99 * 2, "{} vs {}", pts[1].p99, pts[0].p99);
+        assert!(
+            pts[1].p99 > pts[0].p99 * 2,
+            "{} vs {}",
+            pts[1].p99,
+            pts[0].p99
+        );
         assert!(pts[1].mean > pts[0].mean);
     }
 
     #[test]
     fn achieved_utilization_tracks_offered() {
-        let pts = sweep(
-            2,
-            &cfg(),
-            &ServiceDist::Fixed(1000),
-            &[0.5],
-            50_000,
+        let pts = sweep(2, &cfg(), &ServiceDist::Fixed(1000), &[0.5], 50_000);
+        assert!(
+            (pts[0].achieved_util - 0.5).abs() < 0.05,
+            "{}",
+            pts[0].achieved_util
         );
-        assert!((pts[0].achieved_util - 0.5).abs() < 0.05, "{}", pts[0].achieved_util);
     }
 
     #[test]
@@ -203,6 +206,10 @@ mod tests {
         // Offered rate = servers * rho / mean = 2*0.6/1000.
         let offered = 2.0 * 0.6 / 1000.0;
         let err = (pts[0].throughput - offered).abs() / offered;
-        assert!(err < 0.05, "throughput {} vs offered {offered}", pts[0].throughput);
+        assert!(
+            err < 0.05,
+            "throughput {} vs offered {offered}",
+            pts[0].throughput
+        );
     }
 }

@@ -47,7 +47,10 @@ fn main() {
     }
     let lat = engine.latency();
     let ns = |c: u64| Freq::GHZ3.cycles_to_ns(Cycles(c));
-    println!("served {} requests of 1000ns service time:", engine.completed());
+    println!(
+        "served {} requests of 1000ns service time:",
+        engine.completed()
+    );
     println!("  p50 latency : {:.0} ns", ns(lat.p50()));
     println!("  p99 latency : {:.0} ns", ns(lat.p99()));
     println!("  max latency : {:.0} ns", ns(lat.max()));

@@ -20,7 +20,11 @@ fn main() {
     let set = EventHandlerSet::install(
         &mut m,
         0,
-        &[("sched-tick", 800, 7), ("nic-rx", 1_500, 6), ("disk-cq", 1_200, 5)],
+        &[
+            ("sched-tick", 800, 7),
+            ("nic-rx", 1_500, 6),
+            ("disk-cq", 1_200, 5),
+        ],
         0x40000,
     )
     .expect("handlers install");

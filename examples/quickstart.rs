@@ -42,7 +42,11 @@ fn main() {
     // mailbox. That write *is* the wakeup — no interrupt, no scheduler.
     let t0 = m.now();
     m.poke_u64(mailbox, 41);
-    m.run_until_state(tid, switchless::core::tid::ThreadState::Halted, Cycles(10_000));
+    m.run_until_state(
+        tid,
+        switchless::core::tid::ThreadState::Halted,
+        Cycles(10_000),
+    );
 
     println!("r1 computed by woken thread  : {}", m.thread_reg(tid, 1));
     println!(

@@ -32,9 +32,18 @@ fn main() {
         println!("  batch[{i}]: {:>6} work units", ts.progress_of(&m, i));
     }
     let sched_cost = m.billed_cycles(ts.sched).0;
-    println!("scheduler thread total cost : {sched_cost} cycles (~{} per slice)", sched_cost / 41);
-    println!("thread stops (preemptions)  : {}", m.counters().get("thread.stops"));
-    println!("thread starts               : {}", m.counters().get("thread.starts"));
+    println!(
+        "scheduler thread total cost : {sched_cost} cycles (~{} per slice)",
+        sched_cost / 41
+    );
+    println!(
+        "thread stops (preemptions)  : {}",
+        m.counters().get("thread.stops")
+    );
+    println!(
+        "thread starts               : {}",
+        m.counters().get("thread.starts")
+    );
     println!("IRQs taken / IDT entries    : 0 and 0 — neither exists here");
     assert!(m.counters().get("thread.stops") >= 39);
 }

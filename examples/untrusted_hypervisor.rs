@@ -28,7 +28,10 @@ fn main() {
     .expect("hypervisor stack installs");
 
     println!("guest  mode: {}", m.thread_mode(h.guest));
-    println!("hv     mode: {}  <- the hypervisor is untrusted", m.thread_mode(h.hv));
+    println!(
+        "hv     mode: {}  <- the hypervisor is untrusted",
+        m.thread_mode(h.hv)
+    );
     println!("kernel mode: {}", m.thread_mode(h.kernel));
     assert_eq!(m.thread_mode(h.hv), Mode::User);
 
@@ -37,7 +40,10 @@ fn main() {
     let elapsed = m.now() - t0;
     let exits_n = m.peek_u64(h.exits_word);
     println!("guest finished: {exits_n} I/O VM-exits handled");
-    println!("kernel served : {} chained I/O requests", m.peek_u64(h.io_word));
+    println!(
+        "kernel served : {} chained I/O requests",
+        m.peek_u64(h.io_word)
+    );
     let per_exit = (elapsed.0 - 500 * 5_000) / exits_n; // subtract guest work
     println!(
         "per-exit cost (handling only): ~{} cycles ({:.0} ns) — vs ~1500 cycles \

@@ -12,15 +12,22 @@
 #            violation-free, every plan must replay bit-identically
 #            from its chaos-plan/v1 artifact, and a second soak run in
 #            a fresh process must print identical digests
+#   fmt      cargo fmt --check: the tree is rustfmt-clean
 #   jobs     parallel-determinism check: the full --quick suite at
 #            --jobs 1 and --jobs 4 must write bit-identical results/
 #            trees (the harness's core invariant)
+#   mjobs    engine-determinism check: the suite at --machine-jobs 1
+#            (serial engine) and --machine-jobs 4 (core-sharded epoch
+#            engine) must write bit-identical results/ trees, both for
+#            the full suite and for --quick --jobs 4 (the sharded
+#            engine may only change wall-clock time, never results)
 #   bench    host-throughput smoke + regression gate: switchless-bench
 #            --quick must emit well-formed switchless-bench/v1 JSON, and
 #            no bench may drop more than 20% below the newest committed
-#            BENCH_*.json baseline (quick windows are noisy, absolute
-#            host speed is machine-dependent — but a >20% drop on the
-#            same machine means a hot path regressed)
+#            BENCH_*.json baseline. The gate takes the per-bench max of
+#            two quick runs: 40 ms windows on a shared host can swing
+#            2x run-to-run, and a real hot-path regression reproduces
+#            in both runs while a noise dip does not.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +35,9 @@ step() { printf '\n==> %s\n' "$*"; }
 
 step "cargo build --release"
 cargo build --release --workspace
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
 
 step "cargo test"
 cargo test -q --workspace
@@ -39,8 +49,10 @@ step "deterministic replay (f16 twice, same seed)"
 # Strip wall-clock noise: per-experiment "(N.Ns)" lines, csv paths, and
 # the trailing "Run timing" table (always the last block of the log).
 strip_volatile() { sed '/^== Run timing/,$d' | grep -v -e '^  ([0-9]' -e '^  csv:'; }
-a="$(cargo run -q --release -p switchless-experiments -- f16 --quick | strip_volatile)"
-b="$(cargo run -q --release -p switchless-experiments -- f16 --quick | strip_volatile)"
+# --out keeps the --quick CSVs off the committed results/ tree.
+rp=target/ci-results-replay
+a="$(cargo run -q --release -p switchless-experiments -- f16 --quick --out "$rp" | strip_volatile)"
+b="$(cargo run -q --release -p switchless-experiments -- f16 --quick --out "$rp" | strip_volatile)"
 if [ "$a" != "$b" ]; then
     echo "FAIL: same-seed fault-injection runs diverged" >&2
     diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
@@ -78,6 +90,37 @@ if [ "$s1" != "$s4" ]; then
 fi
 echo "parallel determinism: identical results/ trees and logs"
 
+step "engine determinism (--machine-jobs 1 vs --machine-jobs 4, --quick)"
+mq1=target/ci-results-mj1-quick
+mq4=target/ci-results-mj4-quick
+rm -rf "$mq1" "$mq4"
+mlog1="$(cargo run -q --release -p switchless-experiments -- all --quick --jobs 4 --machine-jobs 1 --out "$mq1")"
+mlog4="$(cargo run -q --release -p switchless-experiments -- all --quick --jobs 4 --machine-jobs 4 --out "$mq4")"
+if ! diff -r "$mq1" "$mq4"; then
+    echo "FAIL: results/ trees differ between --machine-jobs 1 and --machine-jobs 4 (--quick)" >&2
+    exit 1
+fi
+m1="$(printf '%s\n' "$mlog1" | strip_volatile | sed "s|$mq1|RESULTS|g" | sed 's/--machine-jobs [0-9]*/--machine-jobs N/g')"
+m4="$(printf '%s\n' "$mlog4" | strip_volatile | sed "s|$mq4|RESULTS|g" | sed 's/--machine-jobs [0-9]*/--machine-jobs N/g')"
+if [ "$m1" != "$m4" ]; then
+    echo "FAIL: run logs differ between --machine-jobs 1 and --machine-jobs 4 (--quick)" >&2
+    diff <(printf '%s\n' "$m1") <(printf '%s\n' "$m4") >&2 || true
+    exit 1
+fi
+echo "engine determinism (quick): identical results/ trees and logs"
+
+step "engine determinism (--machine-jobs 1 vs --machine-jobs 4, full)"
+mf1=target/ci-results-mj1-full
+mf4=target/ci-results-mj4-full
+rm -rf "$mf1" "$mf4"
+cargo run -q --release -p switchless-experiments -- all --machine-jobs 1 --out "$mf1" >/dev/null
+cargo run -q --release -p switchless-experiments -- all --machine-jobs 4 --out "$mf4" >/dev/null
+if ! diff -r "$mf1" "$mf4"; then
+    echo "FAIL: results/ trees differ between --machine-jobs 1 and --machine-jobs 4 (full)" >&2
+    exit 1
+fi
+echo "engine determinism (full): identical results/ trees"
+
 step "bench smoke (switchless-bench --quick)"
 bj=target/bench-smoke.json
 rm -f "$bj"
@@ -94,32 +137,37 @@ for k, v in d["benches"].items():
 print("bench smoke: schema and keys ok")
 EOF
 
-step "bench regression gate (>20% drop vs newest committed BENCH_*.json)"
+step "bench regression gate (>20% drop vs newest committed BENCH_*.json, best of 2)"
 base="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
 if [ -z "$base" ]; then
     echo "bench gate: no committed BENCH_*.json baseline, skipping"
 else
-    python3 - "$bj" "$base" <<'EOF'
+    bj2=target/bench-smoke-2.json
+    rm -f "$bj2"
+    cargo run -q --release -p switchless-bench -- --quick --out "$bj2"
+    python3 - "$bj" "$bj2" "$base" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
-    cur = json.load(f)["benches"]
+    run1 = json.load(f)["benches"]
 with open(sys.argv[2]) as f:
+    run2 = json.load(f)["benches"]
+with open(sys.argv[3]) as f:
     ref = json.load(f)["benches"]
 bad = []
 for k, v in ref.items():
-    c = cur.get(k)
-    if c is None:
-        bad.append(f"{k}: missing from current run")
+    c = max(run1.get(k, 0), run2.get(k, 0))
+    if c == 0:
+        bad.append(f"{k}: missing from current runs")
     elif c < 0.8 * v:
         bad.append(f"{k}: {c:.0f} is {c / v:.2f}x of baseline {v:.0f}")
     else:
-        print(f"  {k}: {c / v:.2f}x of {sys.argv[2]}")
+        print(f"  {k}: {c / v:.2f}x of {sys.argv[3]}")
 if bad:
-    print("FAIL: bench regression vs " + sys.argv[2], file=sys.stderr)
+    print("FAIL: bench regression vs " + sys.argv[3], file=sys.stderr)
     for line in bad:
         print("  " + line, file=sys.stderr)
     sys.exit(1)
-print(f"bench gate: all benches within 20% of {sys.argv[2]}")
+print(f"bench gate: all benches within 20% of {sys.argv[3]} (best of 2)")
 EOF
 fi
 

@@ -21,7 +21,10 @@ fn small() -> Machine {
 /// Every counter on the machine, name-ordered — the "report" whose
 /// byte-identity across same-seed runs the determinism tests assert.
 fn counter_dump(m: &Machine) -> Vec<(String, u64)> {
-    m.counters().iter().map(|(k, v)| (k.to_owned(), v)).collect()
+    m.counters()
+        .iter()
+        .map(|(k, v)| (k.to_owned(), v))
+        .collect()
 }
 
 /// A fault storm: 20 user threads all divide by zero; every one is
@@ -52,12 +55,19 @@ fn fault_storm_contained() {
         m.start_thread(tid);
     }
     m.run_for(Cycles(1_000_000));
-    assert!(m.halted_reason().is_none(), "storm must not halt the machine");
+    assert!(
+        m.halted_reason().is_none(),
+        "storm must not halt the machine"
+    );
     assert_eq!(m.counters().get("exception.div_zero"), n);
     for &edp in &edps {
         assert_eq!(m.peek_u64(edp), ExceptionKind::DivZero.code());
     }
-    assert_ne!(m.thread_state(bt), ThreadState::Disabled, "bystander unharmed");
+    assert_ne!(
+        m.thread_state(bt),
+        ThreadState::Disabled,
+        "bystander unharmed"
+    );
 }
 
 /// TDT pointing at a bogus ptid: start through it faults the caller
@@ -217,9 +227,7 @@ fn double_fault_without_handler_halts_once() {
 fn nic_corruption_detected_by_checksum() {
     let run = || {
         let mut m = small();
-        m.install_fault_plan(
-            FaultPlan::new(21).with_rate(FaultKind::NicCorrupt, 0.25),
-        );
+        m.install_fault_plan(FaultPlan::new(21).with_rate(FaultKind::NicCorrupt, 0.25));
         let nic = Nic::attach(&mut m, NicConfig::default());
         let eng = IoEngine::install(&mut m, 0, &nic, 4, 0x40000).unwrap();
         eng.set_fault_handling(RetryPolicy::default(), true);
@@ -243,10 +251,18 @@ fn nic_corruption_detected_by_checksum() {
     assert!(corrupt >= 1, "the storm actually corrupted something");
     assert_eq!(
         corrupt,
-        counters.iter().find(|(k, _)| k == "fault.nic.corrupt").unwrap().1,
+        counters
+            .iter()
+            .find(|(k, _)| k == "fault.nic.corrupt")
+            .unwrap()
+            .1,
         "every injected corruption was caught, no false positives"
     );
-    assert_eq!(completed + corrupt, 20, "nothing lost, nothing double-counted");
+    assert_eq!(
+        completed + corrupt,
+        20,
+        "nothing lost, nothing double-counted"
+    );
     assert_eq!((completed, counters), run(), "same seed, same bytes");
 }
 
@@ -303,7 +319,9 @@ fn ssd_torn_completion_reread() {
     };
     let (rereads, counters) = run();
     assert_eq!(rereads, 2, "exactly one stale read then one healed read");
-    assert!(counters.iter().any(|(k, v)| k == "fault.ssd.torn_completion" && *v == 1));
+    assert!(counters
+        .iter()
+        .any(|(k, v)| k == "fault.ssd.torn_completion" && *v == 1));
     assert_eq!((rereads, counters), run(), "same seed, same bytes");
 }
 
@@ -335,7 +353,11 @@ fn descriptor_ring_overflow_sets_counter_and_disables() {
         (m.peek_u64(edp), m.peek_u64(edp + 8), counter_dump(&m))
     };
     let (kind, ptid, counters) = run();
-    assert_eq!(kind, ExceptionKind::DivZero.code(), "first descriptor intact");
+    assert_eq!(
+        kind,
+        ExceptionKind::DivZero.code(),
+        "first descriptor intact"
+    );
     let overflow = counters
         .iter()
         .find(|(k, _)| k == "exception.descriptor_overflow")
@@ -367,7 +389,9 @@ fn watchdog_expires_wedged_mwait() {
     };
     let (kind, counters) = run();
     assert_eq!(kind, ExceptionKind::WatchdogExpired.code());
-    assert!(counters.iter().any(|(k, v)| k == "watchdog.fired" && *v == 1));
+    assert!(counters
+        .iter()
+        .any(|(k, v)| k == "watchdog.fired" && *v == 1));
     assert_eq!((kind, counters), run(), "same seed, same bytes");
 }
 
@@ -386,6 +410,10 @@ fn halted_machine_is_frozen() {
     assert!(m.halted_reason().is_some());
     let insts = m.counters().get("inst.executed");
     m.run_for(Cycles(1_000_000));
-    assert_eq!(m.counters().get("inst.executed"), insts, "frozen after halt");
+    assert_eq!(
+        m.counters().get("inst.executed"),
+        insts,
+        "frozen after halt"
+    );
     let _ = ts;
 }

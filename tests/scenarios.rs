@@ -26,8 +26,7 @@ fn full_stack_coexists_on_one_machine() {
     let mut m = Machine::new(cfg);
 
     // 1. Interrupt-less timer handler.
-    let handlers =
-        EventHandlerSet::install(&mut m, 0, &[("tick", 500, 7)], 0x200000).unwrap();
+    let handlers = EventHandlerSet::install(&mut m, 0, &[("tick", 500, 7)], 0x200000).unwrap();
     ApicTimer::start_periodic(
         &mut m,
         handlers.handlers[0].event_word,
@@ -118,7 +117,10 @@ fn ssd_read_path_end_to_end() {
             &mut m,
             now,
             seq,
-            SsdOp::Read { buf_addr: buf, len: 512 },
+            SsdOp::Read {
+                buf_addr: buf,
+                len: 512,
+            },
             seq,
         );
     }
