@@ -8,6 +8,12 @@
 //! anything measured here — see "results/ bit-identical" in
 //! EXPERIMENTS.md.
 //!
+//! The artifact is emitted by iterating one row table, so every
+//! measured bench always carries a `baseline` and `speedup` entry —
+//! a bench cannot be added to the measurement list without also being
+//! auditable from the JSON alone (BENCH_5.json omitted the burst
+//! bench's baseline exactly that way).
+//!
 //! Usage:
 //!
 //! ```text
@@ -15,7 +21,7 @@
 //! ```
 //!
 //! `--quick` shrinks each measurement window (CI smoke); `--out` defaults
-//! to `BENCH_5.json` in the current directory.
+//! to `BENCH_9.json` in the current directory.
 
 use std::time::Instant;
 
@@ -27,23 +33,25 @@ use switchless_sim::event::EventQueue;
 use switchless_sim::rng::Rng;
 use switchless_sim::time::Cycles;
 
-/// PR-4 numbers (commit 8883f55, BENCH_4.json), measured on this
+/// PR-5 numbers (commit 8c8e597, BENCH_5.json), measured on this
 /// container with the same windows. They stay in the JSON so the
-/// speedup of the burst execution engine is auditable from the artifact
+/// speedup of the superblock engine is auditable from the artifact
 /// alone.
 mod baseline {
     /// Spin-loop microbench, host instructions/sec.
-    pub const SPIN_INSTS_PER_SEC: f64 = 12_473_113.0;
+    pub const SPIN_INSTS_PER_SEC: f64 = 56_841_385.0;
+    /// Single-slot burst microbench, host instructions/sec.
+    pub const BURST_INSTS_PER_SEC: f64 = 58_548_894.0;
     /// Machine-level store loop (full `after_store` path), insts/sec.
-    pub const STORE_LOOP_INSTS_PER_SEC: f64 = 9_118_260.0;
+    pub const STORE_LOOP_INSTS_PER_SEC: f64 = 24_364_402.0;
     /// Raw `CamFilter::on_store`, stores/sec (64 armed entries).
-    pub const CAM_STORES_PER_SEC: f64 = 50_727_641.0;
+    pub const CAM_STORES_PER_SEC: f64 = 47_785_546.0;
     /// Raw `HashFilter::on_store`, stores/sec (64 armed lines).
-    pub const HASH_STORES_PER_SEC: f64 = 59_536_095.0;
+    pub const HASH_STORES_PER_SEC: f64 = 58_207_769.0;
     /// `EventQueue` schedule/pop/cancel churn, events/sec.
-    pub const EVENTS_PER_SEC: f64 = 28_415_530.0;
+    pub const EVENTS_PER_SEC: f64 = 26_815_347.0;
     /// Where the numbers came from.
-    pub const NOTE: &str = "PR 4 (commit 8883f55, BENCH_4.json), full windows";
+    pub const NOTE: &str = "PR 5 (commit 8c8e597, BENCH_5.json), full windows";
 }
 
 struct Opts {
@@ -54,7 +62,7 @@ struct Opts {
 fn parse_args() -> Opts {
     let mut opts = Opts {
         quick: false,
-        out: "BENCH_5.json".to_owned(),
+        out: "BENCH_9.json".to_owned(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -95,10 +103,11 @@ fn measure(window_ms: u64, mut step: impl FnMut() -> u64) -> f64 {
     }
 }
 
-/// Host instructions/sec executing a pure ALU spin loop — the
-/// decoded-instruction-cache + dispatch-path microbench.
-fn bench_spin(window_ms: u64) -> f64 {
-    let mut m = Machine::new(MachineConfig::small());
+/// The spin machine shared by the spin-family benches: a pure ALU loop
+/// whose 4-instruction body unrolls into one 256-instruction
+/// superblock.
+fn spin_machine(cfg: MachineConfig) -> Machine {
+    let mut m = Machine::new(cfg);
     let prog = assemble(
         ".base 0x10000\n\
          entry: movi r1, 0\n\
@@ -110,6 +119,27 @@ fn bench_spin(window_ms: u64) -> f64 {
     .expect("spin program");
     let t = m.load_program(0, &prog).expect("load");
     m.start_thread(t);
+    m
+}
+
+/// Host instructions/sec executing a pure ALU spin loop — the
+/// superblock + dispatch-path microbench.
+fn bench_spin(window_ms: u64) -> f64 {
+    let mut m = spin_machine(MachineConfig::small());
+    measure(window_ms, || {
+        let before = m.counters().get("inst.executed");
+        m.run_for(Cycles(200_000));
+        m.counters().get("inst.executed") - before
+    })
+}
+
+/// `bench_spin` with the superblock engine disabled: the per-inst
+/// single-step burst path. Keeping this measured guards the fallback
+/// path (everything that is not a hot inert loop) against regressions
+/// the superblock numbers would mask.
+fn bench_spin_nosb(window_ms: u64) -> f64 {
+    let mut m = spin_machine(MachineConfig::small());
+    m.set_superblocks(false);
     measure(window_ms, || {
         let before = m.counters().get("inst.executed");
         m.run_for(Cycles(200_000));
@@ -167,18 +197,7 @@ fn bench_store_loop(window_ms: u64, kind: MonitorKind) -> f64 {
 fn bench_burst(window_ms: u64) -> f64 {
     let mut cfg = MachineConfig::small();
     cfg.smt_slots = 1;
-    let mut m = Machine::new(cfg);
-    let prog = assemble(
-        ".base 0x10000\n\
-         entry: movi r1, 0\n\
-         loop:  addi r1, r1, 1\n\
-         addi r2, r1, 3\n\
-         xor r3, r2, r1\n\
-         jmp loop\n",
-    )
-    .expect("spin program");
-    let t = m.load_program(0, &prog).expect("load");
-    m.start_thread(t);
+    let mut m = spin_machine(cfg);
     measure(window_ms, || {
         let before = m.counters().get("inst.executed");
         m.run_for(Cycles(200_000));
@@ -237,6 +256,24 @@ fn bench_events(window_ms: u64) -> f64 {
     })
 }
 
+/// One measured bench with its committed baseline: the single source
+/// the `benches`, `baseline` and `speedup` JSON sections all iterate,
+/// so no section can omit a measured bench.
+struct Row {
+    /// JSON key in `benches`/`baseline` (e.g. `spin_insts_per_sec`).
+    key: &'static str,
+    /// JSON key in `speedup` and human label prefix.
+    short: &'static str,
+    /// Human-readable label for the progress log.
+    label: &'static str,
+    /// Unit suffix for the progress log.
+    unit: &'static str,
+    /// Committed baseline (see [`baseline`]).
+    baseline: f64,
+    /// Measured ops/sec.
+    measured: f64,
+}
+
 fn json_num(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.0}")
@@ -250,41 +287,110 @@ fn main() {
     let window_ms: u64 = if opts.quick { 40 } else { 400 };
 
     eprintln!("switchless-bench: window {window_ms} ms/bench");
-    let spin = bench_spin(window_ms);
-    eprintln!("  spin loop:        {spin:>14.0} insts/sec");
-    let burst = bench_burst(window_ms);
-    eprintln!("  burst (1 slot):   {burst:>14.0} insts/sec");
-    let store_loop = bench_store_loop(window_ms, MonitorKind::Cam { capacity: 1024 });
-    eprintln!("  store loop (cam): {store_loop:>14.0} insts/sec");
-    let cam = bench_filter(window_ms, CamFilter::new(1024));
-    eprintln!("  cam filter:       {cam:>14.0} stores/sec");
-    let hash = bench_filter(window_ms, HashFilter::new());
-    eprintln!("  hash filter:      {hash:>14.0} stores/sec");
-    let events = bench_events(window_ms);
-    eprintln!("  event queue:      {events:>14.0} events/sec");
+    let mut rows: Vec<Row> = vec![
+        Row {
+            key: "spin_insts_per_sec",
+            short: "spin",
+            label: "spin loop",
+            unit: "insts/sec",
+            baseline: baseline::SPIN_INSTS_PER_SEC,
+            measured: bench_spin(window_ms),
+        },
+        Row {
+            key: "burst_insts_per_sec",
+            short: "burst",
+            label: "burst (1 slot)",
+            unit: "insts/sec",
+            baseline: baseline::BURST_INSTS_PER_SEC,
+            measured: bench_burst(window_ms),
+        },
+        Row {
+            key: "spin_nosb_insts_per_sec",
+            short: "spin_nosb",
+            label: "spin (no superblocks)",
+            unit: "insts/sec",
+            // The PR-5 spin path *is* the no-superblock path: same code,
+            // same machine, blocks not yet invented.
+            baseline: baseline::SPIN_INSTS_PER_SEC,
+            measured: bench_spin_nosb(window_ms),
+        },
+        Row {
+            key: "store_loop_insts_per_sec",
+            short: "store_loop",
+            label: "store loop (cam)",
+            unit: "insts/sec",
+            baseline: baseline::STORE_LOOP_INSTS_PER_SEC,
+            measured: bench_store_loop(window_ms, MonitorKind::Cam { capacity: 1024 }),
+        },
+        Row {
+            key: "cam_stores_per_sec",
+            short: "cam",
+            label: "cam filter",
+            unit: "stores/sec",
+            baseline: baseline::CAM_STORES_PER_SEC,
+            measured: bench_filter(window_ms, CamFilter::new(1024)),
+        },
+        Row {
+            key: "hash_stores_per_sec",
+            short: "hash",
+            label: "hash filter",
+            unit: "stores/sec",
+            baseline: baseline::HASH_STORES_PER_SEC,
+            measured: bench_filter(window_ms, HashFilter::new()),
+        },
+        Row {
+            key: "event_queue_events_per_sec",
+            short: "events",
+            label: "event queue",
+            unit: "events/sec",
+            baseline: baseline::EVENTS_PER_SEC,
+            measured: bench_events(window_ms),
+        },
+    ];
+    for r in &mut rows {
+        eprintln!(
+            "  {:<22} {:>14.0} {}",
+            format!("{}:", r.label),
+            r.measured,
+            r.unit
+        );
+    }
 
-    let json = format!(
-        "{{\n  \"schema\": \"switchless-bench/v1\",\n  \"pr\": 5,\n  \"quick\": {},\n  \"window_ms\": {},\n  \"benches\": {{\n    \"spin_insts_per_sec\": {},\n    \"burst_insts_per_sec\": {},\n    \"store_loop_insts_per_sec\": {},\n    \"cam_stores_per_sec\": {},\n    \"hash_stores_per_sec\": {},\n    \"event_queue_events_per_sec\": {}\n  }},\n  \"baseline\": {{\n    \"note\": \"{}\",\n    \"spin_insts_per_sec\": {},\n    \"store_loop_insts_per_sec\": {},\n    \"cam_stores_per_sec\": {},\n    \"hash_stores_per_sec\": {},\n    \"event_queue_events_per_sec\": {}\n  }},\n  \"speedup\": {{\n    \"spin\": {:.2},\n    \"store_loop\": {:.2},\n    \"cam\": {:.2},\n    \"hash\": {:.2},\n    \"events\": {:.2}\n  }}\n}}\n",
-        opts.quick,
-        window_ms,
-        json_num(spin),
-        json_num(burst),
-        json_num(store_loop),
-        json_num(cam),
-        json_num(hash),
-        json_num(events),
-        baseline::NOTE,
-        json_num(baseline::SPIN_INSTS_PER_SEC),
-        json_num(baseline::STORE_LOOP_INSTS_PER_SEC),
-        json_num(baseline::CAM_STORES_PER_SEC),
-        json_num(baseline::HASH_STORES_PER_SEC),
-        json_num(baseline::EVENTS_PER_SEC),
-        spin / baseline::SPIN_INSTS_PER_SEC,
-        store_loop / baseline::STORE_LOOP_INSTS_PER_SEC,
-        cam / baseline::CAM_STORES_PER_SEC,
-        hash / baseline::HASH_STORES_PER_SEC,
-        events / baseline::EVENTS_PER_SEC,
-    );
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"switchless-bench/v1\",\n  \"pr\": 9,\n");
+    json.push_str(&format!(
+        "  \"quick\": {},\n  \"window_ms\": {window_ms},\n",
+        opts.quick
+    ));
+    json.push_str("  \"benches\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{}\": {}{sep}\n",
+            r.key,
+            json_num(r.measured)
+        ));
+    }
+    json.push_str("  },\n  \"baseline\": {\n");
+    json.push_str(&format!("    \"note\": \"{}\",\n", baseline::NOTE));
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{}\": {}{sep}\n",
+            r.key,
+            json_num(r.baseline)
+        ));
+    }
+    json.push_str("  },\n  \"speedup\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{}\": {:.2}{sep}\n",
+            r.short,
+            r.measured / r.baseline
+        ));
+    }
+    json.push_str("  }\n}\n");
     std::fs::write(&opts.out, json).expect("write BENCH json");
     eprintln!("wrote {}", opts.out);
 }

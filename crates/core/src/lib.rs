@@ -39,6 +39,7 @@
 pub mod exception;
 pub mod machine;
 pub mod perm;
+mod sblock;
 pub mod sched;
 pub mod shard;
 pub mod store;

@@ -56,6 +56,7 @@ use switchless_sim::trace::TraceRing;
 
 use crate::exception::{Descriptor, ExceptionKind};
 use crate::perm::{Perms, TdtEntry};
+use crate::sblock::{self, Superblock, SB_DEAD, SB_FORMED, SB_HOT};
 use crate::sched::{HwScheduler, SchedPolicy};
 use crate::store::{StateStore, StoreConfig, Tier};
 use crate::tdt::TdtCache;
@@ -311,6 +312,20 @@ pub(crate) enum Ev {
 /// the queue.
 pub(crate) const MAX_BURST: u64 = 1024;
 
+/// Process-wide default for the superblock engine (DESIGN.md §10), read
+/// once from the `SWITCHLESS_SUPERBLOCKS` environment variable:
+/// `0`/`off`/`false` disable, anything else (or unset) enables. Like
+/// `MAX_BURST` this is purely a host-side wall-clock knob.
+fn superblocks_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var("SWITCHLESS_SUPERBLOCKS").as_deref(),
+            Ok("0" | "off" | "false")
+        )
+    })
+}
+
 type HostCall = Box<dyn FnMut(&mut Machine, ThreadId)>;
 type MmioHook = Box<dyn FnMut(&mut Machine, u64)>;
 type HostEvent = Box<dyn FnOnce(&mut Machine)>;
@@ -330,6 +345,42 @@ pub(crate) struct CodeRange {
     pub(crate) base: u64,
     pub(crate) end: u64,
     pub(crate) insts: Vec<Option<Inst>>,
+    /// Per-slot superblock state: a heat count below
+    /// [`sblock::SB_HOT`], [`sblock::SB_FORMED`]`| index` for a formed
+    /// region entered at that slot, or [`sblock::SB_DEAD`].
+    pub(crate) sb: Vec<u32>,
+    /// Formed superblocks; killed entries are tombstoned in place and
+    /// their indices recycled through `sb_free`.
+    pub(crate) blocks: Vec<Superblock>,
+    pub(crate) sb_free: Vec<u32>,
+}
+
+impl CodeRange {
+    fn new(base: u64, end: u64, insts: Vec<Option<Inst>>) -> CodeRange {
+        let slots = insts.len();
+        CodeRange {
+            base,
+            end,
+            insts,
+            sb: vec![0; slots],
+            blocks: Vec::new(),
+            sb_free: Vec::new(),
+        }
+    }
+
+    /// Stores a formed block, reusing a tombstoned slot when available.
+    fn alloc_block(&mut self, b: Superblock) -> u32 {
+        match self.sb_free.pop() {
+            Some(i) => {
+                self.blocks[i as usize] = b;
+                i
+            }
+            None => {
+                self.blocks.push(b);
+                u32::try_from(self.blocks.len() - 1).expect("block count fits u32")
+            }
+        }
+    }
 }
 
 /// Pre-resolved [`CounterId`]s for counters bumped on (nearly) every
@@ -437,6 +488,10 @@ pub struct Machine {
     pub(crate) epoch_len: Cycles,
     /// Host-side statistics for the sharded engine.
     pub(crate) shard_stats: ShardStats,
+    /// Whether the superblock engine may form and execute pre-costed
+    /// regions (DESIGN.md §10). Host-side only: simulated state is
+    /// bit-identical either way.
+    pub(crate) sb_on: bool,
 }
 
 /// Host-side statistics for the core-sharded epoch engine. These live
@@ -533,6 +588,7 @@ impl Machine {
             core_domains: vec![None; cfg.cores],
             epoch_len: Cycles(64),
             shard_stats: ShardStats::default(),
+            sb_on: superblocks_default(),
         }
     }
 
@@ -583,6 +639,22 @@ impl Machine {
     #[must_use]
     pub fn machine_jobs(&self) -> usize {
         self.machine_jobs
+    }
+
+    /// Enables or disables the superblock engine (DESIGN.md §10).
+    /// Defaults to the `SWITCHLESS_SUPERBLOCKS` environment variable
+    /// (`0`/`off`/`false` disable; anything else, or unset, enables).
+    /// The simulated outcome is bit-identical either way — superblocks
+    /// only batch work the single-step path would perform anyway — so
+    /// this is purely a wall-clock knob.
+    pub fn set_superblocks(&mut self, on: bool) {
+        self.sb_on = on;
+    }
+
+    /// Whether the superblock engine is enabled.
+    #[must_use]
+    pub fn superblocks(&self) -> bool {
+        self.sb_on
     }
 
     /// Declares `[base, base + len)` as `core`'s private data window for
@@ -765,11 +837,11 @@ impl Machine {
             self.mem[at..at + 8].copy_from_slice(&w.to_le_bytes());
         }
         self.loaded.push((base, end));
-        self.code.push(CodeRange {
+        self.code.push(CodeRange::new(
             base,
             end,
-            insts: prog.words.iter().map(|&w| Inst::decode(w).ok()).collect(),
-        });
+            prog.words.iter().map(|&w| Inst::decode(w).ok()).collect(),
+        ));
         self.code_lo = self.code_lo.min(base);
         self.code_hi = self.code_hi.max(end);
         Ok(())
@@ -814,6 +886,28 @@ impl Machine {
                 let word = u64::from_le_bytes(self.mem[a..a + 8].try_into().expect("8 bytes"));
                 r.insts[(off >> 3) as usize] = Inst::decode(word).ok();
                 off += 8;
+            }
+            // Superblock coherence: re-decoded slots lose any heat or
+            // dead-mark they accumulated, and every formed block whose
+            // static footprint overlaps the modified slots is killed
+            // (tombstoned; its index is recycled). A block formed later
+            // re-reads the fresh decode, so stale bodies cannot run.
+            let lo_slot = (lo >> 3) as usize;
+            let hi_slot = ((hi + 7) >> 3) as usize;
+            for s in &mut r.sb[lo_slot..hi_slot] {
+                if *s < SB_FORMED || *s == SB_DEAD {
+                    *s = 0;
+                }
+            }
+            for bi in 0..r.blocks.len() {
+                let b = &r.blocks[bi];
+                if !b.live || b.start_slot >= hi_slot || b.start_slot + b.len_slots <= lo_slot {
+                    continue;
+                }
+                r.blocks[bi].live = false;
+                r.sb[r.blocks[bi].start_slot] = 0;
+                r.sb_free
+                    .push(u32::try_from(bi).expect("block count fits u32"));
             }
         }
     }
@@ -1882,6 +1976,75 @@ impl Machine {
                     self.burst_stash.push(lifted);
                     qmin = self.events.next_deadline();
                 }
+                // Superblock fast path (DESIGN.md §10): a formed inert
+                // region executes as one unit when its whole span
+                // provably stays inside this burst's window. Inert
+                // instructions cannot schedule events, change any thread
+                // state, touch memory, or incur a pending charge, so the
+                // per-instruction mark/watch/eligibility re-checks are
+                // all constant across the block: the one check already
+                // done at the loop head covers every interior cursor
+                // (`busy_until <= done` stays true as `done` only
+                // grows). Any failed precondition falls back to the
+                // single-step path below — never a burst exit.
+                if self.sb_on {
+                    let pc = self.threads[ptid.0 as usize].arch.pc;
+                    if let Some((ri, bi)) = self.sb_lookup(pc) {
+                        let (bcost, last_cost, len) = {
+                            let b = &self.code[ri].blocks[bi as usize];
+                            (b.cost, b.last_cost, b.insts.len() as u64)
+                        };
+                        // Dispatch time of the block's final instruction:
+                        // the burst window must reach it, exactly as the
+                        // loop head would have required step by step.
+                        // `extra` may overshoot `MAX_BURST` by at most
+                        // one block — the cap is a host-side
+                        // amortisation knob and burst length is
+                        // observably invisible, so a looser bound only
+                        // moves where bursts split.
+                        let d_last = done + bcost - last_cost;
+                        if d_last <= horizon {
+                            // Extend the sibling-lift gate through
+                            // `d_last`: single-stepping the block would
+                            // run this gate at every interior cursor.
+                            // Over-lifting on a failed attempt is
+                            // harmless — lifted events are restored
+                            // under their original keys either way.
+                            let mut clear = true;
+                            while let Some(t) = qmin {
+                                if t > d_last {
+                                    break;
+                                }
+                                let consumable = matches!(
+                                    self.events.peek(),
+                                    Some((_, &Ev::SlotFree { core: c, slot: s }))
+                                        if c as usize == core && s as usize != slot
+                                );
+                                if !consumable {
+                                    // Single-stepping would stop partway
+                                    // into the region; do that instead.
+                                    clear = false;
+                                    break;
+                                }
+                                let Some(lifted) = self.events.pop_keyed() else {
+                                    unreachable!("peek/pop agree on the head event");
+                                };
+                                self.burst_stash.push(lifted);
+                                qmin = self.events.next_deadline();
+                            }
+                            if clear && self.exec_superblock(core, ri, bi as usize, ptid) {
+                                // Serial single-stepping leaves `now` at
+                                // the last dispatch cursor, not at the
+                                // completion time.
+                                self.now = d_last;
+                                done += bcost;
+                                burst_cost += bcost;
+                                extra += len;
+                                continue 'burst;
+                            }
+                        }
+                    }
+                }
                 self.now = done;
                 self.pending_charge = Cycles::ZERO;
                 let mut c = self.exec_inst(core, ptid);
@@ -1954,6 +2117,71 @@ impl Machine {
             && t.busy_until <= done
             && self.cores[core].sched.sole_runnable() == Some(ptid)
             && self.cores[core].store.tier_of(ptid) == Tier::Rf
+    }
+
+    /// Superblock lookup at `pc`: the (code-range, block) indices of a
+    /// formed, live superblock entered there. Misses bump the entry
+    /// slot's heat counter; crossing [`SB_HOT`] forms the region once
+    /// (or marks the slot [`SB_DEAD`] when no worthwhile region starts
+    /// there). Formation is driven purely by observed execution heat —
+    /// no static configuration (cf. "Switchless Calls Made Configless").
+    #[inline]
+    fn sb_lookup(&mut self, pc: u64) -> Option<(usize, u32)> {
+        let hint = self.last_code;
+        let idx = match self.code.get(hint) {
+            Some(r) if r.base <= pc && pc < r.end => hint,
+            _ => {
+                let idx = self.code.iter().position(|r| r.base <= pc && pc < r.end)?;
+                self.last_code = idx;
+                idx
+            }
+        };
+        let off = pc - self.code[idx].base;
+        if off & 7 != 0 {
+            return None;
+        }
+        let slot = (off >> 3) as usize;
+        let r = &mut self.code[idx];
+        match r.sb[slot] {
+            SB_DEAD => None,
+            s if s >= SB_FORMED => Some((idx, s & !SB_FORMED)),
+            heat if heat + 1 >= SB_HOT => match sblock::form(r.base, &r.insts, slot) {
+                Some(b) => {
+                    let bi = r.alloc_block(b);
+                    r.sb[slot] = SB_FORMED | bi;
+                    Some((idx, bi))
+                }
+                None => {
+                    r.sb[slot] = SB_DEAD;
+                    None
+                }
+            },
+            heat => {
+                r.sb[slot] = heat + 1;
+                None
+            }
+        }
+    }
+
+    /// Executes a formed superblock as one unit. Returns `false`
+    /// (having mutated nothing) when any fetch line is not L1-resident;
+    /// the caller single-steps instead, charging the miss exactly as
+    /// always. On success the L1 metadata (LRU stamps, tick, hit
+    /// counts) and the thread's registers, pc and dirty mask are
+    /// precisely what single-stepping the block would have produced.
+    fn exec_superblock(&mut self, core: usize, ri: usize, bi: usize, ptid: Ptid) -> bool {
+        let b = &self.code[ri].blocks[bi];
+        if !self
+            .hier
+            .l1_access_run(core, &b.lines, b.insts.len() as u64)
+        {
+            return false;
+        }
+        let t = &mut self.threads[ptid.0 as usize];
+        let entry = t.arch.pc;
+        t.arch.pc = sblock::exec_regs(&b.insts, &mut t.arch.gprs, entry);
+        t.touched |= b.touched;
+        true
     }
 
     /// Executes one instruction for `ptid`; returns its cost. All state

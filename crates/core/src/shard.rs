@@ -54,6 +54,7 @@ use switchless_sim::shard::{merge_epoch, EpochRecord, PopKey};
 use switchless_sim::time::Cycles;
 
 use crate::machine::{CodeRange, CoreState, Ev, Machine, MachineConfig, Thread, MAX_BURST};
+use crate::sblock::{self, SB_DEAD, SB_FORMED};
 use crate::store::Tier;
 use crate::tid::{Ptid, ThreadState};
 
@@ -119,6 +120,13 @@ struct Shared<'a> {
     /// that core, which per-core horizons permit because a committed
     /// epoch contains no cross-core effects at all.
     gap: u64,
+    /// Whether workers may consume formed superblocks (read-only: heat
+    /// bumping and formation stay in the serial engine, since `code` is
+    /// shared across worker threads). Which engine happens to use a
+    /// block is invisible — block execution is effect-identical to
+    /// single-stepping — so serial/sharded stay bit-identical even when
+    /// their block usage differs.
+    sb_on: bool,
 }
 
 /// One core's slice of machine state, cloned for the epoch.
@@ -465,6 +473,45 @@ impl Worker<'_> {
                 self.stash.push(lifted);
                 qmin = self.q.next_deadline();
             }
+            // Superblock fast path — mirrors `Machine::dispatch`
+            // (DESIGN.md §10). Workers only consume blocks the serial
+            // engine has already formed (`sb_lookup` is read-only
+            // here); the serial exactness argument carries over, with
+            // the fresh-event horizon as the extra bound on the final
+            // dispatch cursor. Any failed precondition single-steps —
+            // never a burst exit.
+            if self.sh.sb_on {
+                let pc = self.threads[ti].1.arch.pc;
+                if let Some((ri, bi)) = self.sb_lookup(pc) {
+                    let b = &self.sh.code[ri].blocks[bi as usize];
+                    let (bcost, last_cost, len) = (b.cost, b.last_cost, b.insts.len() as u64);
+                    // As in the serial engine, `extra` may overshoot
+                    // `MAX_BURST` by at most one block.
+                    let d_last = done + bcost - last_cost;
+                    if d_last <= self.sh.t && d_last < self.fresh_b {
+                        let mut clear = true;
+                        while let Some(tq) = qmin {
+                            if tq > d_last {
+                                break;
+                            }
+                            if self.q.peek_slot() == Some(slot) {
+                                clear = false;
+                                break;
+                            }
+                            let lifted = self.q.pop_head().expect("peek/pop agree");
+                            self.stash.push(lifted);
+                            qmin = self.q.next_deadline();
+                        }
+                        if clear && self.exec_superblock(ri, bi as usize, ti) {
+                            self.local_now = d_last;
+                            done += bcost;
+                            burst_cost += bcost;
+                            extra += len;
+                            continue 'burst;
+                        }
+                    }
+                }
+            }
             self.local_now = done;
             let c = self.exec_inst(ti)?.max(Cycles(1));
             done += c;
@@ -500,6 +547,46 @@ impl Worker<'_> {
             && t.busy_until <= done
             && self.cs.sched.sole_runnable() == Some(ptid)
             && self.cs.store.tier_of(ptid) == Tier::Rf
+    }
+
+    /// Read-only superblock lookup: workers consume blocks the serial
+    /// engine has formed, but never bump heat or form new ones (the
+    /// code table is shared across worker threads).
+    #[inline]
+    fn sb_lookup(&mut self, pc: u64) -> Option<(usize, u32)> {
+        let code = self.sh.code;
+        let hint = self.last_code;
+        let idx = match code.get(hint) {
+            Some(r) if r.base <= pc && pc < r.end => hint,
+            _ => {
+                let idx = code.iter().position(|r| r.base <= pc && pc < r.end)?;
+                self.last_code = idx;
+                idx
+            }
+        };
+        let off = pc - code[idx].base;
+        if off & 7 != 0 {
+            return None;
+        }
+        match code[idx].sb[(off >> 3) as usize] {
+            SB_DEAD => None,
+            s if s >= SB_FORMED => Some((idx, s & !SB_FORMED)),
+            _ => None,
+        }
+    }
+
+    /// Mirrors `Machine::exec_superblock` against the worker's private
+    /// cache view and thread clone.
+    fn exec_superblock(&mut self, ri: usize, bi: usize, ti: usize) -> bool {
+        let b = &self.sh.code[ri].blocks[bi];
+        if !self.caches.l1_access_run(&b.lines, b.insts.len() as u64) {
+            return false;
+        }
+        let t = &mut self.threads[ti].1;
+        let entry = t.arch.pc;
+        t.arch.pc = sblock::exec_regs(&b.insts, &mut t.arch.gprs, entry);
+        t.touched |= b.touched;
+        true
     }
 
     /// Resolves an access of `len` bytes at `addr`: the worker's own
@@ -950,6 +1037,7 @@ impl Machine {
                 // a tie from an unusually expensive instruction is
                 // still caught at commit and retried.
                 gap: ((b.0 - head.0) / (2 * self.cfg.cores.max(1) as u64)).min(64),
+                sb_on: self.sb_on,
             };
             par_map_owned(jobs, inputs, |_, input| run_worker(&sh, input))
         };

@@ -738,6 +738,76 @@ impl Inst {
     pub fn is_store(&self) -> bool {
         matches!(self, Inst::St { .. } | Inst::StA { .. } | Inst::StB { .. })
     }
+
+    /// Whether this instruction is *inert*: it reads and writes only its
+    /// own thread's registers. No memory access, no exception possible
+    /// (which excludes `Div` — divide-by-zero — and every trap), no
+    /// monitor-visible effect, nothing that can schedule an event or
+    /// change a thread state, not privileged. Straight-line runs of
+    /// inert instructions are the raw material of superblocks: executing
+    /// one cannot change any burst-continuation decision.
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        use Inst::*;
+        matches!(
+            self,
+            Add { .. }
+                | Sub { .. }
+                | And { .. }
+                | Or { .. }
+                | Xor { .. }
+                | Shl { .. }
+                | Shr { .. }
+                | Mul { .. }
+                | Addi { .. }
+                | Movi { .. }
+                | Mov { .. }
+                | Nop
+                | Work { .. }
+                | Fence
+        )
+    }
+
+    /// Whether this instruction may close a superblock: pure control
+    /// flow whose only effects are the next pc and (for `Jal`) the link
+    /// register. Branch direction is data-dependent, so a terminal ends
+    /// the region rather than extending it — except an unconditional
+    /// jump back to the region's entry, which formation unrolls.
+    #[must_use]
+    pub fn is_region_terminal(&self) -> bool {
+        use Inst::*;
+        matches!(
+            self,
+            Jmp { .. } | Jr { .. } | Jal { .. } | Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. }
+        )
+    }
+
+    /// The general-purpose register this instruction writes, if any —
+    /// used to pre-compute a superblock's registers-written summary.
+    #[must_use]
+    pub fn dest_reg(&self) -> Option<Reg> {
+        use Inst::*;
+        match self {
+            Add { d, .. }
+            | Sub { d, .. }
+            | And { d, .. }
+            | Or { d, .. }
+            | Xor { d, .. }
+            | Shl { d, .. }
+            | Shr { d, .. }
+            | Mul { d, .. }
+            | Div { d, .. }
+            | Addi { d, .. }
+            | Movi { d, .. }
+            | Mov { d, .. }
+            | Ld { d, .. }
+            | LdA { d, .. }
+            | LdB { d, .. }
+            | Jal { d, .. }
+            | CsrR { d, .. } => Some(*d),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

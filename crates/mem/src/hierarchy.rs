@@ -163,6 +163,13 @@ impl CoreCaches {
     pub fn l1_contains(&self, addr: PAddr) -> bool {
         self.l1.contains(addr)
     }
+
+    /// Applies a superblock's fetch stream against the view's L1 as one
+    /// batch (see [`Cache::access_run`]): `false` — and no mutation —
+    /// unless every line is L1-resident.
+    pub fn l1_access_run(&mut self, lines: &[(PAddr, u64)], n: u64) -> bool {
+        self.l1.access_run(lines, n)
+    }
 }
 
 /// A multi-core cache hierarchy.
@@ -340,6 +347,17 @@ impl Hierarchy {
     #[must_use]
     pub fn l1_contains(&self, core: usize, addr: PAddr) -> bool {
         self.l1[core].contains(addr)
+    }
+
+    /// Applies a superblock's fetch stream against `core`'s L1 as one
+    /// batch (see [`Cache::access_run`]): `false` — and no mutation —
+    /// unless every line is L1-resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn l1_access_run(&mut self, core: usize, lines: &[(PAddr, u64)], n: u64) -> bool {
+        self.l1[core].access_run(lines, n)
     }
 
     /// Per-level (hits, misses) aggregated over cores: `(l1, l2, l3)`.

@@ -21,13 +21,22 @@
 #            engine) must write bit-identical results/ trees, both for
 #            the full suite and for --quick --jobs 4 (the sharded
 #            engine may only change wall-clock time, never results)
+#   sblocks  superblock-determinism check: the suite with the
+#            superblock engine disabled (SWITCHLESS_SUPERBLOCKS=0) must
+#            write results/ trees bit-identical to the default-on runs
+#            above, both for the full suite and for --quick --jobs 4
+#            (superblocks may only change wall-clock time, never
+#            results)
 #   bench    host-throughput smoke + regression gate: switchless-bench
 #            --quick must emit well-formed switchless-bench/v1 JSON, and
 #            no bench may drop more than 20% below the newest committed
 #            BENCH_*.json baseline. The gate takes the per-bench max of
 #            two quick runs: 40 ms windows on a shared host can swing
 #            2x run-to-run, and a real hot-path regression reproduces
-#            in both runs while a noise dip does not.
+#            in both runs while a noise dip does not. Additionally,
+#            every bench key ever committed in any BENCH_*.json must
+#            still be present in the current runs — a bench silently
+#            dropped from the binary is a gate failure, not a skip.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -121,6 +130,26 @@ if ! diff -r "$mf1" "$mf4"; then
 fi
 echo "engine determinism (full): identical results/ trees"
 
+step "superblock determinism (SWITCHLESS_SUPERBLOCKS=0 vs default-on, --quick)"
+sbq=target/ci-results-nosb-quick
+rm -rf "$sbq"
+SWITCHLESS_SUPERBLOCKS=0 cargo run -q --release -p switchless-experiments -- all --quick --jobs 4 --out "$sbq" >/dev/null
+if ! diff -r "$mq1" "$sbq"; then
+    echo "FAIL: results/ trees differ between superblocks on and off (--quick)" >&2
+    exit 1
+fi
+echo "superblock determinism (quick): identical results/ trees"
+
+step "superblock determinism (SWITCHLESS_SUPERBLOCKS=0 vs default-on, full)"
+sbf=target/ci-results-nosb-full
+rm -rf "$sbf"
+SWITCHLESS_SUPERBLOCKS=0 cargo run -q --release -p switchless-experiments -- all --out "$sbf" >/dev/null
+if ! diff -r "$mf1" "$sbf"; then
+    echo "FAIL: results/ trees differ between superblocks on and off (full)" >&2
+    exit 1
+fi
+echo "superblock determinism (full): identical results/ trees"
+
 step "bench smoke (switchless-bench --quick)"
 bj=target/bench-smoke.json
 rm -f "$bj"
@@ -145,7 +174,7 @@ else
     bj2=target/bench-smoke-2.json
     rm -f "$bj2"
     cargo run -q --release -p switchless-bench -- --quick --out "$bj2"
-    python3 - "$bj" "$bj2" "$base" <<'EOF'
+    python3 - "$bj" "$bj2" "$base" BENCH_*.json <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     run1 = json.load(f)["benches"]
@@ -154,6 +183,20 @@ with open(sys.argv[2]) as f:
 with open(sys.argv[3]) as f:
     ref = json.load(f)["benches"]
 bad = []
+# Coverage: every bench key ever committed (the union over all
+# BENCH_*.json) must still be measured. Comparing only against the
+# newest file would let a bench vanish silently: drop it from the
+# binary, commit a new BENCH_N.json without it, and the gate would
+# never look for it again.
+ever = {}
+for path in sys.argv[4:]:
+    with open(path) as f:
+        for k in json.load(f)["benches"]:
+            ever.setdefault(k, path)
+for k, first in sorted(ever.items()):
+    if k not in run1 and k not in run2:
+        bad.append(f"{k}: committed in {first} but missing from current runs")
+# Regression: thresholds always against the newest committed file.
 for k, v in ref.items():
     c = max(run1.get(k, 0), run2.get(k, 0))
     if c == 0:
@@ -167,7 +210,7 @@ if bad:
     for line in bad:
         print("  " + line, file=sys.stderr)
     sys.exit(1)
-print(f"bench gate: all benches within 20% of {sys.argv[3]} (best of 2)")
+print(f"bench gate: all ever-committed benches present, within 20% of {sys.argv[3]} (best of 2)")
 EOF
 fi
 
