@@ -326,6 +326,22 @@ fn superblocks_default() -> bool {
     })
 }
 
+/// Process-wide default for memory-inclusive superblock formation
+/// (DESIGN.md §10, "memory-inclusive regions"), read once from
+/// `SWITCHLESS_MEM_SUPERBLOCKS`: `0`/`off`/`false` restrict regions to
+/// the pure-register PR 9 behaviour, anything else (or unset) admits
+/// local-effect loads/stores. Host-side wall-clock knob only; simulated
+/// state is bit-identical either way.
+fn mem_superblocks_default() -> bool {
+    static DEFAULT: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var("SWITCHLESS_MEM_SUPERBLOCKS").as_deref(),
+            Ok("0" | "off" | "false")
+        )
+    })
+}
+
 type HostCall = Box<dyn FnMut(&mut Machine, ThreadId)>;
 type MmioHook = Box<dyn FnMut(&mut Machine, u64)>;
 type HostEvent = Box<dyn FnOnce(&mut Machine)>;
@@ -492,6 +508,25 @@ pub struct Machine {
     /// regions (DESIGN.md §10). Host-side only: simulated state is
     /// bit-identical either way.
     pub(crate) sb_on: bool,
+    /// Whether region formation may admit local-effect loads/stores
+    /// (memory-inclusive superblocks, DESIGN.md §10). Host-side only:
+    /// simulated state is bit-identical either way.
+    pub(crate) sb_mem_on: bool,
+    /// Sorted MMIO hook addresses, maintained by [`Machine::register_mmio`].
+    /// The superblock store probe binary-searches this instead of
+    /// scanning the hook map, and the shard engine borrows it per epoch.
+    pub(crate) mmio_addrs: Vec<u64>,
+    /// Reusable scratch for the memory-inclusive superblock probe: the
+    /// merged fetch+data line footprint (line, last-access position,
+    /// written), the data-page footprint (page, last data-access index),
+    /// the dedup-keep-last data-line order for the prefetcher, the
+    /// store undo log (addr, old value, width), and the distinct store
+    /// ranges already intersection-tested against the monitor filter.
+    sbm_lines: Vec<(PAddr, u64, bool)>,
+    sbm_pages: Vec<(u64, u64)>,
+    sbm_plines: Vec<PAddr>,
+    sbm_undo: Vec<(u64, u64, u8)>,
+    sbm_stores: Vec<(u64, u64)>,
 }
 
 /// Host-side statistics for the core-sharded epoch engine. These live
@@ -589,6 +624,13 @@ impl Machine {
             epoch_len: Cycles(64),
             shard_stats: ShardStats::default(),
             sb_on: superblocks_default(),
+            sb_mem_on: mem_superblocks_default(),
+            mmio_addrs: Vec::new(),
+            sbm_lines: Vec::new(),
+            sbm_pages: Vec::new(),
+            sbm_plines: Vec::new(),
+            sbm_undo: Vec::new(),
+            sbm_stores: Vec::new(),
         }
     }
 
@@ -655,6 +697,25 @@ impl Machine {
     #[must_use]
     pub fn superblocks(&self) -> bool {
         self.sb_on
+    }
+
+    /// Enables or disables memory-inclusive superblock formation
+    /// (DESIGN.md §10, "memory-inclusive regions"). Defaults to the
+    /// `SWITCHLESS_MEM_SUPERBLOCKS` environment variable (`0`/`off`/
+    /// `false` restrict regions to pure register code; anything else, or
+    /// unset, admits local-effect loads/stores). Purely a wall-clock
+    /// knob: a memory block executes only when its whole batched effect
+    /// is provably what single-stepping would produce, and bails to the
+    /// single-step path otherwise, so the simulated outcome is
+    /// bit-identical either way.
+    pub fn set_mem_superblocks(&mut self, on: bool) {
+        self.sb_mem_on = on;
+    }
+
+    /// Whether memory-inclusive superblock formation is enabled.
+    #[must_use]
+    pub fn mem_superblocks(&self) -> bool {
+        self.sb_mem_on
     }
 
     /// Declares `[base, base + len)` as `core`'s private data window for
@@ -963,7 +1024,10 @@ impl Machine {
     /// This is how MMIO-triggered devices (NIC TX doorbells, SSD
     /// submission doorbells) react immediately to driver writes.
     pub fn register_mmio(&mut self, addr: u64, hook: impl FnMut(&mut Machine, u64) + 'static) {
-        self.mmio_hooks.insert(addr, Box::new(hook));
+        if self.mmio_hooks.insert(addr, Box::new(hook)).is_none() {
+            let i = self.mmio_addrs.partition_point(|&a| a < addr);
+            self.mmio_addrs.insert(i, addr);
+        }
     }
 
     /// Registers a host-service handler for `hcall num`.
@@ -1938,6 +2002,16 @@ impl Machine {
         // the deadline can move earlier).
         let mut burst_cost = Cycles::ZERO;
         let mut extra: u64 = 0; // instructions beyond the first
+
+        // Superblock entry gate (the heat hoist): a region entry is only
+        // ever *reached* by a jump — straight-line continuation lands on
+        // pc + 8. `seq_pc` tracks that fall-through continuation; while
+        // the burst walks sequential code, the table lookup (and its
+        // heat/formed bookkeeping) is skipped entirely, so single-step
+        // dispatch of non-candidate code pays nothing per instruction.
+        // `u64::MAX` means "provenance unknown — check": the first burst
+        // iteration and every block exit.
+        let mut seq_pc = u64::MAX;
         if watch.is_none_or(|(p, s)| self.threads[p.0 as usize].state != s) {
             let mut mark = self.events.schedule_mark();
             let mut qmin = self.events.next_deadline();
@@ -1989,58 +2063,80 @@ impl Machine {
                 // single-step path below — never a burst exit.
                 if self.sb_on {
                     let pc = self.threads[ptid.0 as usize].arch.pc;
-                    if let Some((ri, bi)) = self.sb_lookup(pc) {
-                        let (bcost, last_cost, len) = {
-                            let b = &self.code[ri].blocks[bi as usize];
-                            (b.cost, b.last_cost, b.insts.len() as u64)
-                        };
-                        // Dispatch time of the block's final instruction:
-                        // the burst window must reach it, exactly as the
-                        // loop head would have required step by step.
-                        // `extra` may overshoot `MAX_BURST` by at most
-                        // one block — the cap is a host-side
-                        // amortisation knob and burst length is
-                        // observably invisible, so a looser bound only
-                        // moves where bursts split.
-                        let d_last = done + bcost - last_cost;
-                        if d_last <= horizon {
-                            // Extend the sibling-lift gate through
-                            // `d_last`: single-stepping the block would
-                            // run this gate at every interior cursor.
-                            // Over-lifting on a failed attempt is
-                            // harmless — lifted events are restored
-                            // under their original keys either way.
-                            let mut clear = true;
-                            while let Some(t) = qmin {
-                                if t > d_last {
-                                    break;
+                    let via_jump = pc != seq_pc;
+                    seq_pc = pc + 8;
+                    if via_jump {
+                        if let Some((ri, bi)) = self.sb_lookup(pc) {
+                            let (bcost, last_cost, len) = {
+                                let b = &self.code[ri].blocks[bi as usize];
+                                // Dynamic block cost: base costs plus one
+                                // L1 hit per data access. The block only
+                                // executes when every fetch/data line is
+                                // L1-resident and every data page is
+                                // TLB-resident (a TLB hit adds zero), so
+                                // the cost is static and `d_last` is
+                                // known before any probing.
+                                let l1 = self.cfg.hierarchy.lat_l1;
+                                (
+                                    b.cost + Cycles(b.mem_ops * l1.0),
+                                    b.last_cost + if b.last_is_mem { l1 } else { Cycles::ZERO },
+                                    b.insts.len() as u64,
+                                )
+                            };
+                            // Dispatch time of the block's final
+                            // instruction: the burst window must reach
+                            // it, exactly as the loop head would have
+                            // required step by step. `extra` may
+                            // overshoot `MAX_BURST` by at most one block
+                            // — the cap is a host-side amortisation knob
+                            // and burst length is observably invisible,
+                            // so a looser bound only moves where bursts
+                            // split.
+                            let d_last = done + bcost - last_cost;
+                            if d_last <= horizon {
+                                // Extend the sibling-lift gate through
+                                // `d_last`: single-stepping the block
+                                // would run this gate at every interior
+                                // cursor. Over-lifting on a failed
+                                // attempt is harmless — lifted events
+                                // are restored under their original keys
+                                // either way.
+                                let mut clear = true;
+                                while let Some(t) = qmin {
+                                    if t > d_last {
+                                        break;
+                                    }
+                                    let consumable = matches!(
+                                        self.events.peek(),
+                                        Some((_, &Ev::SlotFree { core: c, slot: s }))
+                                            if c as usize == core && s as usize != slot
+                                    );
+                                    if !consumable {
+                                        // Single-stepping would stop
+                                        // partway into the region; do
+                                        // that instead.
+                                        clear = false;
+                                        break;
+                                    }
+                                    let Some(lifted) = self.events.pop_keyed() else {
+                                        unreachable!("peek/pop agree on the head event");
+                                    };
+                                    self.burst_stash.push(lifted);
+                                    qmin = self.events.next_deadline();
                                 }
-                                let consumable = matches!(
-                                    self.events.peek(),
-                                    Some((_, &Ev::SlotFree { core: c, slot: s }))
-                                        if c as usize == core && s as usize != slot
-                                );
-                                if !consumable {
-                                    // Single-stepping would stop partway
-                                    // into the region; do that instead.
-                                    clear = false;
-                                    break;
+                                if clear && self.exec_superblock(core, ri, bi as usize, ptid) {
+                                    // Serial single-stepping leaves
+                                    // `now` at the last dispatch cursor,
+                                    // not at the completion time.
+                                    self.now = d_last;
+                                    done += bcost;
+                                    burst_cost += bcost;
+                                    extra += len;
+                                    // A block exit is a fresh control
+                                    // transfer: re-check at the next pc.
+                                    seq_pc = u64::MAX;
+                                    continue 'burst;
                                 }
-                                let Some(lifted) = self.events.pop_keyed() else {
-                                    unreachable!("peek/pop agree on the head event");
-                                };
-                                self.burst_stash.push(lifted);
-                                qmin = self.events.next_deadline();
-                            }
-                            if clear && self.exec_superblock(core, ri, bi as usize, ptid) {
-                                // Serial single-stepping leaves `now` at
-                                // the last dispatch cursor, not at the
-                                // completion time.
-                                self.now = d_last;
-                                done += bcost;
-                                burst_cost += bcost;
-                                extra += len;
-                                continue 'burst;
                             }
                         }
                     }
@@ -2141,11 +2237,12 @@ impl Machine {
             return None;
         }
         let slot = (off >> 3) as usize;
+        let allow_mem = self.sb_mem_on;
         let r = &mut self.code[idx];
         match r.sb[slot] {
             SB_DEAD => None,
             s if s >= SB_FORMED => Some((idx, s & !SB_FORMED)),
-            heat if heat + 1 >= SB_HOT => match sblock::form(r.base, &r.insts, slot) {
+            heat if heat + 1 >= SB_HOT => match sblock::form(r.base, &r.insts, slot, allow_mem) {
                 Some(b) => {
                     let bi = r.alloc_block(b);
                     r.sb[slot] = SB_FORMED | bi;
@@ -2170,6 +2267,9 @@ impl Machine {
     /// counts) and the thread's registers, pc and dirty mask are
     /// precisely what single-stepping the block would have produced.
     fn exec_superblock(&mut self, core: usize, ri: usize, bi: usize, ptid: Ptid) -> bool {
+        if self.code[ri].blocks[bi].mem_ops > 0 {
+            return self.exec_superblock_mem(core, ri, bi, ptid);
+        }
         let b = &self.code[ri].blocks[bi];
         if !self
             .hier
@@ -2181,6 +2281,265 @@ impl Machine {
         let entry = t.arch.pc;
         t.arch.pc = sblock::exec_regs(&b.insts, &mut t.arch.gprs, entry);
         t.touched |= b.touched;
+        true
+    }
+
+    /// Executes a memory-inclusive superblock as one unit (DESIGN.md
+    /// §10, "memory-inclusive regions"). The walk interprets the block
+    /// on a scratch register file, applies stores to memory under an
+    /// undo log (so later loads in the block see them), and *stages* the
+    /// block's exact dynamic footprint: the merged fetch+data L1 line
+    /// stream, the data-page TLB stream, and the dedup-keep-last data
+    /// lines for the prefetcher. Any effect the batch cannot reproduce
+    /// bails — reverse-replaying the undo log, mutating nothing — and
+    /// the caller single-steps, which raises/charges/invalidates/wakes
+    /// exactly as always:
+    ///
+    /// - an out-of-range address (single-step raises the precise fault);
+    /// - a non-resident L1 line or TLB page (single-step charges the
+    ///   miss and performs the fills);
+    /// - a store overlapping the code hull — including the block's own
+    ///   fetch lines (single-step runs `invalidate_code`, which kills
+    ///   the block);
+    /// - a store whose range intersects an armed monitor line
+    ///   (`MonitorFilter::would_wake` — conservative, so no wakeup is
+    ///   ever lost or delayed);
+    /// - a store within MMIO-doorbell proximity of a registered hook.
+    ///
+    /// On success the commit applies one batched, provably per-access-
+    /// equal update per structure: `Cache::access_run_mixed` for the L1,
+    /// `Tlb::access_run` for the pages, `WakePrefetcher::record_run` for
+    /// the data lines, and one `note_quiet_stores` bump for the filter's
+    /// store statistics (the serial store path discards `on_store`'s
+    /// cost, and a no-wake `on_store` has no other observable effect).
+    #[allow(clippy::too_many_lines)]
+    fn exec_superblock_mem(&mut self, core: usize, ri: usize, bi: usize, ptid: Ptid) -> bool {
+        const PAGE_BYTES: u64 = switchless_mem::addr::PAGE_BYTES;
+        let mem_bytes = self.cfg.mem_bytes;
+        let (code_lo, code_hi) = (self.code_lo, self.code_hi);
+        let b = &self.code[ri].blocks[bi];
+        self.sbm_lines.clear();
+        self.sbm_lines
+            .extend(b.lines.iter().map(|&(l, at)| (l, at, false)));
+        self.sbm_pages.clear();
+        self.sbm_plines.clear();
+        self.sbm_stores.clear();
+        self.sbm_undo.clear();
+
+        let mut gprs = self.threads[ptid.0 as usize].arch.gprs;
+        let mut pc = self.threads[ptid.0 as usize].arch.pc;
+        let mut ok = true;
+        let mut pos = 0u64; // position in the merged fetch+data stream
+        let mut data_idx = 0u64; // 1-based index in the data-access stream
+        let mut n_stores = 0u64;
+
+        macro_rules! gpr {
+            ($r:expr) => {
+                gprs[$r.0 as usize & 0xf]
+            };
+        }
+        macro_rules! set_gpr {
+            ($r:expr, $v:expr) => {{
+                let v = $v;
+                gprs[$r.0 as usize & 0xf] = v;
+            }};
+        }
+        // One data access: bail checks (bounds, TLB, L1), then stage the
+        // line/page/prefetch bookkeeping at the current stream position.
+        // The serial path accesses exactly the line and page *containing*
+        // the address, regardless of width — mirror that. Expands to a
+        // bool (labels cannot cross macro hygiene, so callers break on
+        // `ok` after the match).
+        macro_rules! data_access {
+            ($addr:expr, $len:expr, $write:expr) => {{
+                let addr: u64 = $addr;
+                if addr.checked_add($len).is_none()
+                    || addr + $len > mem_bytes
+                    || !self.tlbs[core].contains(0, addr / PAGE_BYTES)
+                    || !self.hier.l1_contains(core, PAddr(addr).line())
+                {
+                    false
+                } else {
+                    let page = addr / PAGE_BYTES;
+                    let line = PAddr(addr).line();
+                    pos += 1;
+                    data_idx += 1;
+                    match self.sbm_lines.iter_mut().find(|e| e.0 == line) {
+                        Some(e) => {
+                            // A fetch access of this line may come later
+                            // in the merged stream than this data access.
+                            e.1 = e.1.max(pos);
+                            e.2 |= $write;
+                        }
+                        None => self.sbm_lines.push((line, pos, $write)),
+                    }
+                    match self.sbm_pages.iter_mut().find(|e| e.0 == page) {
+                        Some(e) => e.1 = data_idx,
+                        None => self.sbm_pages.push((page, data_idx)),
+                    }
+                    if let Some(p) = self.sbm_plines.iter().position(|&l| l == line) {
+                        self.sbm_plines.remove(p);
+                    }
+                    self.sbm_plines.push(line);
+                    true
+                }
+            }};
+        }
+        macro_rules! load {
+            ($d:expr, $addr:expr, $len:expr) => {{
+                let addr: u64 = $addr;
+                if data_access!(addr, $len, false) {
+                    let a = addr as usize;
+                    let v = if $len == 8 {
+                        u64::from_le_bytes(self.mem[a..a + 8].try_into().expect("8 bytes"))
+                    } else {
+                        u64::from(self.mem[a])
+                    };
+                    set_gpr!($d, v);
+                } else {
+                    ok = false;
+                }
+            }};
+        }
+        // A store additionally vets — once per distinct range, since a
+        // block cannot load images, arm monitors, or register hooks
+        // mid-flight — the decoded-code overlap (the hull compare
+        // `after_store` uses is a pre-filter that over-approximates
+        // when unrelated data sits between two images; only a real
+        // range overlap must single-step through `invalidate_code`,
+        // which covers self-modifying stores into the block's own fetch
+        // lines), the aggregated monitor test (`would_wake`), and
+        // MMIO-doorbell proximity.
+        macro_rules! store {
+            ($v:expr, $addr:expr, $len:expr) => {{
+                let addr: u64 = $addr;
+                if !data_access!(addr, $len, true) {
+                    ok = false;
+                } else {
+                    if !self.sbm_stores.contains(&(addr, $len)) {
+                        let hits_code = addr < code_hi
+                            && addr + $len > code_lo
+                            && self
+                                .code
+                                .iter()
+                                .any(|r| addr < r.end && addr + $len > r.base);
+                        let lo = addr.saturating_sub(7);
+                        let i0 = self.mmio_addrs.partition_point(|&a| a < lo);
+                        if hits_code
+                            || self.filter.would_wake(PAddr(addr), $len)
+                            || self.mmio_addrs.get(i0).is_some_and(|&a| a < addr + $len)
+                        {
+                            ok = false;
+                        } else {
+                            self.sbm_stores.push((addr, $len));
+                        }
+                    }
+                    if ok {
+                        n_stores += 1;
+                        let a = addr as usize;
+                        if $len == 8 {
+                            let old =
+                                u64::from_le_bytes(self.mem[a..a + 8].try_into().expect("8 bytes"));
+                            self.sbm_undo.push((addr, old, 8));
+                            self.mem[a..a + 8].copy_from_slice(&($v).to_le_bytes());
+                        } else {
+                            self.sbm_undo.push((addr, u64::from(self.mem[a]), 1));
+                            self.mem[a] = (($v) & 0xff) as u8;
+                        }
+                    }
+                }
+            }};
+        }
+
+        for i in &b.insts {
+            pos += 1; // this instruction's fetch access
+            let mut next = pc + 8;
+            use Inst::*;
+            match *i {
+                Add { d, a, b } => set_gpr!(d, gpr!(a).wrapping_add(gpr!(b))),
+                Sub { d, a, b } => set_gpr!(d, gpr!(a).wrapping_sub(gpr!(b))),
+                And { d, a, b } => set_gpr!(d, gpr!(a) & gpr!(b)),
+                Or { d, a, b } => set_gpr!(d, gpr!(a) | gpr!(b)),
+                Xor { d, a, b } => set_gpr!(d, gpr!(a) ^ gpr!(b)),
+                Shl { d, a, b } => set_gpr!(d, gpr!(a) << (gpr!(b) & 63)),
+                Shr { d, a, b } => set_gpr!(d, gpr!(a) >> (gpr!(b) & 63)),
+                Mul { d, a, b } => set_gpr!(d, gpr!(a).wrapping_mul(gpr!(b))),
+                Addi { d, a, imm } => set_gpr!(d, gpr!(a).wrapping_add(imm as u64)),
+                Movi { d, imm } => set_gpr!(d, imm as u64),
+                Mov { d, a } => set_gpr!(d, gpr!(a)),
+                Nop | Work { .. } | Fence => {}
+                Ld { d, a, off } => load!(d, gpr!(a).wrapping_add(off as u64), 8),
+                LdA { d, addr } => load!(d, addr, 8),
+                LdB { d, a, off } => load!(d, gpr!(a).wrapping_add(off as u64), 1),
+                St { s, a, off } => store!(gpr!(s), gpr!(a).wrapping_add(off as u64), 8),
+                StA { s, addr } => store!(gpr!(s), addr, 8),
+                StB { s, a, off } => store!(gpr!(s), gpr!(a).wrapping_add(off as u64), 1),
+                Jmp { addr } => next = addr,
+                Jr { a } => next = gpr!(a),
+                Jal { d, addr } => {
+                    set_gpr!(d, pc + 8);
+                    next = addr;
+                }
+                Beq { a, b, addr } => {
+                    if gpr!(a) == gpr!(b) {
+                        next = addr;
+                    }
+                }
+                Bne { a, b, addr } => {
+                    if gpr!(a) != gpr!(b) {
+                        next = addr;
+                    }
+                }
+                Blt { a, b, addr } => {
+                    if (gpr!(a) as i64) < (gpr!(b) as i64) {
+                        next = addr;
+                    }
+                }
+                Bge { a, b, addr } => {
+                    if (gpr!(a) as i64) >= (gpr!(b) as i64) {
+                        next = addr;
+                    }
+                }
+                _ => unreachable!("non-admissible instruction inside a memory superblock"),
+            }
+            if !ok {
+                break;
+            }
+            pc = next;
+        }
+
+        let (n_insts, mem_ops, touched) = (b.insts.len() as u64, b.mem_ops, b.touched);
+        // The commit's only fallible step is the L1 batch: the walk
+        // verified every *data* line, but the static fetch lines are
+        // checked (without mutation) inside `access_run_mixed` itself,
+        // exactly as on the pure-block path.
+        if !ok
+            || !self
+                .hier
+                .l1_access_run_mixed(core, &self.sbm_lines, n_insts + mem_ops)
+        {
+            for &(addr, old, len) in self.sbm_undo.iter().rev() {
+                let a = addr as usize;
+                if len == 8 {
+                    self.mem[a..a + 8].copy_from_slice(&old.to_le_bytes());
+                } else {
+                    self.mem[a] = old as u8;
+                }
+            }
+            return false;
+        }
+        debug_assert!(data_idx == mem_ops, "every instruction executed");
+        let tlb_ok = self.tlbs[core].access_run(0, &self.sbm_pages, mem_ops);
+        debug_assert!(tlb_ok, "probe checked TLB residency for every page");
+        self.prefetcher
+            .record_run(WatchId(u64::from(ptid.0)), &self.sbm_plines);
+        if n_stores > 0 {
+            self.filter.note_quiet_stores(n_stores);
+        }
+        let t = &mut self.threads[ptid.0 as usize];
+        t.arch.gprs = gprs;
+        t.arch.pc = pc;
+        t.touched |= touched;
         true
     }
 

@@ -13,11 +13,13 @@
 //! configuration: an entry pc must be dispatched [`SB_HOT`] times from
 //! the burst loop before its region is walked and formed, so cold code
 //! pays one table read and nothing else. Regions end at the first
-//! instruction that could touch memory, raise, trap, or otherwise
-//! schedule/observe anything ([`Inst::is_inert`] is the whitelist); an
-//! unconditional jump back to the region's own entry — the shape of
-//! every spin/compute loop — is unrolled up to [`SB_MAX_LEN`]
-//! instructions, since its interior control flow is statically known.
+//! instruction that could raise, trap, or otherwise schedule/observe
+//! anything ([`Inst::is_inert`] is the whitelist, extended by
+//! local-effect loads/stores — [`Inst::is_local_mem`] — when
+//! memory-inclusive formation is enabled); an unconditional jump back
+//! to the region's own entry — the shape of every spin/compute loop —
+//! is unrolled up to [`SB_MAX_LEN`] instructions, since its interior
+//! control flow is statically known.
 //!
 //! [inert]: Inst::is_inert
 
@@ -68,8 +70,22 @@ pub(crate) struct Superblock {
     pub(crate) last_cost: Cycles,
     /// Union of `Thread::touched` bits the sequence writes.
     pub(crate) touched: u32,
+    /// Number of local-effect memory instructions in `insts` (each
+    /// performs exactly one data access). Zero for pure register blocks,
+    /// which execute through `exec_regs`; memory-inclusive blocks go
+    /// through the engine-specific batched probe instead.
+    pub(crate) mem_ops: u64,
+    /// Whether the final instruction is a memory access — its dynamic
+    /// dispatch cost is `last_cost` plus one L1 hit, which the engines
+    /// need to place `now` at the last instruction's dispatch time.
+    pub(crate) last_is_mem: bool,
     /// Distinct L1 lines of the fetch stream, each with the 1-based
-    /// index of its last access (see `Cache::access_run`).
+    /// index of its last access (see `Cache::access_run`). For
+    /// memory-inclusive blocks the indices are positions in the *merged*
+    /// fetch+data access stream (each instruction fetches, then memory
+    /// instructions immediately perform their one data access), so the
+    /// executing engine can splice dynamically-resolved data lines into
+    /// the same numbering.
     pub(crate) lines: Vec<(PAddr, u64)>,
     /// Cleared when a code mutation kills the block; the `blocks` slot
     /// is recycled through `CodeRange::sb_free`.
@@ -79,7 +95,22 @@ pub(crate) struct Superblock {
 /// Walks the decoded image from `slot` and forms a superblock, or
 /// returns `None` when the region is not worth caching. `base` is the
 /// image base address; `insts` its decoded words.
-pub(crate) fn form(base: u64, insts: &[Option<Inst>], slot: usize) -> Option<Superblock> {
+///
+/// With `allow_mem` set, local-effect loads and stores
+/// ([`Inst::is_local_mem`]) are admitted alongside inert instructions —
+/// the memory-inclusive regions of DESIGN.md §10. Their effective
+/// addresses are data-dependent, so the block records only the *count*
+/// of data accesses; the executing engine resolves the data footprint at
+/// run time and bails to single-step on any non-local effect. With
+/// `allow_mem` clear (SWITCHLESS_MEM_SUPERBLOCKS=0) formation is
+/// bit-identical to the pure-register engine: a memory instruction ends
+/// the region.
+pub(crate) fn form(
+    base: u64,
+    insts: &[Option<Inst>],
+    slot: usize,
+    allow_mem: bool,
+) -> Option<Superblock> {
     let entry_pc = base + 8 * slot as u64;
     let mut seq: Vec<Inst> = Vec::new();
     let mut terminal: Option<Inst> = None;
@@ -90,7 +121,7 @@ pub(crate) fn form(base: u64, insts: &[Option<Inst>], slot: usize) -> Option<Sup
         // A non-decoding word ends the region (the slow path re-raises
         // the precise exception; it can never be inside a block).
         let Some(i) = *w else { break };
-        if i.is_inert() {
+        if i.is_inert() || (allow_mem && i.is_local_mem()) {
             seq.push(i);
         } else if i.is_region_terminal() {
             terminal = Some(i);
@@ -128,17 +159,28 @@ pub(crate) fn form(base: u64, insts: &[Option<Inst>], slot: usize) -> Option<Sup
     }
     let last = seq.last().expect("checked non-empty");
     let last_cost = Cycles(last.base_cost());
+    let last_is_mem = last.is_local_mem();
+    let mem_ops = seq.iter().filter(|i| i.is_local_mem()).count() as u64;
 
     // Fetch-stream footprint: walk the pc sequence (interior control
     // flow is only ever the unrolled self-jump, whose target is static)
-    // and record each distinct line with its last-access index.
+    // and record each distinct line with its last-access index. Indices
+    // are positions in the merged fetch+data stream: each instruction's
+    // fetch access is followed immediately by its data access when it
+    // has one, so a memory instruction advances the position by two.
+    // For pure blocks this reduces to plain instruction numbering.
     let mut lines: Vec<(PAddr, u64)> = Vec::new();
     let mut pc = entry_pc;
-    for (k, i) in seq.iter().enumerate() {
+    let mut pos = 0u64;
+    for i in &seq {
+        pos += 1;
         let line = PAddr(pc).line();
         match lines.iter_mut().find(|(l, _)| *l == line) {
-            Some((_, at)) => *at = (k + 1) as u64,
-            None => lines.push((line, (k + 1) as u64)),
+            Some((_, at)) => *at = pos,
+            None => lines.push((line, pos)),
+        }
+        if i.is_local_mem() {
+            pos += 1;
         }
         pc = match i {
             Inst::Jmp { addr } => *addr,
@@ -153,6 +195,8 @@ pub(crate) fn form(base: u64, insts: &[Option<Inst>], slot: usize) -> Option<Sup
         cost: Cycles(cost),
         last_cost,
         touched,
+        mem_ops,
+        last_is_mem,
         lines,
         live: true,
     })
@@ -249,7 +293,7 @@ mod tests {
              st r1, r5, 0\n\
              halt\n",
         );
-        let b = form(base, &insts, 0).expect("four inert insts form");
+        let b = form(base, &insts, 0, false).expect("four inert insts form");
         assert_eq!(b.len_slots, 4);
         assert_eq!(b.insts.len(), 4);
         // 1 + 1 + 1 + 3 (mul).
@@ -257,7 +301,7 @@ mod tests {
         assert_eq!(b.last_cost, Cycles(3));
         assert_eq!(b.touched, 0b11110);
         // Starting *at* the store: not a region.
-        assert!(form(base, &insts, 4).is_none());
+        assert!(form(base, &insts, 4, false).is_none());
     }
 
     #[test]
@@ -268,7 +312,7 @@ mod tests {
              addi r2, r2, 2\n\
              halt\n",
         );
-        assert!(form(base, &insts, 0).is_none(), "2 < SB_MIN_LEN");
+        assert!(form(base, &insts, 0, false).is_none(), "2 < SB_MIN_LEN");
     }
 
     #[test]
@@ -280,7 +324,7 @@ mod tests {
              xor r3, r2, r1\n\
              jmp loop\n",
         );
-        let b = form(base, &insts, 0).expect("self-loop forms");
+        let b = form(base, &insts, 0, false).expect("self-loop forms");
         assert_eq!(b.len_slots, 4);
         assert_eq!(b.insts.len(), 256, "unrolled to SB_MAX_LEN / 4 copies");
         assert_eq!(b.cost, Cycles(256));
@@ -304,7 +348,7 @@ mod tests {
              jmp entry2\n\
              entry2: halt\n",
         );
-        let b = form(base, &insts, 0).expect("jmp-closed region forms");
+        let b = form(base, &insts, 0, false).expect("jmp-closed region forms");
         assert_eq!(b.insts.len(), 4);
         let mut gprs = [0u64; 16];
         let exit = exec_regs(&b.insts, &mut gprs, base);
@@ -321,7 +365,7 @@ mod tests {
              bne r1, r4, entry\n\
              halt\n",
         );
-        let b = form(base, &insts, 0).expect("branch-closed region forms");
+        let b = form(base, &insts, 0, false).expect("branch-closed region forms");
         assert_eq!(b.insts.len(), 4);
         let mut gprs = [0u64; 16];
         // r1 becomes 1 != r4 (0): branch taken, back to entry.
@@ -341,10 +385,72 @@ mod tests {
         }
         src.push_str("halt\n");
         let (base, insts) = decoded(&src);
-        let b = form(base, &insts, 0).expect("9 inert insts form");
+        let b = form(base, &insts, 0, false).expect("9 inert insts form");
         assert_eq!(
             b.lines.as_slice(),
             &[(PAddr(0x1000), 8), (PAddr(0x1040), 9)]
         );
+    }
+
+    #[test]
+    fn allow_mem_admits_loads_and_stores() {
+        let (base, insts) = decoded(
+            ".base 0x1000\n\
+             entry: addi r1, r1, 1\n\
+             ld r2, r5, 0\n\
+             add r2, r2, r1\n\
+             st r2, r5, 0\n\
+             halt\n",
+        );
+        // Without allow_mem the load ends the region at length 1 < MIN.
+        assert!(form(base, &insts, 0, false).is_none());
+        let b = form(base, &insts, 0, true).expect("mem region forms");
+        assert_eq!(b.len_slots, 4);
+        assert_eq!(b.mem_ops, 2);
+        assert!(b.last_is_mem, "final instruction is the store");
+        assert_eq!(b.cost, Cycles(4), "base costs only; latency is dynamic");
+        assert_eq!(b.last_cost, Cycles(1));
+        // touched: r1 (addi), r2 (ld, add). Stores touch nothing.
+        assert_eq!(b.touched, 0b110);
+        // Merged-stream numbering: fetches at 1, 2, 4, 5 (the load's
+        // data access occupies 3, the store's 6); one fetch line.
+        assert_eq!(b.lines.as_slice(), &[(PAddr(0x1000), 5)]);
+    }
+
+    #[test]
+    fn mem_self_loop_unrolls_with_merged_positions() {
+        let (base, insts) = decoded(
+            ".base 0x1000\n\
+             loop: st r1, r5, 0\n\
+             st r1, r5, 8\n\
+             jmp loop\n",
+        );
+        let b = form(base, &insts, 0, true).expect("store loop forms");
+        assert_eq!(b.len_slots, 3);
+        assert_eq!(b.insts.len(), 255, "85 copies of 3");
+        assert_eq!(b.mem_ops, 170);
+        assert!(!b.last_is_mem, "final instruction is the jump");
+        // Merged stream: 255 fetches + 170 data accesses = 425
+        // positions; the last access of the single fetch line is the
+        // final jump's fetch at position 425.
+        assert_eq!(b.lines.as_slice(), &[(PAddr(0x1000), 425)]);
+    }
+
+    #[test]
+    fn pure_blocks_are_identical_with_and_without_allow_mem() {
+        let (base, insts) = decoded(
+            ".base 0x1000\n\
+             loop: addi r1, r1, 1\n\
+             addi r2, r1, 3\n\
+             xor r3, r2, r1\n\
+             jmp loop\n",
+        );
+        let a = form(base, &insts, 0, false).expect("forms");
+        let b = form(base, &insts, 0, true).expect("forms");
+        assert_eq!(a.insts.len(), b.insts.len());
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.lines, b.lines);
+        assert_eq!(b.mem_ops, 0);
+        assert!(!b.last_is_mem);
     }
 }

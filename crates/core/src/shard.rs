@@ -274,6 +274,16 @@ struct Worker<'a> {
     d_insts: u64,
     d_activate: [u64; 4],
     quiet_stores: u64,
+    /// Memory-superblock probe scratch (mirrors `Machine::sbm_*`):
+    /// merged fetch+data L1 line stream with write bits, data-page TLB
+    /// stream, dedup-keep-last data lines for the prefetcher, applied
+    /// store undo log, and the distinct store ranges already vetted
+    /// against the monitor filter and MMIO table.
+    sbm_lines: Vec<(PAddr, u64, bool)>,
+    sbm_pages: Vec<(u64, u64)>,
+    sbm_plines: Vec<PAddr>,
+    sbm_undo: Vec<(u64, u64, u8)>,
+    sbm_stores: Vec<(u64, u64)>,
 }
 
 fn run_worker(sh: &Shared<'_>, input: WorkerInput) -> Result<WorkerOk, Bail> {
@@ -307,6 +317,11 @@ fn run_worker(sh: &Shared<'_>, input: WorkerInput) -> Result<WorkerOk, Bail> {
         d_insts: 0,
         d_activate: [0; 4],
         quiet_stores: 0,
+        sbm_lines: Vec::new(),
+        sbm_pages: Vec::new(),
+        sbm_plines: Vec::new(),
+        sbm_undo: Vec::new(),
+        sbm_stores: Vec::new(),
     };
     while let Some((ts, key, slot)) = w.q.pop_below(sh.b) {
         if key >= sh.staged_total && ts >= fresh_b {
@@ -454,6 +469,10 @@ impl Worker<'_> {
         let mut burst_cost = Cycles::ZERO;
         let mut extra: u64 = 0;
         let mut qmin = self.q.next_deadline();
+        // Superblock entry gate (the heat hoist, as in the serial
+        // engine): entries are only reached by jumps, so the lookup is
+        // skipped while the burst walks sequential code.
+        let mut seq_pc = u64::MAX;
         'burst: while extra < MAX_BURST
             && done <= self.sh.t
             && done < self.fresh_b
@@ -482,32 +501,47 @@ impl Worker<'_> {
             // never a burst exit.
             if self.sh.sb_on {
                 let pc = self.threads[ti].1.arch.pc;
-                if let Some((ri, bi)) = self.sb_lookup(pc) {
-                    let b = &self.sh.code[ri].blocks[bi as usize];
-                    let (bcost, last_cost, len) = (b.cost, b.last_cost, b.insts.len() as u64);
-                    // As in the serial engine, `extra` may overshoot
-                    // `MAX_BURST` by at most one block.
-                    let d_last = done + bcost - last_cost;
-                    if d_last <= self.sh.t && d_last < self.fresh_b {
-                        let mut clear = true;
-                        while let Some(tq) = qmin {
-                            if tq > d_last {
-                                break;
+                let via_jump = pc != seq_pc;
+                seq_pc = pc + 8;
+                if via_jump {
+                    if let Some((ri, bi)) = self.sb_lookup(pc) {
+                        let (bcost, last_cost, len) = {
+                            let b = &self.sh.code[ri].blocks[bi as usize];
+                            // Dynamic block cost, exactly as in the serial
+                            // engine: base costs plus one L1 hit per data
+                            // access (the block only runs fully resident).
+                            let l1 = self.sh.cfg.hierarchy.lat_l1;
+                            (
+                                b.cost + Cycles(b.mem_ops * l1.0),
+                                b.last_cost + if b.last_is_mem { l1 } else { Cycles::ZERO },
+                                b.insts.len() as u64,
+                            )
+                        };
+                        // As in the serial engine, `extra` may overshoot
+                        // `MAX_BURST` by at most one block.
+                        let d_last = done + bcost - last_cost;
+                        if d_last <= self.sh.t && d_last < self.fresh_b {
+                            let mut clear = true;
+                            while let Some(tq) = qmin {
+                                if tq > d_last {
+                                    break;
+                                }
+                                if self.q.peek_slot() == Some(slot) {
+                                    clear = false;
+                                    break;
+                                }
+                                let lifted = self.q.pop_head().expect("peek/pop agree");
+                                self.stash.push(lifted);
+                                qmin = self.q.next_deadline();
                             }
-                            if self.q.peek_slot() == Some(slot) {
-                                clear = false;
-                                break;
+                            if clear && self.exec_superblock(ri, bi as usize, ti) {
+                                self.local_now = d_last;
+                                done += bcost;
+                                burst_cost += bcost;
+                                extra += len;
+                                seq_pc = u64::MAX;
+                                continue 'burst;
                             }
-                            let lifted = self.q.pop_head().expect("peek/pop agree");
-                            self.stash.push(lifted);
-                            qmin = self.q.next_deadline();
-                        }
-                        if clear && self.exec_superblock(ri, bi as usize, ti) {
-                            self.local_now = d_last;
-                            done += bcost;
-                            burst_cost += bcost;
-                            extra += len;
-                            continue 'burst;
                         }
                     }
                 }
@@ -578,6 +612,9 @@ impl Worker<'_> {
     /// Mirrors `Machine::exec_superblock` against the worker's private
     /// cache view and thread clone.
     fn exec_superblock(&mut self, ri: usize, bi: usize, ti: usize) -> bool {
+        if self.sh.code[ri].blocks[bi].mem_ops > 0 {
+            return self.exec_superblock_mem(ri, bi, ti);
+        }
         let b = &self.sh.code[ri].blocks[bi];
         if !self.caches.l1_access_run(&b.lines, b.insts.len() as u64) {
             return false;
@@ -586,6 +623,240 @@ impl Worker<'_> {
         let entry = t.arch.pc;
         t.arch.pc = sblock::exec_regs(&b.insts, &mut t.arch.gprs, entry);
         t.touched |= b.touched;
+        true
+    }
+
+    /// Mirrors `Machine::exec_superblock_mem` against the worker's
+    /// private clones, with the shard discipline layered on top: loads
+    /// may resolve to the worker's own domain scratch or the frozen
+    /// shared image, but any store must land fully inside the own
+    /// domain — everything else fails the probe, and the single-step
+    /// path then bails the epoch exactly as it always did. Stores are
+    /// applied to the domain scratch under an undo log so later loads
+    /// in the block see them; a failed probe reverse-replays the log
+    /// and mutates nothing.
+    #[allow(clippy::too_many_lines)]
+    fn exec_superblock_mem(&mut self, ri: usize, bi: usize, ti: usize) -> bool {
+        let sh = self.sh;
+        let b = &sh.code[ri].blocks[bi];
+        let mem_bytes = sh.cfg.mem_bytes;
+        let (code_lo, code_hi) = (sh.code_lo, sh.code_hi);
+        self.sbm_lines.clear();
+        self.sbm_lines
+            .extend(b.lines.iter().map(|&(l, at)| (l, at, false)));
+        self.sbm_pages.clear();
+        self.sbm_plines.clear();
+        self.sbm_stores.clear();
+        self.sbm_undo.clear();
+
+        let mut gprs = self.threads[ti].1.arch.gprs;
+        let mut pc = self.threads[ti].1.arch.pc;
+        let mut ok = true;
+        let mut pos = 0u64; // position in the merged fetch+data stream
+        let mut data_idx = 0u64; // 1-based index in the data-access stream
+        let mut n_stores = 0u64;
+
+        macro_rules! gpr {
+            ($r:expr) => {
+                gprs[$r.0 as usize & 0xf]
+            };
+        }
+        macro_rules! set_gpr {
+            ($r:expr, $v:expr) => {{
+                let v = $v;
+                gprs[$r.0 as usize & 0xf] = v;
+            }};
+        }
+        macro_rules! data_access {
+            ($addr:expr, $len:expr, $write:expr) => {{
+                let addr: u64 = $addr;
+                if addr.checked_add($len).is_none()
+                    || addr + $len > mem_bytes
+                    || !self.tlb.contains(0, addr / PAGE_BYTES)
+                    || !self.caches.l1_contains(PAddr(addr).line())
+                {
+                    false
+                } else {
+                    let page = addr / PAGE_BYTES;
+                    let line = PAddr(addr).line();
+                    pos += 1;
+                    data_idx += 1;
+                    match self.sbm_lines.iter_mut().find(|e| e.0 == line) {
+                        Some(e) => {
+                            e.1 = e.1.max(pos);
+                            e.2 |= $write;
+                        }
+                        None => self.sbm_lines.push((line, pos, $write)),
+                    }
+                    match self.sbm_pages.iter_mut().find(|e| e.0 == page) {
+                        Some(e) => e.1 = data_idx,
+                        None => self.sbm_pages.push((page, data_idx)),
+                    }
+                    if let Some(p) = self.sbm_plines.iter().position(|&l| l == line) {
+                        self.sbm_plines.remove(p);
+                    }
+                    self.sbm_plines.push(line);
+                    true
+                }
+            }};
+        }
+        macro_rules! load {
+            ($d:expr, $addr:expr, $len:expr) => {{
+                let addr: u64 = $addr;
+                if data_access!(addr, $len, false) {
+                    match self.read_bytes(addr, $len) {
+                        Ok(bytes) => {
+                            let v = if $len == 8 {
+                                u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+                            } else {
+                                u64::from(bytes[0])
+                            };
+                            set_gpr!($d, v);
+                        }
+                        Err(Bail) => ok = false,
+                    }
+                } else {
+                    ok = false;
+                }
+            }};
+        }
+        macro_rules! store {
+            ($v:expr, $addr:expr, $len:expr) => {{
+                let addr: u64 = $addr;
+                let end = addr + $len;
+                let own_off = match &self.domain {
+                    Some((base, bytes)) if addr >= *base && end <= base + bytes.len() as u64 => {
+                        Some((addr - base) as usize)
+                    }
+                    _ => None,
+                };
+                match (data_access!(addr, $len, true), own_off) {
+                    (true, Some(off)) => {
+                        if !self.sbm_stores.contains(&(addr, $len)) {
+                            // Precise code-overlap test, as in the serial
+                            // probe: the hull over-approximates when
+                            // unrelated data sits between two images.
+                            let hits_code = addr < code_hi
+                                && end > code_lo
+                                && sh.code.iter().any(|r| addr < r.end && end > r.base);
+                            let lo = addr.saturating_sub(7);
+                            let i0 = sh.mmio_addrs.partition_point(|&a| a < lo);
+                            if hits_code
+                                || sh.filter.would_wake(PAddr(addr), $len)
+                                || sh.mmio_addrs.get(i0).is_some_and(|&a| a < end)
+                            {
+                                ok = false;
+                            } else {
+                                self.sbm_stores.push((addr, $len));
+                            }
+                        }
+                        if ok {
+                            n_stores += 1;
+                            let bytes = &mut self.domain.as_mut().expect("own offset").1;
+                            if $len == 8 {
+                                let old = u64::from_le_bytes(
+                                    bytes[off..off + 8].try_into().expect("8 bytes"),
+                                );
+                                self.sbm_undo.push((addr, old, 8));
+                                bytes[off..off + 8].copy_from_slice(&($v).to_le_bytes());
+                            } else {
+                                self.sbm_undo.push((addr, u64::from(bytes[off]), 1));
+                                bytes[off] = (($v) & 0xff) as u8;
+                            }
+                        }
+                    }
+                    _ => ok = false,
+                }
+            }};
+        }
+
+        for i in &b.insts {
+            pos += 1; // this instruction's fetch access
+            let mut next = pc + 8;
+            use Inst::*;
+            match *i {
+                Add { d, a, b } => set_gpr!(d, gpr!(a).wrapping_add(gpr!(b))),
+                Sub { d, a, b } => set_gpr!(d, gpr!(a).wrapping_sub(gpr!(b))),
+                And { d, a, b } => set_gpr!(d, gpr!(a) & gpr!(b)),
+                Or { d, a, b } => set_gpr!(d, gpr!(a) | gpr!(b)),
+                Xor { d, a, b } => set_gpr!(d, gpr!(a) ^ gpr!(b)),
+                Shl { d, a, b } => set_gpr!(d, gpr!(a) << (gpr!(b) & 63)),
+                Shr { d, a, b } => set_gpr!(d, gpr!(a) >> (gpr!(b) & 63)),
+                Mul { d, a, b } => set_gpr!(d, gpr!(a).wrapping_mul(gpr!(b))),
+                Addi { d, a, imm } => set_gpr!(d, gpr!(a).wrapping_add(imm as u64)),
+                Movi { d, imm } => set_gpr!(d, imm as u64),
+                Mov { d, a } => set_gpr!(d, gpr!(a)),
+                Nop | Work { .. } | Fence => {}
+                Ld { d, a, off } => load!(d, gpr!(a).wrapping_add(off as u64), 8),
+                LdA { d, addr } => load!(d, addr, 8),
+                LdB { d, a, off } => load!(d, gpr!(a).wrapping_add(off as u64), 1),
+                St { s, a, off } => store!(gpr!(s), gpr!(a).wrapping_add(off as u64), 8),
+                StA { s, addr } => store!(gpr!(s), addr, 8),
+                StB { s, a, off } => store!(gpr!(s), gpr!(a).wrapping_add(off as u64), 1),
+                Jmp { addr } => next = addr,
+                Jr { a } => next = gpr!(a),
+                Jal { d, addr } => {
+                    set_gpr!(d, pc + 8);
+                    next = addr;
+                }
+                Beq { a, b, addr } => {
+                    if gpr!(a) == gpr!(b) {
+                        next = addr;
+                    }
+                }
+                Bne { a, b, addr } => {
+                    if gpr!(a) != gpr!(b) {
+                        next = addr;
+                    }
+                }
+                Blt { a, b, addr } => {
+                    if (gpr!(a) as i64) < (gpr!(b) as i64) {
+                        next = addr;
+                    }
+                }
+                Bge { a, b, addr } => {
+                    if (gpr!(a) as i64) >= (gpr!(b) as i64) {
+                        next = addr;
+                    }
+                }
+                _ => unreachable!("non-admissible instruction inside a memory superblock"),
+            }
+            if !ok {
+                break;
+            }
+            pc = next;
+        }
+
+        let (n_insts, mem_ops, touched) = (b.insts.len() as u64, b.mem_ops, b.touched);
+        if !ok
+            || !self
+                .caches
+                .l1_access_run_mixed(&self.sbm_lines, n_insts + mem_ops)
+        {
+            let bytes = self.domain.as_mut().map(|(base, bytes)| (*base, bytes));
+            if let Some((base, bytes)) = bytes {
+                for &(addr, old, len) in self.sbm_undo.iter().rev() {
+                    let off = (addr - base) as usize;
+                    if len == 8 {
+                        bytes[off..off + 8].copy_from_slice(&old.to_le_bytes());
+                    } else {
+                        bytes[off] = old as u8;
+                    }
+                }
+            }
+            return false;
+        }
+        debug_assert!(data_idx == mem_ops, "every instruction executed");
+        let tlb_ok = self.tlb.access_run(0, &self.sbm_pages, mem_ops);
+        debug_assert!(tlb_ok, "probe checked TLB residency for every page");
+        let ptid = self.threads[ti].0;
+        self.prefetch
+            .record_run(WatchId(u64::from(ptid)), &self.sbm_plines);
+        self.quiet_stores += n_stores;
+        let t = &mut self.threads[ti].1;
+        t.arch.gprs = gprs;
+        t.arch.pc = pc;
+        t.touched |= touched;
         true
     }
 
@@ -652,7 +923,13 @@ impl Worker<'_> {
     /// filter effect (`stores_checked`) is batched to commit.
     fn check_store(&self, addr: u64, len: u64) -> Result<(), Bail> {
         let end = addr.saturating_add(len.max(1));
-        if addr < self.sh.code_hi && end > self.sh.code_lo {
+        if addr < self.sh.code_hi
+            && end > self.sh.code_lo
+            && self.sh.code.iter().any(|r| addr < r.end && end > r.base)
+        {
+            // A real decoded-range overlap: the serial engine would run
+            // `invalidate_code`, a shared effect. A hull hit *between*
+            // images has no code effect and commits fine.
             return Err(Bail);
         }
         if self.sh.filter.would_wake(PAddr(addr), len) {
@@ -1015,8 +1292,6 @@ impl Machine {
             .collect();
 
         let jobs = self.machine_jobs.min(inputs.len());
-        let mut mmio_addrs: Vec<u64> = self.mmio_hooks.keys().copied().collect();
-        mmio_addrs.sort_unstable();
         let results = {
             let sh = Shared {
                 cfg: self.cfg,
@@ -1029,7 +1304,9 @@ impl Machine {
                 code: &self.code,
                 code_lo: self.code_lo,
                 code_hi: self.code_hi,
-                mmio_addrs: &mmio_addrs,
+                // Maintained sorted by `register_mmio`; no per-epoch
+                // rebuild.
+                mmio_addrs: &self.mmio_addrs,
                 domains: &self.core_domains,
                 // Wide enough to clear any common instruction cost (so
                 // the per-core continuation bands stay disjoint), small

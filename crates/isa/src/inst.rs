@@ -768,6 +768,39 @@ impl Inst {
         )
     }
 
+    /// Whether this instruction is a *local-effect* memory access: a
+    /// plain load or store whose only effects are its own thread's
+    /// registers, the accessed bytes, and the per-core memory metadata
+    /// (cache/TLB/prefetcher state) — no trap, no thread-state change,
+    /// no event. These are admissible inside memory-inclusive
+    /// superblocks: every effect that could escape the thread (a store
+    /// hitting an armed monitor line, an MMIO doorbell, the code image,
+    /// or an address fault) is detected by the executing engine, which
+    /// conservatively falls back to single-stepping.
+    #[must_use]
+    pub fn is_local_mem(&self) -> bool {
+        use Inst::*;
+        matches!(
+            self,
+            Ld { .. } | LdA { .. } | LdB { .. } | St { .. } | StA { .. } | StB { .. }
+        )
+    }
+
+    /// Access width in bytes for local-effect memory instructions
+    /// ([`Inst::is_local_mem`]); `None` for everything else. Together
+    /// with the (data-dependent) effective address this is the
+    /// instruction's exact memory footprint, which superblock execution
+    /// resolves to cache-line and page footprints at run time.
+    #[must_use]
+    pub fn mem_footprint(&self) -> Option<u64> {
+        use Inst::*;
+        match self {
+            Ld { .. } | LdA { .. } | St { .. } | StA { .. } => Some(8),
+            LdB { .. } | StB { .. } => Some(1),
+            _ => None,
+        }
+    }
+
     /// Whether this instruction may close a superblock: pure control
     /// flow whose only effects are the next pc and (for `Jal`) the link
     /// register. Branch direction is data-dependent, so a terminal ends

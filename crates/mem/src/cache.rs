@@ -211,6 +211,40 @@ impl Cache {
         true
     }
 
+    /// Write-aware batch hit path: applies a pre-computed run of `n`
+    /// sequential hits that mixes reads and writes — the merged
+    /// fetch+data access stream of one memory-inclusive superblock.
+    ///
+    /// `lines` holds each distinct line with the 1-based index of its
+    /// **last** access within the run and the OR of the `write` flags of
+    /// every access that touched it. `n` sequential all-hit `access()`
+    /// calls leave each line stamped `tick + last_index` with
+    /// `dirty |= any_write`, the tick advanced by `n`, and `n` extra
+    /// hits — so this reproduces the per-access path bit-for-bit in
+    /// O(lines) instead of O(n).
+    ///
+    /// Returns `false` — and mutates nothing — unless every line is
+    /// resident, exactly like [`Cache::access_run`].
+    pub fn access_run_mixed(&mut self, lines: &[(PAddr, u64, bool)], n: u64) -> bool {
+        if !lines.iter().all(|&(a, _, _)| self.contains(a)) {
+            return false;
+        }
+        for &(addr, last, write) in lines {
+            let tag = addr.0 / LINE_BYTES;
+            let range = self.set_range(addr);
+            for w in &mut self.ways[range] {
+                if w.valid && w.tag == tag {
+                    w.stamp = self.tick + last;
+                    w.dirty |= write;
+                    break;
+                }
+            }
+        }
+        self.tick += n;
+        self.hits += n;
+        true
+    }
+
     /// Checks residency without perturbing LRU or statistics.
     #[must_use]
     pub fn contains(&self, addr: PAddr) -> bool {
@@ -494,6 +528,45 @@ mod tests {
         let before = format!("{c:?}");
         let lines = [(addr(0, 0), 1u64), (addr(1, 0), 2)];
         assert!(!c.access_run(&lines, 2), "line (1,0) is not resident");
+        assert_eq!(format!("{c:?}"), before, "a refused run must not mutate");
+    }
+
+    #[test]
+    fn access_run_mixed_matches_sequential_accesses_exactly() {
+        let mut a = tiny();
+        for s in 0..4 {
+            a.fill(addr(s, 0), PartitionId::DEFAULT, false);
+        }
+        let mut b = a.clone();
+        // Mixed stream: fetch (0,0), store (1,0), fetch (0,0), load
+        // (1,0), store (2,0), fetch (0,0) — 6 accesses. Last indices:
+        // line (0,0)=6 clean, (1,0)=4 dirty (store at 2), (2,0)=5 dirty.
+        for &(s, w) in &[
+            (0u64, false),
+            (1, true),
+            (0, false),
+            (1, false),
+            (2, true),
+            (0, false),
+        ] {
+            assert!(a.access(addr(s, 0), w));
+        }
+        let lines = [
+            (addr(0, 0), 6u64, false),
+            (addr(1, 0), 4, true),
+            (addr(2, 0), 5, true),
+        ];
+        assert!(b.access_run_mixed(&lines, 6));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn access_run_mixed_refuses_non_resident_line_untouched() {
+        let mut c = tiny();
+        c.fill(addr(0, 0), PartitionId::DEFAULT, false);
+        let before = format!("{c:?}");
+        let lines = [(addr(0, 0), 1u64, true), (addr(3, 0), 2, false)];
+        assert!(!c.access_run_mixed(&lines, 2), "line (3,0) is not resident");
         assert_eq!(format!("{c:?}"), before, "a refused run must not mutate");
     }
 

@@ -170,6 +170,14 @@ impl CoreCaches {
     pub fn l1_access_run(&mut self, lines: &[(PAddr, u64)], n: u64) -> bool {
         self.l1.access_run(lines, n)
     }
+
+    /// Applies a memory-inclusive superblock's merged fetch+data stream
+    /// against the view's L1 as one batch (see
+    /// [`Cache::access_run_mixed`]): `false` — and no mutation — unless
+    /// every line is L1-resident.
+    pub fn l1_access_run_mixed(&mut self, lines: &[(PAddr, u64, bool)], n: u64) -> bool {
+        self.l1.access_run_mixed(lines, n)
+    }
 }
 
 /// A multi-core cache hierarchy.
@@ -358,6 +366,23 @@ impl Hierarchy {
     /// Panics if `core` is out of range.
     pub fn l1_access_run(&mut self, core: usize, lines: &[(PAddr, u64)], n: u64) -> bool {
         self.l1[core].access_run(lines, n)
+    }
+
+    /// Applies a memory-inclusive superblock's merged fetch+data stream
+    /// against `core`'s L1 as one batch (see
+    /// [`Cache::access_run_mixed`]): `false` — and no mutation — unless
+    /// every line is L1-resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn l1_access_run_mixed(
+        &mut self,
+        core: usize,
+        lines: &[(PAddr, u64, bool)],
+        n: u64,
+    ) -> bool {
+        self.l1[core].access_run_mixed(lines, n)
     }
 
     /// Per-level (hits, misses) aggregated over cores: `(l1, l2, l3)`.

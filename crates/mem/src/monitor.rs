@@ -233,9 +233,17 @@ impl MonitorFilter for CamFilter {
         }
         let mut cand = core::mem::take(&mut self.scratch);
         cand.clear();
-        for line in lines_covering(addr, len) {
-            if let Some(ids) = self.by_line.get(&line.0) {
+        let first = addr.line();
+        if PAddr(addr.0 + (len - 1)).line() == first {
+            // Single-line store: one index probe, no line iterator.
+            if let Some(ids) = self.by_line.get(&first.0) {
                 cand.extend_from_slice(ids);
+            }
+        } else {
+            for line in lines_covering(addr, len) {
+                if let Some(ids) = self.by_line.get(&line.0) {
+                    cand.extend_from_slice(ids);
+                }
             }
         }
         cand.extend_from_slice(&self.large);
@@ -331,6 +339,37 @@ impl HashFilter {
     pub fn false_wakes(&self) -> u64 {
         self.false_wakes
     }
+
+    /// Scans one line's bucket for a store to `[addr, addr + len)`,
+    /// pushing deduplicated wakes; returns the number of entries scanned.
+    #[inline]
+    fn scan_line(
+        &mut self,
+        line: u64,
+        addr: PAddr,
+        len: u64,
+        before: usize,
+        out: &mut Vec<WakeEvent>,
+    ) -> u64 {
+        let Some(entries) = self.lines.get(&line) else {
+            return 0;
+        };
+        let mut false_wakes = 0u64;
+        for &(w, a, l) in entries {
+            let exact = ranges_overlap(addr.0, len, a.0, l);
+            if !exact {
+                false_wakes += 1;
+            }
+            // Line-granular hardware wakes on any write to the line;
+            // software re-checks the condition.
+            if !out[before..].iter().any(|e| e.watcher == w) {
+                out.push(WakeEvent { watcher: w, exact });
+            }
+        }
+        let scanned = entries.len() as u64;
+        self.false_wakes += false_wakes;
+        scanned
+    }
 }
 
 impl Default for HashFilter {
@@ -378,24 +417,19 @@ impl MonitorFilter for HashFilter {
 
     fn on_store(&mut self, addr: PAddr, len: u64, out: &mut Vec<WakeEvent>) -> Cycles {
         let len = len.max(1);
-        let mut scanned = 0u64;
         let before = out.len();
-        for line in lines_covering(addr, len) {
-            if let Some(entries) = self.lines.get(&line.0) {
-                for &(w, a, l) in entries {
-                    scanned += 1;
-                    let exact = ranges_overlap(addr.0, len, a.0, l);
-                    if !exact {
-                        self.false_wakes += 1;
-                    }
-                    // Line-granular hardware wakes on any write to the
-                    // line; software re-checks the condition.
-                    if !out[before..].iter().any(|e| e.watcher == w) {
-                        out.push(WakeEvent { watcher: w, exact });
-                    }
-                }
+        let first = addr.line();
+        // Single-line stores — the overwhelming majority on real store
+        // streams — skip the line-iterator machinery: one probe, one scan.
+        let scanned = if PAddr(addr.0 + (len - 1)).line() == first {
+            self.scan_line(first.0, addr, len, before, out)
+        } else {
+            let mut scanned = 0u64;
+            for line in lines_covering(addr, len) {
+                scanned += self.scan_line(line.0, addr, len, before, out);
             }
-        }
+            scanned
+        };
         self.base_cost + Cycles(self.per_entry_cost.0 * scanned)
     }
 
@@ -413,6 +447,10 @@ impl MonitorFilter for HashFilter {
         // Line-granular: any armed entry on a stored line wakes, even if
         // the byte ranges are disjoint (a false wakeup is still a wakeup).
         let len = len.max(1);
+        let first = addr.line();
+        if PAddr(addr.0 + (len - 1)).line() == first {
+            return self.lines.contains_key(&first.0);
+        }
         lines_covering(addr, len).any(|line| self.lines.contains_key(&line.0))
     }
 

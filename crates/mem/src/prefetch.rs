@@ -76,6 +76,29 @@ impl WakePrefetcher {
         set.lines.push(line);
     }
 
+    /// Batch equivalent of a run of [`WakePrefetcher::record_access`]
+    /// calls: `lines` must be the run's **distinct** line addresses in
+    /// last-access order. The per-thread state is an LRU list — after
+    /// any access history it holds the last `capacity` distinct lines
+    /// of that history in last-access order, which is a function of the
+    /// history's dedup-keep-last projection only. Replaying the deduped
+    /// run therefore lands in exactly the state the full per-access run
+    /// would.
+    pub fn record_run(&mut self, thread: WatchId, lines: &[PAddr]) {
+        if !self.enabled || lines.is_empty() {
+            return;
+        }
+        let set = self.sets.entry(thread).or_default();
+        for &line in lines {
+            if let Some(pos) = set.lines.iter().position(|&l| l == line) {
+                set.lines.remove(pos);
+            } else if set.lines.len() >= self.capacity {
+                set.lines.remove(0);
+            }
+            set.lines.push(line);
+        }
+    }
+
     /// Returns the lines to warm for a thread being woken (oldest first),
     /// empty when disabled or unknown. Borrows rather than allocating —
     /// wakes are frequent under I/O-heavy workloads.
@@ -165,6 +188,22 @@ impl PrefetchView {
         }
         set.lines.push(line);
     }
+
+    /// Batch recording, identical to [`WakePrefetcher::record_run`].
+    pub fn record_run(&mut self, thread: WatchId, lines: &[PAddr]) {
+        if !self.enabled || lines.is_empty() {
+            return;
+        }
+        let set = self.sets.entry(thread).or_default();
+        for &line in lines {
+            if let Some(pos) = set.lines.iter().position(|&l| l == line) {
+                set.lines.remove(pos);
+            } else if set.lines.len() >= self.capacity {
+                set.lines.remove(0);
+            }
+            set.lines.push(line);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +240,27 @@ mod tests {
         p.record_access(t, PAddr(0)); // refresh line 0
         p.record_access(t, PAddr(128)); // evicts 64
         assert_eq!(p.wake_set(t), vec![PAddr(0), PAddr(128)]);
+    }
+
+    #[test]
+    fn record_run_matches_per_access_recording() {
+        // Full access stream vs its dedup-keep-last projection: final
+        // state must be identical, including capacity evictions that
+        // happen mid-run.
+        let mut per = WakePrefetcher::new(2);
+        let mut run = WakePrefetcher::new(2);
+        let t = WatchId(7);
+        for p in [&mut per, &mut run] {
+            p.record_access(t, PAddr(0));
+            p.record_access(t, PAddr(64));
+        }
+        // Stream: 128, 0, 128, 192 (lines). Dedup keep-last: 0, 128, 192.
+        for a in [128u64, 0, 128, 192] {
+            per.record_access(t, PAddr(a));
+        }
+        run.record_run(t, &[PAddr(0), PAddr(128), PAddr(192)]);
+        assert_eq!(per.wake_set(t).to_vec(), run.wake_set(t).to_vec());
+        assert_eq!(per.captured_len(t), run.captured_len(t));
     }
 
     #[test]

@@ -81,6 +81,41 @@ impl Tlb {
         self.config.walk_penalty
     }
 
+    /// Whether `(asid, page_number)` is currently resident. Pure: no
+    /// tick advance, no stamp refresh, no stats — the superblock probe
+    /// uses this to decide residency *before* committing any state.
+    #[must_use]
+    pub fn contains(&self, asid: u16, page_number: u64) -> bool {
+        self.entries.contains_key(&(asid, page_number))
+    }
+
+    /// Batch equivalent of `n` consecutive all-hit [`Tlb::access`]
+    /// calls. `pages` holds each distinct page with the 1-based index of
+    /// its **last** access within the run of `n`; the caller guarantees
+    /// the indices come from one in-order access walk. Returns `false`
+    /// without touching any state unless every page is resident — the
+    /// caller then falls back to per-access calls.
+    ///
+    /// Equivalence to the sequential path: every access in an all-hit
+    /// run bumps `tick` and `hits` by one and leaves each page stamped
+    /// with the tick of its last access, which is exactly
+    /// `tick0 + last_index`.
+    pub fn access_run(&mut self, asid: u16, pages: &[(u64, u64)], n: u64) -> bool {
+        if !pages.iter().all(|&(p, _)| self.contains(asid, p)) {
+            return false;
+        }
+        for &(p, last) in pages {
+            let stamp = self
+                .entries
+                .get_mut(&(asid, p))
+                .expect("residency checked above");
+            *stamp = self.tick + last;
+        }
+        self.tick += n;
+        self.hits += n;
+        true
+    }
+
     /// Flushes all entries for one address space (e.g. on teardown).
     pub fn flush_asid(&mut self, asid: u16) {
         self.entries.retain(|&(a, _), _| a != asid);
@@ -144,6 +179,46 @@ mod tests {
             Cycles(100),
             "page 1 should have been evicted"
         );
+    }
+
+    #[test]
+    fn access_run_matches_sequential_accesses_exactly() {
+        // Whole-state equivalence via Debug formatting, like the cache
+        // batch test: stamps, tick, and hit/miss counters all included.
+        let mut a = small();
+        let mut b = small();
+        for t in [&mut a, &mut b] {
+            t.access(0, 1);
+            t.access(0, 2);
+            t.access(0, 3);
+        }
+        // Run: pages 2, 1, 2, 2, 1 -> last access of 2 at index 4, of
+        // 1 at index 5.
+        for p in [2, 1, 2, 2, 1] {
+            assert_eq!(a.access(0, p), Cycles::ZERO);
+        }
+        assert!(b.access_run(0, &[(2, 4), (1, 5)], 5));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn access_run_refuses_non_resident_page_untouched() {
+        let mut t = small();
+        t.access(0, 1);
+        let before = format!("{t:?}");
+        assert!(!t.access_run(0, &[(1, 1), (9, 2)], 2));
+        assert_eq!(format!("{t:?}"), before, "refusal must not mutate");
+    }
+
+    #[test]
+    fn contains_is_pure() {
+        let mut t = small();
+        t.access(0, 1);
+        let before = format!("{t:?}");
+        assert!(t.contains(0, 1));
+        assert!(!t.contains(0, 2));
+        assert!(!t.contains(1, 1));
+        assert_eq!(format!("{t:?}"), before);
     }
 
     #[test]

@@ -23,7 +23,16 @@
 //! and slot order equals time order starting from the cursor's slot.
 
 use core::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
+
+/// Per-seq state index: seq `s` (with `s >= ring_base`) lives at
+/// `s & (RING_WINDOW - 1)` — windowing guarantees at most `RING_WINDOW`
+/// in-ring seqs, so the masked indices never collide.
+macro_rules! ring_slot {
+    ($seq:expr) => {
+        ($seq as usize) & (RING_WINDOW - 1)
+    };
+}
 
 use crate::hash::FxHashSet;
 use crate::time::Cycles;
@@ -75,15 +84,27 @@ const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
 /// path performs no hashing at all.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    /// Near-future events: slot `at & (WHEEL_SLOTS - 1)`, FIFO per slot.
-    wheel: Vec<VecDeque<Entry<E>>>,
+    /// Near-future events: slot `at & (WHEEL_SLOTS - 1)` holds a FIFO as
+    /// a singly-linked chain of `slab` nodes (head..tail, seq-ascending).
+    slots: Box<[Fifo; WHEEL_SLOTS]>,
+    /// Node arena backing every slot FIFO. Freed nodes go to a LIFO
+    /// freelist threaded through `next`, so a pop-then-schedule cycle —
+    /// the steady state of a running simulation — reuses the cache line
+    /// it just vacated instead of touching a per-slot buffer that went
+    /// cold a full wheel lap ago.
+    slab: Vec<Node<E>>,
+    /// Head of the freelist through `Node::next`, or [`NIL`].
+    free_head: u32,
     /// One bit per wheel slot, set when that slot's FIFO is non-empty.
     occupied: [u64; WHEEL_WORDS],
     /// Events outside the wheel horizon (far future, or scheduled in the
     /// past), merged with the wheel by `(time, seq)` at pop time.
     overflow: BinaryHeap<Reverse<Entry<E>>>,
-    /// Lifecycle state of seq `ring_base + i` at index `i` (newest seqs).
-    ring: VecDeque<u8>,
+    /// Lifecycle state of the newest seqs: seq `s` in
+    /// `[ring_base, next_seq)` lives at `s & (RING_WINDOW - 1)`. A flat
+    /// masked array, not a deque — state lookups on the pop path are one
+    /// AND plus one indexed load.
+    ring: Box<[u8; RING_WINDOW]>,
     ring_base: u64,
     /// Live seqs that aged out of the ring (still queued).
     old_live: FxHashSet<u64>,
@@ -104,6 +125,30 @@ struct Entry<E> {
     at: Cycles,
     seq: u64,
     event: E,
+}
+
+/// Sentinel slab index: empty FIFO / end of chain / end of freelist.
+const NIL: u32 = u32::MAX;
+
+/// Head and tail slab indices of one wheel slot's FIFO, plus a copy of
+/// the head node's key so the min scan (`min_src`) never dereferences
+/// the slab: `at`/`seq` mirror `slab[head]` whenever `head != NIL`.
+#[derive(Clone, Copy, Debug)]
+struct Fifo {
+    head: u32,
+    tail: u32,
+    at: Cycles,
+    seq: u64,
+}
+
+/// One queued wheel event. `event` is `None` only while the node sits on
+/// the freelist.
+#[derive(Debug)]
+struct Node<E> {
+    at: Cycles,
+    seq: u64,
+    next: u32,
+    event: Option<E>,
 }
 
 impl<E> PartialEq for Entry<E> {
@@ -138,10 +183,19 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            wheel: (0..WHEEL_SLOTS).map(|_| VecDeque::new()).collect(),
+            slots: Box::new(
+                [Fifo {
+                    head: NIL,
+                    tail: NIL,
+                    at: Cycles::ZERO,
+                    seq: 0,
+                }; WHEEL_SLOTS],
+            ),
+            slab: Vec::new(),
+            free_head: NIL,
             occupied: [0; WHEEL_WORDS],
             overflow: BinaryHeap::new(),
-            ring: VecDeque::new(),
+            ring: Box::new([RETIRED; RING_WINDOW]),
             ring_base: 0,
             old_live: FxHashSet::default(),
             old_cancelled: FxHashSet::default(),
@@ -150,6 +204,79 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             last_popped: Cycles::ZERO,
         }
+    }
+
+    /// Takes a node from the freelist (or grows the slab) and fills it.
+    #[inline]
+    fn alloc_node(&mut self, at: Cycles, seq: u64, event: E) -> u32 {
+        let i = self.free_head;
+        if i != NIL {
+            let n = &mut self.slab[i as usize];
+            self.free_head = n.next;
+            *n = Node {
+                at,
+                seq,
+                next: NIL,
+                event: Some(event),
+            };
+            i
+        } else {
+            let i = u32::try_from(self.slab.len()).expect("slab fits in u32 indices");
+            self.slab.push(Node {
+                at,
+                seq,
+                next: NIL,
+                event: Some(event),
+            });
+            i
+        }
+    }
+
+    /// Appends a node to `slot`'s FIFO and marks the slot occupied.
+    #[inline]
+    fn slot_push_back(&mut self, slot: usize, at: Cycles, seq: u64, event: E) {
+        let idx = self.alloc_node(at, seq, event);
+        let f = self.slots[slot];
+        if f.tail == NIL {
+            self.slots[slot] = Fifo {
+                head: idx,
+                tail: idx,
+                at,
+                seq,
+            };
+        } else {
+            self.slab[f.tail as usize].next = idx;
+            self.slots[slot].tail = idx;
+        }
+        self.occupied[(slot >> 6) & (WHEEL_WORDS - 1)] |= 1 << (slot & 63);
+    }
+
+    /// Unlinks and returns `slot`'s head node, clearing the occupancy bit
+    /// when the slot empties; the node returns to the freelist.
+    #[inline]
+    fn slot_pop_front(&mut self, slot: usize) -> Entry<E> {
+        let i = self.slots[slot].head;
+        debug_assert!(i != NIL, "pop from empty slot");
+        let n = &mut self.slab[i as usize];
+        let at = n.at;
+        let seq = n.seq;
+        let event = n.event.take().expect("live node has an event");
+        let next = n.next;
+        n.next = self.free_head;
+        self.free_head = i;
+        if next == NIL {
+            self.slots[slot].head = NIL;
+            self.slots[slot].tail = NIL;
+            self.occupied[(slot >> 6) & (WHEEL_WORDS - 1)] &= !(1 << (slot & 63));
+        } else {
+            let nn = &self.slab[next as usize];
+            let (nat, nseq) = (nn.at, nn.seq);
+            let f = &mut self.slots[slot];
+            f.head = next;
+            f.at = nat;
+            f.seq = nseq;
+        }
+        Entry { at, seq, event }
     }
 
     /// Schedules `event` to fire at absolute time `at`. O(1) for events
@@ -161,24 +288,20 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, at: Cycles, event: E) -> EventToken {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let entry = Entry { at, seq, event };
         if at >= self.last_popped && at.0 - self.last_popped.0 < WHEEL_SLOTS as u64 {
             let slot = at.0 as usize & (WHEEL_SLOTS - 1);
-            self.wheel[slot].push_back(entry);
-            self.occupied[slot >> 6] |= 1 << (slot & 63);
+            self.slot_push_back(slot, at, seq, event);
         } else {
-            self.overflow.push(Reverse(entry));
+            self.overflow.push(Reverse(Entry { at, seq, event }));
         }
-        self.ring.push_back(LIVE);
-        self.live += 1;
-        if self.ring.len() > RING_WINDOW {
-            // The oldest ring slot ages out; a seq still in play spills to
-            // the hash sets (rare: an event that outlived RING_WINDOW
-            // later schedules, or a cancel buried deep in the queue).
-            let state = self.ring.pop_front().expect("ring length checked");
+        if seq - self.ring_base == RING_WINDOW as u64 {
+            // The oldest ring slot ages out (it is the one `seq` is about
+            // to reuse); a seq still in play spills to the hash sets
+            // (rare: an event that outlived RING_WINDOW later schedules,
+            // or a cancel buried deep in the queue).
             let aged = self.ring_base;
             self.ring_base += 1;
-            match state {
+            match self.ring[ring_slot!(aged)] {
                 LIVE => {
                     self.old_live.insert(aged);
                 }
@@ -188,6 +311,8 @@ impl<E> EventQueue<E> {
                 _ => {}
             }
         }
+        self.ring[ring_slot!(seq)] = LIVE;
+        self.live += 1;
         EventToken(seq)
     }
 
@@ -204,7 +329,7 @@ impl<E> EventQueue<E> {
             return false; // never issued by this queue
         }
         let was_live = if seq >= self.ring_base {
-            let slot = &mut self.ring[(seq - self.ring_base) as usize];
+            let slot = &mut self.ring[ring_slot!(seq)];
             let live = *slot == LIVE;
             if live {
                 *slot = CANCELLED;
@@ -227,8 +352,7 @@ impl<E> EventQueue<E> {
     /// cancelled prefix is dropped first).
     #[must_use]
     pub fn peek_time(&mut self) -> Option<Cycles> {
-        self.drop_cancelled();
-        self.min_src().map(|(_, at, _)| at)
+        self.live_min_src().map(|(_, at, _)| at)
     }
 
     /// The earliest pending deadline — [`EventQueue::peek_time`] under the
@@ -263,13 +387,13 @@ impl<E> EventQueue<E> {
     /// amortised. Does not allocate.
     #[must_use]
     pub fn peek(&mut self) -> Option<(Cycles, &E)> {
-        self.drop_cancelled();
-        // `min_src` ends the query borrow of `self` before the chosen
-        // entry is re-borrowed for the return value.
-        match self.min_src()? {
+        // `live_min_src` ends the query borrow of `self` before the
+        // chosen entry is re-borrowed for the return value.
+        match self.live_min_src()? {
             (Src::Wheel(slot), ..) => {
-                let e = self.wheel[slot].front().expect("occupied slot");
-                Some((e.at, &e.event))
+                let head = self.slots[slot & (WHEEL_SLOTS - 1)].head;
+                let n = &self.slab[head as usize];
+                Some((n.at, n.event.as_ref().expect("live node has an event")))
             }
             (Src::Overflow, ..) => {
                 let Reverse(e) = self.overflow.peek().expect("checked");
@@ -281,8 +405,7 @@ impl<E> EventQueue<E> {
     /// Pops the earliest pending event. O(1) amortised within the wheel
     /// horizon, O(log n) for overflow events.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
-        self.drop_cancelled();
-        let (src, ..) = self.min_src()?;
+        let (src, ..) = self.live_min_src()?;
         Some(self.take(src))
     }
 
@@ -293,8 +416,7 @@ impl<E> EventQueue<E> {
     /// of the deadline computation without perturbing the queue's
     /// `(time, seq)` order when it is put back.
     pub fn pop_keyed(&mut self) -> Option<(Cycles, EventToken, E)> {
-        self.drop_cancelled();
-        let (src, ..) = self.min_src()?;
+        let (src, ..) = self.live_min_src()?;
         let e = self.remove_head(src);
         self.retire(e.seq);
         self.live -= 1;
@@ -312,21 +434,50 @@ impl<E> EventQueue<E> {
     pub fn restore(&mut self, at: Cycles, token: EventToken, event: E) {
         let seq = token.0;
         debug_assert!(seq < self.next_seq, "restore of a foreign token");
-        let entry = Entry { at, seq, event };
         if at >= self.last_popped && at.0 - self.last_popped.0 < WHEEL_SLOTS as u64 {
             let slot = at.0 as usize & (WHEEL_SLOTS - 1);
-            let fifo = &mut self.wheel[slot];
             // Slot FIFOs are kept in seq order; the restored entry is
             // older than anything scheduled after it was popped, so it
             // re-enters ahead of those.
-            let pos = fifo.iter().position(|e| e.seq > seq).unwrap_or(fifo.len());
-            fifo.insert(pos, entry);
-            self.occupied[slot >> 6] |= 1 << (slot & 63);
+            let idx = self.alloc_node(at, seq, event);
+            let f = self.slots[slot];
+            if f.head == NIL {
+                self.slots[slot] = Fifo {
+                    head: idx,
+                    tail: idx,
+                    at,
+                    seq,
+                };
+            } else if seq < f.seq {
+                self.slab[idx as usize].next = f.head;
+                self.slots[slot] = Fifo {
+                    head: idx,
+                    tail: f.tail,
+                    at,
+                    seq,
+                };
+            } else {
+                let mut p = f.head;
+                loop {
+                    let nxt = self.slab[p as usize].next;
+                    if nxt == NIL || self.slab[nxt as usize].seq > seq {
+                        break;
+                    }
+                    p = nxt;
+                }
+                let nxt = self.slab[p as usize].next;
+                self.slab[idx as usize].next = nxt;
+                self.slab[p as usize].next = idx;
+                if nxt == NIL {
+                    self.slots[slot].tail = idx;
+                }
+            }
+            self.occupied[(slot >> 6) & (WHEEL_WORDS - 1)] |= 1 << (slot & 63);
         } else {
-            self.overflow.push(Reverse(entry));
+            self.overflow.push(Reverse(Entry { at, seq, event }));
         }
         if seq >= self.ring_base {
-            self.ring[(seq - self.ring_base) as usize] = LIVE;
+            self.ring[ring_slot!(seq)] = LIVE;
         } else {
             self.old_live.insert(seq);
         }
@@ -336,8 +487,7 @@ impl<E> EventQueue<E> {
     /// Pops the earliest event only if it is due at or before `now`.
     /// Same cost as [`EventQueue::pop`].
     pub fn pop_due(&mut self, now: Cycles) -> Option<(Cycles, E)> {
-        self.drop_cancelled();
-        let (src, at, ..) = self.min_src()?;
+        let (src, at, ..) = self.live_min_src()?;
         if at > now {
             return None;
         }
@@ -370,13 +520,21 @@ impl<E> EventQueue<E> {
     /// Locates the minimum `(time, seq)` entry across wheel and overflow;
     /// returns its source plus that `(time, seq)` so callers do not have
     /// to re-find the front.
+    #[inline]
     fn min_src(&self) -> Option<(Src, Cycles, u64)> {
         if self.live == 0 && self.cancelled_queued == 0 {
             return None;
         }
+        if self.overflow.is_empty() {
+            // Overflow is empty in the steady state of short-horizon
+            // simulations; skip the merge entirely.
+            let slot = self.next_occupied_slot()?;
+            let f = &self.slots[slot & (WHEEL_SLOTS - 1)];
+            return Some((Src::Wheel(slot), f.at, f.seq));
+        }
         let wheel = self.next_occupied_slot().map(|slot| {
-            let e = self.wheel[slot].front().expect("occupied slot");
-            (e.at, e.seq, slot)
+            let f = &self.slots[slot & (WHEEL_SLOTS - 1)];
+            (f.at, f.seq, slot)
         });
         let over = self.overflow.peek().map(|Reverse(e)| (e.at, e.seq));
         match (wheel, over) {
@@ -427,48 +585,47 @@ impl<E> EventQueue<E> {
 
     fn remove_head(&mut self, src: Src) -> Entry<E> {
         match src {
-            Src::Wheel(slot) => {
-                let e = self.wheel[slot].pop_front().expect("occupied slot");
-                if self.wheel[slot].is_empty() {
-                    self.occupied[slot >> 6] &= !(1 << (slot & 63));
-                }
-                e
-            }
+            Src::Wheel(slot) => self.slot_pop_front(slot & (WHEEL_SLOTS - 1)),
             Src::Overflow => self.overflow.pop().expect("checked").0,
         }
     }
 
     /// Marks a live seq leaving the queue as fully dead.
+    #[inline]
     fn retire(&mut self, seq: u64) {
         if seq >= self.ring_base {
-            self.ring[(seq - self.ring_base) as usize] = RETIRED;
+            self.ring[ring_slot!(seq)] = RETIRED;
         } else {
             self.old_live.remove(&seq);
         }
     }
 
-    /// Removes cancelled entries sitting at the queue head, so peeks and
-    /// pops see a live minimum.
-    fn drop_cancelled(&mut self) {
-        while self.cancelled_queued != 0 {
-            let Some((src, _, seq)) = self.min_src() else {
-                break;
-            };
-            let head_cancelled = if seq >= self.ring_base {
-                self.ring[(seq - self.ring_base) as usize] == CANCELLED
-            } else {
-                self.old_cancelled.contains(&seq)
-            };
-            if !head_cancelled {
-                break;
+    /// Locates the live minimum entry, removing any cancelled entries
+    /// sitting ahead of it. One `min_src` scan per physical head
+    /// examined: a separate drop-then-find pass would pay **two** scans
+    /// per pop whenever a cancel is pending anywhere in the queue (the
+    /// steady state of cancel-heavy simulations).
+    fn live_min_src(&mut self) -> Option<(Src, Cycles, u64)> {
+        loop {
+            let (src, at, seq) = self.min_src()?;
+            if self.cancelled_queued != 0 {
+                let head_cancelled = if seq >= self.ring_base {
+                    self.ring[ring_slot!(seq)] == CANCELLED
+                } else {
+                    self.old_cancelled.contains(&seq)
+                };
+                if head_cancelled {
+                    self.remove_head(src);
+                    if seq >= self.ring_base {
+                        self.ring[ring_slot!(seq)] = RETIRED;
+                    } else {
+                        self.old_cancelled.remove(&seq);
+                    }
+                    self.cancelled_queued -= 1;
+                    continue;
+                }
             }
-            self.remove_head(src);
-            if seq >= self.ring_base {
-                self.ring[(seq - self.ring_base) as usize] = RETIRED;
-            } else {
-                self.old_cancelled.remove(&seq);
-            }
-            self.cancelled_queued -= 1;
+            return Some((src, at, seq));
         }
     }
 }

@@ -27,16 +27,25 @@
 #            above, both for the full suite and for --quick --jobs 4
 #            (superblocks may only change wall-clock time, never
 #            results)
+#   memsb    memory-superblock-determinism check: the suite with only
+#            the batched load/store fast path disabled
+#            (SWITCHLESS_MEM_SUPERBLOCKS=0, pure-register superblocks
+#            still on) must write results/ trees bit-identical to the
+#            default-on runs, both for the full suite and for --quick
+#            --jobs 4 (the memory fast path may only change wall-clock
+#            time, never results)
 #   bench    host-throughput smoke + regression gate: switchless-bench
 #            --quick must emit well-formed switchless-bench/v1 JSON, and
 #            no bench may drop more than 20% below the newest committed
-#            BENCH_*.json baseline. The gate takes the per-bench max of
-#            two quick runs: 40 ms windows on a shared host can swing
-#            2x run-to-run, and a real hot-path regression reproduces
-#            in both runs while a noise dip does not. Additionally,
-#            every bench key ever committed in any BENCH_*.json must
-#            still be present in the current runs — a bench silently
-#            dropped from the binary is a gate failure, not a skip.
+#            BENCH_*.json baseline. Each bench value is already a
+#            median of three windows (the binary's best-of-3), and the
+#            gate additionally takes the per-bench max of two quick
+#            runs: 40 ms windows on a shared host can swing 2x
+#            run-to-run, and a real hot-path regression reproduces in
+#            both runs while a noise dip does not. Additionally, every
+#            bench key ever committed in any BENCH_*.json must still be
+#            present in the current runs — a bench silently dropped
+#            from the binary is a gate failure, not a skip.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -150,6 +159,26 @@ if ! diff -r "$mf1" "$sbf"; then
 fi
 echo "superblock determinism (full): identical results/ trees"
 
+step "memory-superblock determinism (SWITCHLESS_MEM_SUPERBLOCKS=0 vs default-on, --quick)"
+msq=target/ci-results-nomemsb-quick
+rm -rf "$msq"
+SWITCHLESS_MEM_SUPERBLOCKS=0 cargo run -q --release -p switchless-experiments -- all --quick --jobs 4 --out "$msq" >/dev/null
+if ! diff -r "$mq1" "$msq"; then
+    echo "FAIL: results/ trees differ between memory superblocks on and off (--quick)" >&2
+    exit 1
+fi
+echo "memory-superblock determinism (quick): identical results/ trees"
+
+step "memory-superblock determinism (SWITCHLESS_MEM_SUPERBLOCKS=0 vs default-on, full)"
+msf=target/ci-results-nomemsb-full
+rm -rf "$msf"
+SWITCHLESS_MEM_SUPERBLOCKS=0 cargo run -q --release -p switchless-experiments -- all --out "$msf" >/dev/null
+if ! diff -r "$mf1" "$msf"; then
+    echo "FAIL: results/ trees differ between memory superblocks on and off (full)" >&2
+    exit 1
+fi
+echo "memory-superblock determinism (full): identical results/ trees"
+
 step "bench smoke (switchless-bench --quick)"
 bj=target/bench-smoke.json
 rm -f "$bj"
@@ -166,7 +195,7 @@ for k, v in d["benches"].items():
 print("bench smoke: schema and keys ok")
 EOF
 
-step "bench regression gate (>20% drop vs newest committed BENCH_*.json, best of 2)"
+step "bench regression gate (median >20% below newest committed BENCH_*.json fails, best of 2 runs)"
 base="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
 if [ -z "$base" ]; then
     echo "bench gate: no committed BENCH_*.json baseline, skipping"
@@ -176,12 +205,16 @@ else
     cargo run -q --release -p switchless-bench -- --quick --out "$bj2"
     python3 - "$bj" "$bj2" "$base" BENCH_*.json <<'EOF'
 import json, sys
-with open(sys.argv[1]) as f:
-    run1 = json.load(f)["benches"]
-with open(sys.argv[2]) as f:
-    run2 = json.load(f)["benches"]
-with open(sys.argv[3]) as f:
-    ref = json.load(f)["benches"]
+# Medians are the comparison numbers; files from before the best-of-3
+# schema (no "benches_median" section) fall back to their single-shot
+# "benches" values.
+def medians(path):
+    with open(path) as f:
+        d = json.load(f)
+    return d.get("benches_median", d["benches"])
+run1 = medians(sys.argv[1])
+run2 = medians(sys.argv[2])
+ref = medians(sys.argv[3])
 bad = []
 # Coverage: every bench key ever committed (the union over all
 # BENCH_*.json) must still be measured. Comparing only against the
@@ -190,9 +223,8 @@ bad = []
 # never look for it again.
 ever = {}
 for path in sys.argv[4:]:
-    with open(path) as f:
-        for k in json.load(f)["benches"]:
-            ever.setdefault(k, path)
+    for k in medians(path):
+        ever.setdefault(k, path)
 for k, first in sorted(ever.items()):
     if k not in run1 and k not in run2:
         bad.append(f"{k}: committed in {first} but missing from current runs")
@@ -210,7 +242,7 @@ if bad:
     for line in bad:
         print("  " + line, file=sys.stderr)
     sys.exit(1)
-print(f"bench gate: all ever-committed benches present, within 20% of {sys.argv[3]} (best of 2)")
+print(f"bench gate: all ever-committed benches present, within 20% of {sys.argv[3]} (medians, best of 2 runs)")
 EOF
 fi
 
